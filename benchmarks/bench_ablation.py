@@ -1,0 +1,100 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Times the competing implementations directly against each other and
+asserts the expected orderings where the effect is structural (variable
+counts, toggle activity); time-based orderings are reported but not
+asserted (they are machine-dependent).
+
+Regenerate the printed study with ``python -m repro.experiments.ablation``.
+"""
+
+import pytest
+
+from repro.encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
+from repro.petri.generators import figure4_net, muller, slotted_ring
+from repro.petri.smc import find_smcs
+from repro.symbolic import (RelationalNet, SymbolicNet, traverse,
+                            traverse_relational)
+
+INSTANCES = [("figure4", figure4_net),
+             ("muller-6", lambda: muller(6)),
+             ("slot-3", lambda: slotted_ring(3))]
+IDS = [name for name, _ in INSTANCES]
+
+
+@pytest.fixture(params=INSTANCES, ids=IDS)
+def instance(request):
+    name, factory = request.param
+    net = factory()
+    return name, net, find_smcs(net)
+
+
+class TestEncodingRefinements:
+    def test_improved_never_worse_than_covering(self, once, instance):
+        _, net, smcs = instance
+        improved = once(ImprovedEncoding, net, components=smcs)
+        covering = DenseEncoding(net, components=smcs)
+        sparse = SparseEncoding(net)
+        assert improved.num_variables <= covering.num_variables
+        assert covering.num_variables < sparse.num_variables
+
+    def test_zero_var_extension_never_worse(self, instance):
+        _, net, smcs = instance
+        improved = ImprovedEncoding(net, components=smcs)
+        extended = ImprovedEncoding(net, components=smcs,
+                                    allow_zero_variable_components=True)
+        assert extended.num_variables <= improved.num_variables
+
+
+class TestGrayCodes:
+    def test_gray_toggles_not_worse_than_binary(self, once, instance):
+        _, net, smcs = instance
+        gray = once(ImprovedEncoding, net, components=smcs, gray=True)
+        binary = ImprovedEncoding(net, components=smcs, gray=False)
+        gray_toggles = sum(len(gray.transition_spec(t).toggle)
+                           for t in net.transitions)
+        binary_toggles = sum(len(binary.transition_spec(t).toggle)
+                             for t in net.transitions)
+        assert gray_toggles <= binary_toggles
+
+
+class TestImageImplementations:
+    def test_quantify_force(self, once, instance):
+        _, net, smcs = instance
+        result = once(lambda: traverse(
+            SymbolicNet(ImprovedEncoding(net, components=smcs))))
+        assert result.marking_count > 0
+
+    def test_toggle(self, once, instance):
+        _, net, smcs = instance
+        result = once(lambda: traverse(
+            SymbolicNet(ImprovedEncoding(net, components=smcs)),
+            use_toggle=True))
+        assert result.marking_count > 0
+
+    def test_relational_partitioned(self, once, instance):
+        _, net, smcs = instance
+        result = once(lambda: traverse_relational(
+            RelationalNet(ImprovedEncoding(net, components=smcs))))
+        assert result.marking_count > 0
+
+    def test_relational_monolithic(self, once, instance):
+        _, net, smcs = instance
+        result = once(lambda: traverse_relational(
+            RelationalNet(ImprovedEncoding(net, components=smcs)),
+            monolithic=True))
+        assert result.marking_count > 0
+
+
+class TestReordering:
+    def test_reordering_shrinks_or_holds_final_bdd(self, once, instance):
+        _, net, smcs = instance
+        with_reorder = once(lambda: traverse(
+            SymbolicNet(ImprovedEncoding(net, components=smcs),
+                        auto_reorder=True, reorder_threshold=1_000),
+            use_toggle=True))
+        without = traverse(
+            SymbolicNet(ImprovedEncoding(net, components=smcs)),
+            use_toggle=True)
+        assert with_reorder.marking_count == without.marking_count
+        assert with_reorder.final_bdd_nodes <= without.final_bdd_nodes * 1.1

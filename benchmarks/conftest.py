@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks default to harness-scale instances that complete in seconds;
+set ``REPRO_FULL=1`` for the paper-scale sizes (pure-Python BDDs will
+take a long time there).
+"""
+
+import pytest
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["note"] = (
+        "pure-Python BDD/ZDD engines; compare ratios between engines, "
+        "not absolute times, against the paper")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Symbolic traversals are seconds-long and deterministic; repeated
+    rounds would add minutes for no statistical gain.
+    """
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

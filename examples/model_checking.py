@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Symbolic verification of asynchronous-system models.
+
+The paper's motivation is verifying concurrent systems (asynchronous
+circuits, protocols).  This example model-checks three of the benchmark
+families with the dense encoding:
+
+* DME ring — mutual exclusion of the critical sections, deadlock freedom;
+* dining philosophers — finds the classic deadlock and a counterexample;
+* Muller pipeline — deadlock freedom and home-marking (reversibility).
+
+Run:  python examples/model_checking.py
+"""
+
+from repro.encoding import ImprovedEncoding
+from repro.petri.generators import dme_spec, muller, philosophers
+from repro.symbolic import ModelChecker, SymbolicNet
+
+
+def check_dme() -> None:
+    cells = 3
+    net = dme_spec(cells)
+    checker = ModelChecker(SymbolicNet(ImprovedEncoding(net)))
+    print(f"DME ring with {cells} cells "
+          f"({checker.marking_count()} reachable markings)")
+
+    critical = [f"c{i}_uc" for i in range(cells)]
+    mutex = checker.check_mutual_exclusion(critical)
+    print(f"  mutual exclusion of {critical}: {mutex.holds}")
+
+    deadlock = checker.find_deadlocks()
+    print(f"  deadlock free: {not deadlock.holds}")
+
+    # Every cell can eventually enter its critical section.
+    for i in range(cells):
+        reachable_crit = checker.ef(checker.place_predicate(f"c{i}_uc"))
+        accessible = not (reachable_crit
+                          & checker.symnet.initial).is_zero()
+        print(f"  cell {i} can reach its critical section: {accessible}")
+
+
+def check_philosophers() -> None:
+    net = philosophers(3)
+    checker = ModelChecker(SymbolicNet(ImprovedEncoding(net)))
+    print(f"\ndining philosophers (3) "
+          f"({checker.marking_count()} reachable markings)")
+
+    deadlock = checker.find_deadlocks()
+    print(f"  deadlock found: {deadlock.holds} — {deadlock.detail}")
+    if deadlock.witness is not None:
+        print(f"  witness: {sorted(deadlock.witness.support)}")
+
+    # Neighbours cannot eat at the same time (they share a fork) ...
+    mutex = checker.check_mutual_exclusion(["ph0_eating", "ph1_eating"])
+    print(f"  neighbours eat simultaneously: {not mutex.holds}")
+    # ... and the initial marking is not a home marking (deadlocks).
+    home = checker.can_always_recover(checker.symnet.initial)
+    print(f"  initial marking is a home marking: {home.holds}")
+
+
+def check_muller() -> None:
+    net = muller(4)
+    checker = ModelChecker(SymbolicNet(ImprovedEncoding(net)))
+    print(f"\nMuller pipeline (4 stages) "
+          f"({checker.marking_count()} reachable markings)")
+    print(f"  deadlock free: {not checker.find_deadlocks().holds}")
+    print(f"  reversible (AG EF M0): "
+          f"{checker.can_always_recover(checker.symnet.initial).holds}")
+    print(f"  all transitions live at least once: "
+          f"{len(checker.live_transitions())} of "
+          f"{len(net.transitions)}")
+    # Complementary place pairs are mutually exclusive by construction.
+    mutex = checker.check_mutual_exclusion(["y0_0", "y0_1"])
+    print(f"  complementary pair y0_0/y0_1 exclusive: {mutex.holds}")
+
+
+def main() -> None:
+    check_dme()
+    check_philosophers()
+    check_muller()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so PEP 660 editable installs fail; `pip install -e . --no-use-pep517`
+and `python setup.py develop` both work through this file."""
+from setuptools import setup
+
+setup()

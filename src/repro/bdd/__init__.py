@@ -1,0 +1,21 @@
+"""Decision-diagram substrate: BDD manager, sifting reorderer, ZDDs.
+
+Public entry points:
+
+* :class:`BDD` — the manager (variable order, unique tables, operations).
+* :class:`Function` — reference-counted handle; the API user code works with.
+* :func:`sift`, :func:`sift_to_convergence` — dynamic variable reordering.
+* :class:`ZDD` — zero-suppressed diagrams (the Table 4 baseline).
+"""
+
+from .function import Function, cube, false, true, variable
+from .manager import BDD, BDDError, ONE, ZERO
+from .reorder import sift, sift_to_convergence
+from .zdd import BASE, EMPTY, ZDD, ZDDError
+
+__all__ = [
+    "BDD", "BDDError", "ZERO", "ONE",
+    "Function", "true", "false", "variable", "cube",
+    "sift", "sift_to_convergence",
+    "ZDD", "ZDDError", "EMPTY", "BASE",
+]

@@ -1,0 +1,73 @@
+"""Graphviz export of decision diagrams (for debugging and documentation)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .manager import BDD, ONE, ZERO
+from .zdd import BASE, EMPTY, ZDD
+
+
+def bdd_to_dot(bdd: BDD, roots: Iterable[Tuple[str, int]]) -> str:
+    """Render the DAG spanned by named roots as a Graphviz digraph.
+
+    ``roots`` is an iterable of ``(label, node_id)`` pairs.
+    """
+    lines: List[str] = ["digraph bdd {", '  rankdir=TB;']
+    seen = set()
+    stack = []
+    for label, node in roots:
+        lines.append(f'  "r_{label}" [shape=plaintext, label="{label}"];')
+        lines.append(f'  "r_{label}" -> n{node};')
+        stack.append(node)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node == ZERO:
+            lines.append(f'  n{node} [shape=box, label="0"];')
+            continue
+        if node == ONE:
+            lines.append(f'  n{node} [shape=box, label="1"];')
+            continue
+        name = bdd.var_name(bdd._var[node])
+        low, high = bdd._low[node], bdd._high[node]
+        lines.append(f'  n{node} [shape=circle, label="{name}"];')
+        lines.append(f'  n{node} -> n{low} [style=dashed];')
+        lines.append(f'  n{node} -> n{high} [style=solid];')
+        stack.append(low)
+        stack.append(high)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def zdd_to_dot(zdd: ZDD, roots: Iterable[Tuple[str, int]]) -> str:
+    """Render a ZDD DAG as a Graphviz digraph."""
+    lines: List[str] = ["digraph zdd {", "  rankdir=TB;"]
+    seen = set()
+    stack = []
+    for label, node in roots:
+        lines.append(f'  "r_{label}" [shape=plaintext, label="{label}"];')
+        lines.append(f'  "r_{label}" -> n{node};')
+        stack.append(node)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node == EMPTY:
+            lines.append(f'  n{node} [shape=box, label="{{}}"];')
+            continue
+        if node == BASE:
+            lines.append(f'  n{node} [shape=box, label="{{{{}}}}"];')
+            continue
+        name = zdd.var_name(zdd._var[node])
+        low, high = zdd._low[node], zdd._high[node]
+        lines.append(f'  n{node} [shape=circle, label="{name}"];')
+        lines.append(f'  n{node} -> n{low} [style=dashed];')
+        lines.append(f'  n{node} -> n{high} [style=solid];')
+        stack.append(low)
+        stack.append(high)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Serialization of BDD functions.
+
+Saves one or more functions — e.g. a computed reachability set — to a
+compact, order-independent text format and reloads them into any manager
+that declares (at least) the same variable names.  Nodes are written in
+topological order (children first), so loading is a single linear pass of
+hash-consing ``_mk`` calls; the round trip therefore re-canonicalizes
+under the target manager's variable order automatically.
+
+Format (one record per line)::
+
+    bddio 1
+    var <name> <name> ...
+    node <id> <var-name> <low-id> <high-id>
+    root <label> <id>
+
+The ids ``0``/``1`` are the constants; other ids are file-local.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .function import Function
+from .manager import BDD, BDDError, ONE, ZERO
+
+_HEADER = "bddio 1"
+
+
+def dump_functions(functions: Dict[str, Function]) -> str:
+    """Serialize labeled functions sharing one manager to the text
+    format."""
+    if not functions:
+        raise BDDError("nothing to dump")
+    managers = {func.bdd for func in functions.values()}
+    if len(managers) != 1:
+        raise BDDError("all functions must share one manager")
+    bdd = managers.pop()
+
+    lines = [_HEADER,
+             "var " + " ".join(bdd.order())]
+    written: Dict[int, int] = {ZERO: 0, ONE: 1}
+    counter = 2
+
+    def emit(node: int) -> int:
+        nonlocal counter
+        known = written.get(node)
+        if known is not None:
+            return known
+        low = emit(bdd._low[node])
+        high = emit(bdd._high[node])
+        written[node] = counter
+        lines.append(f"node {counter} {bdd.var_name(bdd._var[node])} "
+                     f"{low} {high}")
+        counter += 1
+        return written[node]
+
+    for label, func in functions.items():
+        if any(ch.isspace() for ch in label):
+            raise BDDError(f"root label must not contain spaces: {label!r}")
+        root = emit(func.node)
+        lines.append(f"root {label} {root}")
+    return "\n".join(lines) + "\n"
+
+
+def load_functions(text: str, bdd: BDD) -> Dict[str, Function]:
+    """Parse the text format into functions on the given manager.
+
+    Every variable named in the file must already be declared on ``bdd``
+    (its order may differ — functions are rebuilt canonically).
+    """
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != _HEADER:
+        raise BDDError("not a bddio v1 stream")
+    node_map: Dict[int, int] = {0: ZERO, 1: ONE}
+    roots: Dict[str, Function] = {}
+    declared: List[str] = []
+    for line in lines[1:]:
+        fields = line.split()
+        kind = fields[0]
+        if kind == "var":
+            declared = fields[1:]
+            for name in declared:
+                bdd.var_index(name)  # raises if missing
+        elif kind == "node":
+            if len(fields) != 5:
+                raise BDDError(f"malformed node line: {line!r}")
+            file_id, var_name = int(fields[1]), fields[2]
+            low, high = int(fields[3]), int(fields[4])
+            try:
+                children = (node_map[low], node_map[high])
+            except KeyError as exc:
+                raise BDDError(f"forward reference in {line!r}") from exc
+            node_map[file_id] = _mk_ordered(bdd, var_name, *children)
+        elif kind == "root":
+            if len(fields) != 3:
+                raise BDDError(f"malformed root line: {line!r}")
+            label, file_id = fields[1], int(fields[2])
+            if file_id not in node_map:
+                raise BDDError(f"unknown root id in {line!r}")
+            roots[label] = Function(bdd, node_map[file_id])
+        else:
+            raise BDDError(f"unknown record {kind!r}")
+    if not roots:
+        raise BDDError("stream contains no roots")
+    return roots
+
+
+def _mk_ordered(bdd: BDD, var_name: str, low: int, high: int) -> int:
+    """Rebuild a node under the target order via ITE on the literal.
+
+    When the target order matches the source order this degenerates to a
+    plain ``_mk``; otherwise ITE re-normalizes the structure.
+    """
+    var = bdd.var_index(var_name)
+    literal = bdd.var_node(var)
+    return bdd.ite(literal, high, low)
+
+
+def save_functions(functions: Dict[str, Function],
+                   path: Union[str, Path]) -> None:
+    """Write labeled functions to a file."""
+    Path(path).write_text(dump_functions(functions))
+
+
+def load_functions_file(path: Union[str, Path],
+                        bdd: BDD) -> Dict[str, Function]:
+    """Read labeled functions from a file."""
+    return load_functions(Path(path).read_text(), bdd)

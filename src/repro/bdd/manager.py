@@ -1,0 +1,877 @@
+"""Binary Decision Diagram manager.
+
+This module implements a self-contained BDD package in the style of the
+classic libraries the paper relies on (Brace/Rudell/Bryant; David Long's
+package):
+
+* reduced ordered BDDs without complement edges,
+* hash-consing through per-variable unique tables,
+* a computed-table (operation cache),
+* exact internal reference counting with cascading frees,
+* garbage collection and dynamic variable reordering at safe points.
+
+Nodes are records stored in parallel arrays and addressed by integer ids.
+Terminal nodes are ``ZERO = 0`` and ``ONE = 1``.  A node's fields may be
+mutated in place by variable reordering, but the function represented by a
+node id never changes; external code can therefore hold ids across
+reordering (see :class:`repro.bdd.function.Function`).
+
+The manager API is deliberately low level (integer node ids, explicit
+reference counting).  User code should go through
+:class:`repro.bdd.function.Function` obtained from :meth:`BDD.var`,
+:attr:`BDD.true` and :attr:`BDD.false`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+ZERO = 0
+ONE = 1
+
+# Recursions descend one level per call; deep orders need deep stacks.
+_MIN_RECURSION_LIMIT = 100_000
+if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+    sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
+class BDDError(Exception):
+    """Raised for invalid BDD manager operations."""
+
+
+class BDD:
+    """A BDD manager: variable order, unique tables and operations.
+
+    Parameters
+    ----------
+    var_names:
+        Optional initial list of variable names; the initial variable order
+        is the list order.
+    auto_reorder:
+        If true, sifting is triggered automatically when the number of live
+        nodes crosses a growing threshold (checked only at safe points,
+        i.e. at entry of public operations).
+    """
+
+    _TERMINAL_VAR = -1
+
+    def __init__(self, var_names: Optional[Iterable[str]] = None,
+                 auto_reorder: bool = False,
+                 reorder_threshold: int = 50_000) -> None:
+        # Parallel node arrays; slots 0/1 are the terminals.
+        self._var: List[int] = [self._TERMINAL_VAR, self._TERMINAL_VAR]
+        self._low: List[int] = [ZERO, ONE]
+        self._high: List[int] = [ZERO, ONE]
+        self._ref: List[int] = [1, 1]
+        self._free: List[int] = []
+
+        # unique[var] maps (low, high) -> node id
+        self._unique: List[Dict[Tuple[int, int], int]] = []
+        self._var2level: List[int] = []
+        self._level2var: List[int] = []
+        self._names: List[str] = []
+        self._name2var: Dict[str, int] = {}
+
+        self._cache: Dict[tuple, int] = {}
+        self._interned_sets: Dict[FrozenSet[int], FrozenSet[int]] = {}
+
+        self.auto_reorder = auto_reorder
+        self.reorder_threshold = reorder_threshold
+        self.reorder_count = 0
+        self.gc_count = 0
+        self.peak_live_nodes = 0
+        # Callbacks invoked after each automatic reordering pass.
+        self.reorder_hooks: List[Callable[["BDD"], None]] = []
+
+        if var_names is not None:
+            for name in var_names:
+                self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variables and order
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._var2level)
+
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Declare a new variable at the bottom of the order.
+
+        Returns the variable index (stable across reordering).
+        """
+        var = len(self._var2level)
+        if name is None:
+            name = f"x{var}"
+        if name in self._name2var:
+            raise BDDError(f"duplicate variable name: {name!r}")
+        self._var2level.append(len(self._level2var))
+        self._level2var.append(var)
+        self._unique.append({})
+        self._names.append(name)
+        self._name2var[name] = var
+        return var
+
+    def add_vars(self, names: Iterable[str]) -> List[int]:
+        """Declare several variables; returns their indices."""
+        return [self.add_var(name) for name in names]
+
+    def var_index(self, var) -> int:
+        """Normalize a variable reference (index or name) to an index."""
+        if isinstance(var, str):
+            try:
+                return self._name2var[var]
+            except KeyError:
+                raise BDDError(f"unknown variable name: {var!r}") from None
+        index = int(var)
+        if not 0 <= index < self.num_vars:
+            raise BDDError(f"variable index out of range: {index}")
+        return index
+
+    def var_name(self, var: int) -> str:
+        """Name of variable ``var``."""
+        return self._names[self.var_index(var)]
+
+    def level_of_var(self, var) -> int:
+        """Current level (0 = top) of a variable."""
+        return self._var2level[self.var_index(var)]
+
+    def var_at_level(self, level: int) -> int:
+        """Variable currently placed at ``level``."""
+        return self._level2var[level]
+
+    def order(self) -> List[str]:
+        """Variable names from top level to bottom level."""
+        return [self._names[v] for v in self._level2var]
+
+    def _level(self, u: int) -> int:
+        """Level of node ``u`` (terminals sit below every variable)."""
+        var = self._var[u]
+        if var < 0:
+            return len(self._var2level)
+        return self._var2level[var]
+
+    # ------------------------------------------------------------------
+    # Node construction and reference counting
+    # ------------------------------------------------------------------
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(var, low, high)`` (reduced, hashed)."""
+        if low == high:
+            return low
+        table = self._unique[var]
+        key = (low, high)
+        node = table.get(key)
+        if node is not None:
+            return node
+        if self._free:
+            node = self._free.pop()
+            self._var[node] = var
+            self._low[node] = low
+            self._high[node] = high
+            self._ref[node] = 0
+        else:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._ref.append(0)
+        table[key] = node
+        self._ref[low] += 1
+        self._ref[high] += 1
+        return node
+
+    def ref(self, u: int) -> int:
+        """Take an external reference on ``u``; returns ``u``."""
+        self._ref[u] += 1
+        return u
+
+    def deref(self, u: int) -> None:
+        """Release an external reference on ``u`` (no immediate free)."""
+        if self._ref[u] <= 0:
+            raise BDDError(f"reference underflow on node {u}")
+        self._ref[u] -= 1
+
+    def _deref_cascade(self, u: int) -> None:
+        """Drop a reference and eagerly free the node if it died."""
+        self._ref[u] -= 1
+        if self._ref[u] == 0 and u > ONE:
+            self._free_node(u)
+
+    def _free_node(self, u: int) -> None:
+        var, low, high = self._var[u], self._low[u], self._high[u]
+        del self._unique[var][(low, high)]
+        self._var[u] = self._TERMINAL_VAR
+        self._low[u] = -1
+        self._high[u] = -1
+        self._free.append(u)
+        self._deref_cascade(low)
+        self._deref_cascade(high)
+
+    def live_nodes(self) -> int:
+        """Number of nodes currently stored in the unique tables (plus 2)."""
+        return 2 + sum(len(table) for table in self._unique)
+
+    def collect_garbage(self) -> int:
+        """Free every node not reachable from a referenced node.
+
+        Must only be called at a safe point (never while an operation is in
+        progress).  Clears the operation cache.  Returns the number of nodes
+        freed.
+        """
+        self._cache.clear()
+        before = len(self._free)
+        # Cascading frees make this a single scan: any node whose references
+        # all come from dead ancestors is freed when the last ancestor is.
+        dead = [u for u in range(2, len(self._var))
+                if self._ref[u] == 0 and self._var[u] >= 0]
+        for u in dead:
+            if self._ref[u] == 0 and self._var[u] >= 0:
+                self._free_node(u)
+        self.gc_count += 1
+        return len(self._free) - before
+
+    def checkpoint(self) -> None:
+        """Safe point hook: garbage collect and maybe reorder."""
+        live = self.live_nodes()
+        if live > self.peak_live_nodes:
+            self.peak_live_nodes = live
+        if self.auto_reorder and live > self.reorder_threshold:
+            self.collect_garbage()
+            from .reorder import sift
+            sift(self)
+            self.reorder_threshold = max(self.reorder_threshold,
+                                         2 * self.live_nodes())
+            self.reorder_count += 1
+            for hook in self.reorder_hooks:
+                hook(self)
+
+    # ------------------------------------------------------------------
+    # Constants and literals
+    # ------------------------------------------------------------------
+
+    def var_node(self, var) -> int:
+        """Node id of the positive literal of ``var``."""
+        return self._mk(self.var_index(var), ZERO, ONE)
+
+    def nvar_node(self, var) -> int:
+        """Node id of the negative literal of ``var``."""
+        return self._mk(self.var_index(var), ONE, ZERO)
+
+    # ------------------------------------------------------------------
+    # Core operations (node-id level)
+    # ------------------------------------------------------------------
+
+    def apply_not(self, u: int) -> int:
+        if u == ZERO:
+            return ONE
+        if u == ONE:
+            return ZERO
+        key = ("not", u)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._mk(self._var[u],
+                          self.apply_not(self._low[u]),
+                          self.apply_not(self._high[u]))
+        self._cache[key] = result
+        return result
+
+    def apply_and(self, u: int, v: int) -> int:
+        if u == ZERO or v == ZERO:
+            return ZERO
+        if u == ONE:
+            return v
+        if v == ONE or u == v:
+            return u
+        if u > v:
+            u, v = v, u
+        key = ("and", u, v)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ulvl, vlvl = self._level(u), self._level(v)
+        if ulvl <= vlvl:
+            var, u0, u1 = self._var[u], self._low[u], self._high[u]
+        else:
+            var, u0, u1 = self._var[v], u, u
+        if vlvl <= ulvl:
+            v0, v1 = self._low[v], self._high[v]
+        else:
+            v0, v1 = v, v
+        if ulvl > vlvl:
+            u0, u1 = u, u
+        result = self._mk(var, self.apply_and(u0, v0), self.apply_and(u1, v1))
+        self._cache[key] = result
+        return result
+
+    def apply_or(self, u: int, v: int) -> int:
+        if u == ONE or v == ONE:
+            return ONE
+        if u == ZERO:
+            return v
+        if v == ZERO or u == v:
+            return u
+        if u > v:
+            u, v = v, u
+        key = ("or", u, v)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ulvl, vlvl = self._level(u), self._level(v)
+        if ulvl <= vlvl:
+            var, u0, u1 = self._var[u], self._low[u], self._high[u]
+        else:
+            var, u0, u1 = self._var[v], u, u
+        if vlvl <= ulvl:
+            v0, v1 = self._low[v], self._high[v]
+        else:
+            v0, v1 = v, v
+        result = self._mk(var, self.apply_or(u0, v0), self.apply_or(u1, v1))
+        self._cache[key] = result
+        return result
+
+    def apply_xor(self, u: int, v: int) -> int:
+        if u == v:
+            return ZERO
+        if u == ZERO:
+            return v
+        if v == ZERO:
+            return u
+        if u == ONE:
+            return self.apply_not(v)
+        if v == ONE:
+            return self.apply_not(u)
+        if u > v:
+            u, v = v, u
+        key = ("xor", u, v)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ulvl, vlvl = self._level(u), self._level(v)
+        if ulvl <= vlvl:
+            var, u0, u1 = self._var[u], self._low[u], self._high[u]
+        else:
+            var, u0, u1 = self._var[v], u, u
+        if vlvl <= ulvl:
+            v0, v1 = self._low[v], self._high[v]
+        else:
+            v0, v1 = v, v
+        result = self._mk(var, self.apply_xor(u0, v0), self.apply_xor(u1, v1))
+        self._cache[key] = result
+        return result
+
+    def apply_diff(self, u: int, v: int) -> int:
+        """``u AND NOT v``."""
+        return self.apply_and(u, self.apply_not(v))
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f*g + !f*h``."""
+        if f == ONE:
+            return g
+        if f == ZERO:
+            return h
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        if g == ZERO and h == ONE:
+            return self.apply_not(f)
+        key = ("ite", f, g, h)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level(f), self._level(g), self._level(h))
+        var = self._level2var[level]
+        f0, f1 = self._cofactors_at(f, level)
+        g0, g1 = self._cofactors_at(g, level)
+        h0, h1 = self._cofactors_at(h, level)
+        result = self._mk(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._cache[key] = result
+        return result
+
+    def _cofactors_at(self, u: int, level: int) -> Tuple[int, int]:
+        if self._level(u) == level:
+            return self._low[u], self._high[u]
+        return u, u
+
+    # ------------------------------------------------------------------
+    # Quantification and relational product
+    # ------------------------------------------------------------------
+
+    def _intern_vars(self, variables: Iterable) -> FrozenSet[int]:
+        fset = frozenset(self.var_index(v) for v in variables)
+        return self._interned_sets.setdefault(fset, fset)
+
+    def exists(self, u: int, variables: Iterable) -> int:
+        """Existential quantification of ``variables`` out of ``u``."""
+        qvars = self._intern_vars(variables)
+        if not qvars:
+            return u
+        return self._exists(u, qvars)
+
+    def _exists(self, u: int, qvars: FrozenSet[int]) -> int:
+        if u <= ONE:
+            return u
+        var = self._var[u]
+        key = ("ex", u, qvars)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        low, high = self._low[u], self._high[u]
+        if var in qvars:
+            result = self.apply_or(self._exists(low, qvars),
+                                   self._exists(high, qvars))
+        else:
+            result = self._mk(var, self._exists(low, qvars),
+                              self._exists(high, qvars))
+        self._cache[key] = result
+        return result
+
+    def forall(self, u: int, variables: Iterable) -> int:
+        """Universal quantification: ``NOT exists(NOT u)``."""
+        return self.apply_not(self.exists(self.apply_not(u), variables))
+
+    def and_exists(self, u: int, v: int, variables: Iterable) -> int:
+        """Relational product ``exists(variables, u AND v)`` in one pass."""
+        qvars = self._intern_vars(variables)
+        return self._and_exists(u, v, qvars)
+
+    def _and_exists(self, u: int, v: int, qvars: FrozenSet[int]) -> int:
+        if u == ZERO or v == ZERO:
+            return ZERO
+        if u == ONE and v == ONE:
+            return ONE
+        if u == ONE:
+            return self._exists(v, qvars)
+        if v == ONE or u == v:
+            return self._exists(u, qvars)
+        if u > v:
+            u, v = v, u
+        key = ("ae", u, v, qvars)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ulvl, vlvl = self._level(u), self._level(v)
+        level = min(ulvl, vlvl)
+        var = self._level2var[level]
+        u0, u1 = self._cofactors_at(u, level)
+        v0, v1 = self._cofactors_at(v, level)
+        if var in qvars:
+            r0 = self._and_exists(u0, v0, qvars)
+            if r0 == ONE:
+                result = ONE
+            else:
+                result = self.apply_or(r0, self._and_exists(u1, v1, qvars))
+        else:
+            result = self._mk(var, self._and_exists(u0, v0, qvars),
+                              self._and_exists(u1, v1, qvars))
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Cofactor, rename, toggle, compose
+    # ------------------------------------------------------------------
+
+    def cube(self, assignment: Dict) -> int:
+        """Build the conjunction of literals from ``{var: bool}``."""
+        result = ONE
+        items = sorted(((self.var_index(v), bool(val))
+                        for v, val in assignment.items()),
+                       key=lambda item: -self._var2level[item[0]])
+        for var, value in items:
+            if value:
+                result = self._mk(var, ZERO, result)
+            else:
+                result = self._mk(var, result, ZERO)
+        return result
+
+    def cofactor(self, u: int, assignment: Dict) -> int:
+        """Restrict ``u`` by the partial assignment ``{var: bool}``."""
+        values = {self.var_index(v): bool(val)
+                  for v, val in assignment.items()}
+        if not values:
+            return u
+        key_vals = tuple(sorted(values.items()))
+        return self._cofactor(u, values, key_vals)
+
+    def _cofactor(self, u: int, values: Dict[int, bool], key_vals) -> int:
+        if u <= ONE:
+            return u
+        var = self._var[u]
+        key = ("cof", u, key_vals)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if var in values:
+            child = self._high[u] if values[var] else self._low[u]
+            result = self._cofactor(child, values, key_vals)
+        else:
+            result = self._mk(var,
+                              self._cofactor(self._low[u], values, key_vals),
+                              self._cofactor(self._high[u], values, key_vals))
+        self._cache[key] = result
+        return result
+
+    def rename(self, u: int, mapping: Dict) -> int:
+        """Rename variables of ``u`` according to ``{old: new}``.
+
+        The mapping must be level-monotone on the support of ``u``: the
+        relative order of the renamed variables must match the relative
+        order of the originals.  This is sufficient for the symbolic image
+        computations in this package, where current/next variables are
+        interleaved.  A non-monotone mapping raises :class:`BDDError`.
+        """
+        varmap = {self.var_index(old): self.var_index(new)
+                  for old, new in mapping.items()}
+        support = self.support(u)
+        pairs = sorted(
+            ((self._var2level[v], self._var2level[varmap.get(v, v)])
+             for v in support),
+            key=lambda pair: pair[0])
+        new_levels = [dst for _, dst in pairs]
+        if any(b <= a for a, b in zip(new_levels, new_levels[1:])):
+            raise BDDError("rename mapping is not monotone in the variable "
+                           f"order: {mapping!r}")
+        key_map = tuple(sorted(varmap.items()))
+        return self._rename(u, varmap, key_map)
+
+    def _rename(self, u: int, varmap: Dict[int, int], key_map) -> int:
+        if u <= ONE:
+            return u
+        key = ("ren", u, key_map)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var[u]
+        result = self._mk(varmap.get(var, var),
+                          self._rename(self._low[u], varmap, key_map),
+                          self._rename(self._high[u], varmap, key_map))
+        self._cache[key] = result
+        return result
+
+    def toggle(self, u: int, variables: Iterable) -> int:
+        """Substitute ``var -> NOT var`` for each variable.
+
+        This is the paper's Section 5.2 operation: firing a transition under
+        a Gray-style encoding amounts to toggling the variables whose codes
+        differ, which "interchanges the then and else arcs" of the affected
+        nodes.
+        """
+        tvars = self._intern_vars(variables)
+        if not tvars:
+            return u
+        return self._toggle(u, tvars)
+
+    def _toggle(self, u: int, tvars: FrozenSet[int]) -> int:
+        if u <= ONE:
+            return u
+        key = ("tog", u, tvars)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var[u]
+        low = self._toggle(self._low[u], tvars)
+        high = self._toggle(self._high[u], tvars)
+        if var in tvars:
+            result = self._mk(var, high, low)
+        else:
+            result = self._mk(var, low, high)
+        self._cache[key] = result
+        return result
+
+    def restrict_cm(self, u: int, care: int) -> int:
+        """Coudert-Madre generalized cofactor (sibling substitution).
+
+        Returns a function ``r`` with ``r AND care == u AND care`` that is
+        usually smaller than ``u``: branches outside the care set are
+        replaced by their siblings.  Used to simplify traversal frontiers
+        against the already-reached set.
+        """
+        if care == ZERO:
+            raise BDDError("care set must not be empty")
+        return self._restrict_cm(u, care)
+
+    def _restrict_cm(self, u: int, care: int) -> int:
+        if care == ONE or u <= ONE:
+            return u
+        key = ("rcm", u, care)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ulvl, clvl = self._level(u), self._level(care)
+        if clvl < ulvl:
+            # u does not depend on the care set's top variable.
+            result = self._restrict_cm(
+                u, self.apply_or(self._low[care], self._high[care]))
+        else:
+            var = self._var[u]
+            if ulvl < clvl:
+                c0 = c1 = care
+            else:
+                c0, c1 = self._low[care], self._high[care]
+            if c0 == ZERO:
+                result = self._restrict_cm(self._high[u], c1)
+            elif c1 == ZERO:
+                result = self._restrict_cm(self._low[u], c0)
+            else:
+                result = self._mk(var,
+                                  self._restrict_cm(self._low[u], c0),
+                                  self._restrict_cm(self._high[u], c1))
+        self._cache[key] = result
+        return result
+
+    def compose(self, u: int, var, g: int) -> int:
+        """Substitute function ``g`` for variable ``var`` in ``u``."""
+        index = self.var_index(var)
+        xg = self.apply_and(g, self._restrict1(u, index))
+        xng = self.apply_and(self.apply_not(g), self._restrict0(u, index))
+        return self.apply_or(xg, xng)
+
+    def _restrict0(self, u: int, var: int) -> int:
+        return self.cofactor(u, {var: False})
+
+    def _restrict1(self, u: int, var: int) -> int:
+        return self.cofactor(u, {var: True})
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def eval_node(self, u: int, assignment: Dict) -> bool:
+        """Evaluate ``u`` under a total assignment ``{var: bool}``."""
+        values = {self.var_index(v): bool(val)
+                  for v, val in assignment.items()}
+        while u > ONE:
+            u = self._high[u] if values[self._var[u]] else self._low[u]
+        return u == ONE
+
+    def support(self, u: int) -> FrozenSet[int]:
+        """Set of variables ``u`` depends on."""
+        seen = set()
+        variables = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node <= ONE or node in seen:
+                continue
+            seen.add(node)
+            variables.add(self._var[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return frozenset(variables)
+
+    def size(self, u: int) -> int:
+        """Number of nodes in the DAG rooted at ``u`` (including terminals)."""
+        seen = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node > ONE:
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        return len(seen)
+
+    def size_many(self, roots: Iterable[int]) -> int:
+        """Number of distinct nodes in the DAG spanned by several roots."""
+        seen = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node > ONE:
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        return len(seen)
+
+    def satcount(self, u: int, nvars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables."""
+        if nvars is None:
+            nvars = self.num_vars
+        if nvars < len(self.support(u)):
+            raise BDDError("nvars smaller than support size")
+        bottom = len(self._var2level)
+        memo: Dict[int, int] = {ZERO: 0, ONE: 1}
+
+        def count(node: int) -> int:
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level = self._level(node)
+            low, high = self._low[node], self._high[node]
+            total = (count(low) * (1 << (self._level(low) - level - 1)) +
+                     count(high) * (1 << (self._level(high) - level - 1)))
+            memo[node] = total
+            return total
+
+        # Count over the full variable order, then rescale to nvars.
+        full = count(u) * (1 << self._level(u))
+        if nvars >= bottom:
+            return full << (nvars - bottom)
+        return full >> (bottom - nvars)
+
+    def sat_one(self, u: int) -> Optional[Dict[int, bool]]:
+        """One satisfying partial assignment, or None if ``u`` is ZERO."""
+        if u == ZERO:
+            return None
+        cube: Dict[int, bool] = {}
+        while u > ONE:
+            if self._low[u] != ZERO:
+                cube[self._var[u]] = False
+                u = self._low[u]
+            else:
+                cube[self._var[u]] = True
+                u = self._high[u]
+        return cube
+
+    def iter_cubes(self, u: int) -> Iterator[Dict[int, bool]]:
+        """Iterate over the cubes (partial assignments) of ``u``."""
+        if u == ZERO:
+            return
+        if u == ONE:
+            yield {}
+            return
+        var = self._var[u]
+        for value, child in ((False, self._low[u]), (True, self._high[u])):
+            for sub in self.iter_cubes(child):
+                cube = {var: value}
+                cube.update(sub)
+                yield cube
+
+    def iter_minterms(self, u: int,
+                      variables: Optional[List[int]] = None
+                      ) -> Iterator[Dict[int, bool]]:
+        """Iterate over total assignments (over ``variables``) satisfying u."""
+        if variables is None:
+            variables = list(range(self.num_vars))
+        variables = [self.var_index(v) for v in variables]
+
+        def expand(cube: Dict[int, bool], remaining: List[int]
+                   ) -> Iterator[Dict[int, bool]]:
+            if not remaining:
+                yield dict(cube)
+                return
+            var = remaining[0]
+            rest = remaining[1:]
+            if var in cube:
+                yield from expand(cube, rest)
+            else:
+                for value in (False, True):
+                    cube[var] = value
+                    yield from expand(cube, rest)
+                del cube[var]
+
+        for cube in self.iter_cubes(u):
+            missing = [v for v in variables]
+            yield from expand(dict(cube), missing)
+
+    # ------------------------------------------------------------------
+    # Reordering support (used by repro.bdd.reorder)
+    # ------------------------------------------------------------------
+
+    def swap_levels(self, level: int) -> None:
+        """Exchange the variables at ``level`` and ``level + 1`` in place.
+
+        Implements Rudell's adjacent-variable swap: every node labeled with
+        the upper variable that references the lower variable is rewritten
+        in place, preserving node ids (and therefore external references).
+        Must be called at a safe point; the operation cache is cleared.
+        """
+        if not 0 <= level < len(self._level2var) - 1:
+            raise BDDError(f"cannot swap level {level}")
+        self._cache.clear()
+        upper = self._level2var[level]
+        lower = self._level2var[level + 1]
+        upper_table = self._unique[upper]
+        lower_var = lower
+
+        for (f0, f1), node in list(upper_table.items()):
+            f0_is_lower = self._var[f0] == lower_var
+            f1_is_lower = self._var[f1] == lower_var
+            if not f0_is_lower and not f1_is_lower:
+                continue
+            if f0_is_lower:
+                f00, f01 = self._low[f0], self._high[f0]
+            else:
+                f00 = f01 = f0
+            if f1_is_lower:
+                f10, f11 = self._low[f1], self._high[f1]
+            else:
+                f10 = f11 = f1
+            new_low = self._mk(upper, f00, f10)
+            new_high = self._mk(upper, f01, f11)
+            self._ref[new_low] += 1
+            self._ref[new_high] += 1
+            del upper_table[(f0, f1)]
+            self._var[node] = lower_var
+            self._low[node] = new_low
+            self._high[node] = new_high
+            existing = self._unique[lower_var].get((new_low, new_high))
+            if existing is not None:
+                raise BDDError("canonicity violation during swap")
+            self._unique[lower_var][(new_low, new_high)] = node
+            self._deref_cascade(f0)
+            self._deref_cascade(f1)
+
+        self._level2var[level] = lower
+        self._level2var[level + 1] = upper
+        self._var2level[lower] = level
+        self._var2level[upper] = level + 1
+
+    def set_order(self, names_or_vars: Iterable) -> None:
+        """Reorder variables to the given top-to-bottom sequence."""
+        target = [self.var_index(v) for v in names_or_vars]
+        if sorted(target) != list(range(self.num_vars)):
+            raise BDDError("set_order requires a permutation of all variables")
+        self.collect_garbage()
+        # Selection-sort by repeated adjacent swaps (bubble the right
+        # variable up to each level in turn).
+        for level, var in enumerate(target):
+            current = self._var2level[var]
+            while current > level:
+                self.swap_levels(current - 1)
+                current -= 1
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def assert_consistent(self) -> None:
+        """Validate internal invariants (for tests); raises on violation."""
+        for var, table in enumerate(self._unique):
+            for (low, high), node in table.items():
+                if self._var[node] != var:
+                    raise BDDError(f"node {node} var mismatch")
+                if self._low[node] != low or self._high[node] != high:
+                    raise BDDError(f"node {node} key mismatch")
+                if low == high:
+                    raise BDDError(f"node {node} is redundant")
+                for child in (low, high):
+                    if child > ONE and self._var[child] < 0:
+                        raise BDDError(f"node {node} references freed child")
+                    if child > ONE and (self._var2level[self._var[child]]
+                                        <= self._var2level[var]):
+                        raise BDDError(f"node {node} violates ordering")
+        # Reference counts: recompute from tables.
+        counts = [0] * len(self._var)
+        for table in self._unique:
+            for (low, high) in table:
+                counts[low] += 1
+                counts[high] += 1
+        for u in range(2, len(self._var)):
+            if self._var[u] < 0:
+                continue
+            if counts[u] > self._ref[u]:
+                raise BDDError(f"node {u} undercounted refs "
+                               f"({counts[u]} > {self._ref[u]})")
+
+    def __repr__(self) -> str:
+        return (f"<BDD vars={self.num_vars} live_nodes={self.live_nodes()} "
+                f"order={self.order()!r}>")

@@ -1,0 +1,352 @@
+"""Zero-suppressed decision diagrams (Minato, 1993).
+
+ZDDs represent families of sets compactly when most elements are absent
+from most sets — exactly the sparsity of one-variable-per-place Petri-net
+markings, which is why Yoneda et al. proposed them as the baseline the
+paper compares against (Table 4).
+
+Terminals: ``EMPTY = 0`` is the empty family and ``BASE = 1`` is the family
+containing only the empty set.  The reduction rule differs from BDDs: a
+node whose *high* child is ``EMPTY`` is suppressed (replaced by its low
+child), so elements absent from a set cost no nodes.
+
+This manager is deliberately simpler than :class:`repro.bdd.manager.BDD`:
+no reference counting, garbage collection or reordering — the sparse-ZDD
+baseline in the paper uses a fixed variable order (one level per place).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+EMPTY = 0
+BASE = 1
+
+
+class ZDDError(Exception):
+    """Raised for invalid ZDD operations."""
+
+
+class ZDD:
+    """A ZDD manager over a fixed universe of elements."""
+
+    _TERMINAL_VAR = -1
+
+    def __init__(self, var_names: Optional[Iterable[str]] = None) -> None:
+        self._var: List[int] = [self._TERMINAL_VAR, self._TERMINAL_VAR]
+        self._low: List[int] = [EMPTY, BASE]
+        self._high: List[int] = [EMPTY, BASE]
+        self._unique: List[Dict[Tuple[int, int], int]] = []
+        self._names: List[str] = []
+        self._name2var: Dict[str, int] = {}
+        self._cache: Dict[tuple, int] = {}
+        if var_names is not None:
+            for name in var_names:
+                self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared elements."""
+        return len(self._names)
+
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Declare a new element below all existing ones; returns its index.
+
+        The element index is also its level: element 0 is at the top.
+        """
+        var = len(self._names)
+        if name is None:
+            name = f"e{var}"
+        if name in self._name2var:
+            raise ZDDError(f"duplicate element name: {name!r}")
+        self._names.append(name)
+        self._name2var[name] = var
+        self._unique.append({})
+        return var
+
+    def var_index(self, var) -> int:
+        """Normalize an element reference (index or name) to an index."""
+        if isinstance(var, str):
+            try:
+                return self._name2var[var]
+            except KeyError:
+                raise ZDDError(f"unknown element name: {var!r}") from None
+        index = int(var)
+        if not 0 <= index < self.num_vars:
+            raise ZDDError(f"element index out of range: {index}")
+        return index
+
+    def var_name(self, var: int) -> str:
+        """Name of element ``var``."""
+        return self._names[self.var_index(var)]
+
+    def _level(self, u: int) -> int:
+        var = self._var[u]
+        if var < 0:
+            return len(self._names)
+        return var
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if high == EMPTY:
+            return low
+        table = self._unique[var]
+        key = (low, high)
+        node = table.get(key)
+        if node is not None:
+            return node
+        node = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        table[key] = node
+        return node
+
+    def clear_cache(self) -> None:
+        """Drop the operation cache (nodes are never freed)."""
+        self._cache.clear()
+
+    def total_nodes(self) -> int:
+        """Total nodes ever created (plus the 2 terminals)."""
+        return len(self._var)
+
+    # ------------------------------------------------------------------
+    # Family construction
+    # ------------------------------------------------------------------
+
+    def empty(self) -> int:
+        """The empty family."""
+        return EMPTY
+
+    def base(self) -> int:
+        """The family containing only the empty set."""
+        return BASE
+
+    def singleton(self, elements: Iterable) -> int:
+        """The family containing exactly one set with the given elements."""
+        members = sorted({self.var_index(e) for e in elements}, reverse=True)
+        node = BASE
+        for var in members:
+            node = self._mk(var, EMPTY, node)
+        return node
+
+    def from_sets(self, family: Iterable[Iterable]) -> int:
+        """Build a ZDD from an iterable of sets of elements."""
+        node = EMPTY
+        for members in family:
+            node = self.union(node, self.singleton(members))
+        return node
+
+    def to_sets(self, u: int) -> List[FrozenSet[str]]:
+        """Enumerate the family as a list of frozensets of element names."""
+        return [frozenset(self._names[v] for v in members)
+                for members in self.iter_sets(u)]
+
+    def iter_sets(self, u: int) -> Iterator[FrozenSet[int]]:
+        """Iterate the sets of the family as frozensets of element indices."""
+        if u == EMPTY:
+            return
+        if u == BASE:
+            yield frozenset()
+            return
+        var = self._var[u]
+        yield from self.iter_sets(self._low[u])
+        for members in self.iter_sets(self._high[u]):
+            yield members | {var}
+
+    # ------------------------------------------------------------------
+    # Set-family algebra
+    # ------------------------------------------------------------------
+
+    def union(self, u: int, v: int) -> int:
+        if u == EMPTY:
+            return v
+        if v == EMPTY or u == v:
+            return u
+        if u > v:
+            u, v = v, u
+        key = ("u", u, v)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ulvl, vlvl = self._level(u), self._level(v)
+        if ulvl < vlvl:
+            result = self._mk(self._var[u],
+                              self.union(self._low[u], v), self._high[u])
+        elif vlvl < ulvl:
+            result = self._mk(self._var[v],
+                              self.union(u, self._low[v]), self._high[v])
+        else:
+            result = self._mk(self._var[u],
+                              self.union(self._low[u], self._low[v]),
+                              self.union(self._high[u], self._high[v]))
+        self._cache[key] = result
+        return result
+
+    def intersect(self, u: int, v: int) -> int:
+        if u == EMPTY or v == EMPTY:
+            return EMPTY
+        if u == v:
+            return u
+        if u > v:
+            u, v = v, u
+        key = ("i", u, v)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ulvl, vlvl = self._level(u), self._level(v)
+        if ulvl < vlvl:
+            result = self.intersect(self._low[u], v)
+        elif vlvl < ulvl:
+            result = self.intersect(u, self._low[v])
+        else:
+            result = self._mk(self._var[u],
+                              self.intersect(self._low[u], self._low[v]),
+                              self.intersect(self._high[u], self._high[v]))
+        self._cache[key] = result
+        return result
+
+    def diff(self, u: int, v: int) -> int:
+        if u == EMPTY or u == v:
+            return EMPTY
+        if v == EMPTY:
+            return u
+        key = ("d", u, v)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ulvl, vlvl = self._level(u), self._level(v)
+        if ulvl < vlvl:
+            result = self._mk(self._var[u],
+                              self.diff(self._low[u], v), self._high[u])
+        elif vlvl < ulvl:
+            result = self.diff(u, self._low[v])
+        else:
+            result = self._mk(self._var[u],
+                              self.diff(self._low[u], self._low[v]),
+                              self.diff(self._high[u], self._high[v]))
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Element operations (the Petri-net firing primitives)
+    # ------------------------------------------------------------------
+
+    def subset1(self, u: int, var) -> int:
+        """Sets containing ``var``, with ``var`` removed from each."""
+        target = self.var_index(var)
+        return self._subset1(u, target)
+
+    def _subset1(self, u: int, target: int) -> int:
+        if u <= BASE or self._level(u) > target:
+            return EMPTY
+        if self._var[u] == target:
+            return self._high[u]
+        key = ("s1", u, target)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._mk(self._var[u],
+                          self._subset1(self._low[u], target),
+                          self._subset1(self._high[u], target))
+        self._cache[key] = result
+        return result
+
+    def subset0(self, u: int, var) -> int:
+        """Sets not containing ``var``."""
+        target = self.var_index(var)
+        return self._subset0(u, target)
+
+    def _subset0(self, u: int, target: int) -> int:
+        if u <= BASE or self._level(u) > target:
+            return u
+        if self._var[u] == target:
+            return self._low[u]
+        key = ("s0", u, target)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._mk(self._var[u],
+                          self._subset0(self._low[u], target),
+                          self._subset0(self._high[u], target))
+        self._cache[key] = result
+        return result
+
+    def change(self, u: int, var) -> int:
+        """Toggle membership of ``var`` in every set of the family."""
+        target = self.var_index(var)
+        return self._change(u, target)
+
+    def _change(self, u: int, target: int) -> int:
+        if u == EMPTY:
+            return EMPTY
+        level = self._level(u)
+        if level > target:
+            return self._mk(target, EMPTY, u)
+        if self._var[u] == target:
+            return self._mk(target, self._high[u], self._low[u])
+        key = ("ch", u, target)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._mk(self._var[u],
+                          self._change(self._low[u], target),
+                          self._change(self._high[u], target))
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def count(self, u: int) -> int:
+        """Number of sets in the family."""
+        memo: Dict[int, int] = {EMPTY: 0, BASE: 1}
+
+        def rec(node: int) -> int:
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            total = rec(self._low[node]) + rec(self._high[node])
+            memo[node] = total
+            return total
+
+        return rec(u)
+
+    def size(self, u: int) -> int:
+        """Number of nodes in the DAG rooted at ``u`` (incl. terminals)."""
+        seen = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node > BASE:
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        return len(seen)
+
+    def contains(self, u: int, members: Iterable) -> bool:
+        """Membership test for one set."""
+        want = sorted({self.var_index(e) for e in members})
+        node = u
+        for var in want:
+            while node > BASE and self._var[node] < var:
+                node = self._low[node]
+            if node <= BASE or self._var[node] != var:
+                return False
+            node = self._high[node]
+        while node > BASE:
+            node = self._low[node]
+        return node == BASE
+
+    def __repr__(self) -> str:
+        return f"<ZDD elements={self.num_vars} nodes={self.total_nodes()}>"

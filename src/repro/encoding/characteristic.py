@@ -1,0 +1,74 @@
+"""Symbolic characteristic functions (Section 5.1).
+
+Builds, for a given encoding and BDD manager:
+
+* the place characteristic functions ``[p]`` of Eq. 4 (with the recursive
+  generalization for shared-code chains),
+* the transition enabling functions ``E_t`` of Eq. 5,
+* the encoded initial-state BDD.
+
+These are the raw ingredients of the symbolic traversal in
+:mod:`repro.symbolic`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..bdd import BDD, Function, cube, true
+from ..petri.marking import Marking
+from .scheme import Encoding
+
+
+def declare_variables(encoding: Encoding, bdd: BDD) -> None:
+    """Declare the encoding's variables (in its order) on a BDD manager."""
+    for name in encoding.variables:
+        bdd.add_var(name)
+
+
+def place_functions(encoding: Encoding, bdd: BDD) -> Dict[str, Function]:
+    """The characteristic function ``[p]`` of every place (Eq. 4).
+
+    ``[p]`` holds on an assignment iff the marking it encodes marks ``p``:
+    the owner component's variables spell ``p``'s code and no place
+    sharing that code is marked.
+    """
+    memo: Dict[str, Function] = {}
+
+    def build(place: str) -> Function:
+        cached = memo.get(place)
+        if cached is not None:
+            return cached
+        func = cube(bdd, dict(encoding.owner_code(place)))
+        for partner in encoding.partners(place):
+            func = func & ~build(partner)
+        memo[place] = func
+        return func
+
+    return {place: build(place) for place in encoding.net.places}
+
+
+def enabling_functions(encoding: Encoding, bdd: BDD,
+                       places: Dict[str, Function] = None
+                       ) -> Dict[str, Function]:
+    """The enabling function ``E_t`` of every transition (Eq. 5)."""
+    if places is None:
+        places = place_functions(encoding, bdd)
+    enabling: Dict[str, Function] = {}
+    for transition in encoding.net.transitions:
+        func = true(bdd)
+        for place in sorted(encoding.net.preset(transition)):
+            func = func & places[place]
+        enabling[transition] = func
+    return enabling
+
+
+def marking_function(encoding: Encoding, bdd: BDD,
+                     marking: Marking) -> Function:
+    """The BDD (a minterm) of one encoded marking."""
+    return cube(bdd, encoding.marking_to_assignment(marking))
+
+
+def initial_function(encoding: Encoding, bdd: BDD) -> Function:
+    """The encoded initial marking of the net."""
+    return marking_function(encoding, bdd, encoding.net.initial_marking)

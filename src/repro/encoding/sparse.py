@@ -1,0 +1,54 @@
+"""The conventional one-variable-per-place encoding (Section 2.3).
+
+Each place is a boolean variable asserted when the place is marked; a
+marking is the characteristic vector of its marked places.  This is the
+baseline the paper improves on: the state space is very sparse (a safe
+net marks few of its places), so the scheme wastes variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..petri.marking import Marking
+from ..petri.net import PetriNet
+from .scheme import Encoding, TransitionSpec, sparse_place_effects
+
+
+class SparseEncoding(Encoding):
+    """One boolean variable per place, named after the place."""
+
+    def __init__(self, net: PetriNet) -> None:
+        super().__init__(net)
+        self._variables = tuple(net.places)
+        self._specs: Dict[str, TransitionSpec] = {}
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self._variables
+
+    def owner_code(self, place: str) -> Tuple[Tuple[str, bool], ...]:
+        if place not in self.net.places:
+            raise KeyError(place)
+        return ((place, True),)
+
+    def partners(self, place: str) -> Tuple[str, ...]:
+        return ()
+
+    def transition_spec(self, transition: str) -> TransitionSpec:
+        spec = self._specs.get(transition)
+        if spec is None:
+            quantify, force, toggle = sparse_place_effects(
+                self.net.preset(transition), self.net.postset(transition),
+                frozenset())
+            spec = TransitionSpec(transition=transition,
+                                  quantify=tuple(quantify),
+                                  force=tuple(force),
+                                  toggle=tuple(toggle))
+            self._specs[transition] = spec
+        return spec
+
+    def marking_to_assignment(self, marking: Marking) -> Dict[str, bool]:
+        marking = Marking(marking)
+        assignment = {place: marking[place] > 0 for place in self.net.places}
+        return self._validate_assignment(marking, assignment)

@@ -1,0 +1,144 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Four questions, answered on the same mid-size instances:
+
+1. **Improved vs. covering-based vs. zero-var encoding** — how many
+   variables does each refinement save (Sections 4.2 / 4.4 / extension)?
+2. **Gray vs. arbitrary codes** — toggle activity per fired transition
+   (Section 5.2).
+3. **Quantify-force vs. toggle firing vs. relational image** — traversal
+   time of the three image implementations.
+4. **Dynamic reordering on/off** — final BDD size and time.
+
+Run with ``python -m repro.experiments.ablation``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
+from ..petri.generators import figure4_net, muller, slotted_ring
+from ..petri.smc import find_smcs
+from ..symbolic import (RelationalNet, SymbolicNet, traverse,
+                        traverse_relational)
+
+INSTANCES: List[Tuple[str, Callable[[], object]]] = [
+    ("figure4", figure4_net),
+    ("muller-6", lambda: muller(6)),
+    ("slot-3", lambda: slotted_ring(3)),
+]
+
+
+@dataclass
+class AblationRow:
+    """One measurement: instance x configuration."""
+
+    instance: str
+    configuration: str
+    value: float
+    unit: str
+
+
+def encoding_variable_ablation() -> List[AblationRow]:
+    """Variables used by each encoding refinement."""
+    rows = []
+    for name, factory in INSTANCES:
+        net = factory()
+        components = find_smcs(net)
+        for label, encoding in [
+                ("sparse", SparseEncoding(net)),
+                ("dense/covering", DenseEncoding(net,
+                                                 components=components)),
+                ("dense/improved", ImprovedEncoding(
+                    net, components=components)),
+                ("dense/zero-var", ImprovedEncoding(
+                    net, components=components,
+                    allow_zero_variable_components=True))]:
+            rows.append(AblationRow(name, label,
+                                    encoding.num_variables, "variables"))
+    return rows
+
+
+def gray_code_ablation() -> List[AblationRow]:
+    """Average toggled variables per fired transition, Gray vs. binary."""
+    rows = []
+    for name, factory in INSTANCES:
+        net = factory()
+        components = find_smcs(net)
+        for label, gray in (("gray", True), ("binary", False)):
+            encoding = ImprovedEncoding(net, components=components,
+                                        gray=gray)
+            toggles = [len(encoding.transition_spec(t).toggle)
+                       for t in net.transitions]
+            rows.append(AblationRow(
+                name, f"codes={label}",
+                sum(toggles) / len(toggles), "toggles/transition"))
+    return rows
+
+
+def image_implementation_ablation() -> List[AblationRow]:
+    """Traversal seconds: quantify-force vs. toggle vs. relational."""
+    rows = []
+    for name, factory in INSTANCES:
+        net = factory()
+        components = find_smcs(net)
+
+        def timed(run: Callable[[], object]) -> float:
+            start = time.perf_counter()
+            run()
+            return time.perf_counter() - start
+
+        rows.append(AblationRow(name, "image=quantify-force", timed(
+            lambda: traverse(SymbolicNet(
+                ImprovedEncoding(net, components=components)))), "s"))
+        rows.append(AblationRow(name, "image=toggle", timed(
+            lambda: traverse(SymbolicNet(
+                ImprovedEncoding(net, components=components)),
+                use_toggle=True)), "s"))
+        rows.append(AblationRow(name, "image=relational", timed(
+            lambda: traverse_relational(RelationalNet(
+                ImprovedEncoding(net, components=components)))), "s"))
+        rows.append(AblationRow(name, "image=rel-monolithic", timed(
+            lambda: traverse_relational(RelationalNet(
+                ImprovedEncoding(net, components=components)),
+                monolithic=True)), "s"))
+    return rows
+
+
+def reordering_ablation() -> List[AblationRow]:
+    """Final dense-BDD size with and without dynamic reordering."""
+    rows = []
+    for name, factory in INSTANCES:
+        net = factory()
+        components = find_smcs(net)
+        for label, reorder in (("reorder=on", True), ("reorder=off", False)):
+            symnet = SymbolicNet(
+                ImprovedEncoding(net, components=components),
+                auto_reorder=reorder, reorder_threshold=1_000)
+            result = traverse(symnet, use_toggle=True)
+            rows.append(AblationRow(name, label,
+                                    result.final_bdd_nodes, "BDD nodes"))
+    return rows
+
+
+def main() -> None:
+    sections: Dict[str, Callable[[], List[AblationRow]]] = {
+        "1. encoding refinements (variables)": encoding_variable_ablation,
+        "2. code assignment (toggle activity)": gray_code_ablation,
+        "3. image implementation (seconds)": image_implementation_ablation,
+        "4. dynamic reordering (final BDD nodes)": reordering_ablation,
+    }
+    for title, runner in sections.items():
+        print(title)
+        print("-" * len(title))
+        for row in runner():
+            print(f"  {row.instance:<10} {row.configuration:<24} "
+                  f"{row.value:>10.2f} {row.unit}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""Shared experiment machinery for the Section 6 reproductions.
+
+Runs one benchmark instance under a chosen engine and collects the
+columns the paper's tables report: number of boolean variables, reachable
+marking count, final decision-diagram size and CPU seconds.  Both BDD
+schemes run with dynamic variable reordering enabled, as in the paper
+("no special initial order has been used, while dynamic reordering has
+been applied at each iteration for both encoding schemes").
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..encoding import ImprovedEncoding, SparseEncoding
+from ..petri.net import PetriNet
+from ..petri.smc import find_smcs
+from ..symbolic import SymbolicNet, ZddNet, traverse, traverse_zdd
+
+
+@dataclass
+class ExperimentRow:
+    """One table row: an instance measured under one engine."""
+
+    instance: str
+    engine: str
+    markings: int
+    variables: int
+    nodes: int
+    seconds: float
+
+    def density(self) -> float:
+        """Optimal bits over used variables (Section 3)."""
+        bits = max(1, math.ceil(math.log2(self.markings)))
+        return bits / self.variables
+
+
+def full_scale() -> bool:
+    """Paper-scale sizes when ``REPRO_FULL`` is set (hours in pure
+    Python); harness-scale otherwise."""
+    return bool(os.environ.get("REPRO_FULL"))
+
+
+def run_sparse(name: str, net: PetriNet, reorder: bool = True,
+               reorder_threshold: int = 2_000,
+               use_toggle: bool = True) -> ExperimentRow:
+    """Sparse (one-variable-per-place) BDD traversal."""
+    symnet = SymbolicNet(SparseEncoding(net), auto_reorder=reorder,
+                         reorder_threshold=reorder_threshold)
+    result = traverse(symnet, use_toggle=use_toggle)
+    return ExperimentRow(instance=name, engine="sparse",
+                         markings=result.marking_count,
+                         variables=result.variable_count,
+                         nodes=result.final_bdd_nodes,
+                         seconds=result.seconds)
+
+
+def run_dense(name: str, net: PetriNet, reorder: bool = True,
+              reorder_threshold: int = 2_000,
+              use_toggle: bool = True,
+              smc_strategy: str = "auto",
+              encoding_factory: Optional[Callable] = None) -> ExperimentRow:
+    """Dense (improved SMC-based) BDD traversal.
+
+    The encoding time — SMC discovery plus code assignment — is included
+    in the reported seconds, as in the paper (where it is ~1 % of total).
+    """
+    start = time.perf_counter()
+    components = find_smcs(net, strategy=smc_strategy)
+    if encoding_factory is None:
+        encoding = ImprovedEncoding(net, components=components)
+    else:
+        encoding = encoding_factory(net, components)
+    encode_seconds = time.perf_counter() - start
+    symnet = SymbolicNet(encoding, auto_reorder=reorder,
+                         reorder_threshold=reorder_threshold)
+    result = traverse(symnet, use_toggle=use_toggle)
+    return ExperimentRow(instance=name, engine="dense",
+                         markings=result.marking_count,
+                         variables=result.variable_count,
+                         nodes=result.final_bdd_nodes,
+                         seconds=result.seconds + encode_seconds)
+
+
+def run_zdd(name: str, net: PetriNet) -> ExperimentRow:
+    """Sparse ZDD traversal (the Yoneda baseline of Table 4)."""
+    result = traverse_zdd(ZddNet(net))
+    return ExperimentRow(instance=name, engine="zdd",
+                         markings=result.marking_count,
+                         variables=result.variable_count,
+                         nodes=result.final_zdd_nodes,
+                         seconds=result.seconds)
+
+
+def format_table(title: str, rows: Sequence[ExperimentRow],
+                 engines: Sequence[str]) -> str:
+    """Render rows grouped by instance, paper-table style."""
+    by_instance: Dict[str, Dict[str, ExperimentRow]] = {}
+    order: List[str] = []
+    for row in rows:
+        if row.instance not in by_instance:
+            by_instance[row.instance] = {}
+            order.append(row.instance)
+        by_instance[row.instance][row.engine] = row
+
+    header = f"{'PN':<14}{'markings':>12}"
+    for engine in engines:
+        header += f"{engine + ' V':>10}{engine + ' nodes':>13}" \
+                  f"{engine + ' CPU':>12}"
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for instance in order:
+        cells = by_instance[instance]
+        any_row = next(iter(cells.values()))
+        line = f"{instance:<14}{any_row.markings:>12}"
+        for engine in engines:
+            row = cells.get(engine)
+            if row is None:
+                line += f"{'-':>10}{'-':>13}{'-':>12}"
+            else:
+                line += (f"{row.variables:>10}{row.nodes:>13}"
+                         f"{row.seconds:>11.2f}s")
+        lines.append(line)
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def compare_engines(rows: Sequence[ExperimentRow], base: str, other: str
+                    ) -> Dict[str, Dict[str, float]]:
+    """Per-instance ratios ``base / other`` for variables, nodes, time."""
+    by_instance: Dict[str, Dict[str, ExperimentRow]] = {}
+    for row in rows:
+        by_instance.setdefault(row.instance, {})[row.engine] = row
+    ratios: Dict[str, Dict[str, float]] = {}
+    for instance, cells in by_instance.items():
+        if base in cells and other in cells:
+            left, right = cells[base], cells[other]
+            ratios[instance] = {
+                "variables": left.variables / right.variables,
+                "nodes": left.nodes / right.nodes,
+                "seconds": (left.seconds / right.seconds
+                            if right.seconds > 0 else float("inf")),
+            }
+    return ratios

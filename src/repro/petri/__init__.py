@@ -1,0 +1,27 @@
+"""Petri-net substrate: nets, markings, structure theory, reachability.
+
+* :class:`PetriNet`, :class:`Marking` — the basic formalism (Section 2).
+* :mod:`repro.petri.incidence` — incidence matrix and state equation.
+* :mod:`repro.petri.invariants` — minimal semi-positive P-invariants
+  (Farkas elimination, exact arithmetic).
+* :mod:`repro.petri.smc` — State Machine Components (Theorem 2.1).
+* :class:`ReachabilityGraph` — explicit enumeration for cross-validation.
+* :mod:`repro.petri.generators` — the benchmark families of Section 6.
+"""
+
+from .marking import Marking
+from .net import PetriNet, PetriNetError
+from .reachability import (ReachabilityGraph, StateExplosion, UnsafeNet,
+                           assert_safe, count_reachable_markings,
+                           find_deadlock)
+from .smc import (StateMachineComponent, coverage, find_smcs,
+                  is_smc_decomposable, single_token_smcs, smc_from_places,
+                  smcs_from_invariants)
+
+__all__ = [
+    "PetriNet", "PetriNetError", "Marking",
+    "ReachabilityGraph", "StateExplosion", "UnsafeNet",
+    "count_reachable_markings", "assert_safe", "find_deadlock",
+    "StateMachineComponent", "smc_from_places", "smcs_from_invariants",
+    "single_token_smcs", "find_smcs", "coverage", "is_smc_decomposable",
+]

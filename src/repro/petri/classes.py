@@ -1,0 +1,104 @@
+"""Structural net classes (Section 2.2 context).
+
+The paper notes that "some classes of PNs are decomposable into SMCs
+[Hack 1972]" — the classic result being that live and safe *free-choice*
+nets are covered by strongly connected state-machine components.  This
+module provides the standard class tests used to predict whether the
+dense encoding will cover a net well:
+
+* state machines (every transition has one input and one output place),
+* marked graphs (every place has one input and one output transition),
+* free-choice and extended free-choice nets,
+* conflict clusters (the equal-conflict sets behind the definitions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from .net import PetriNet
+
+
+def is_state_machine(net: PetriNet) -> bool:
+    """Every transition has exactly one input and one output place."""
+    return net.is_state_machine()
+
+
+def is_marked_graph(net: PetriNet) -> bool:
+    """Every place has exactly one input and one output transition.
+
+    Marked graphs are the dual of state machines: no choice, only
+    concurrency.  Each place of a safe marked graph still forms trivial
+    SMC material only through its circuits.
+    """
+    return all(len(net.preset(p)) == 1 and len(net.postset(p)) == 1
+               for p in net.places)
+
+
+def is_free_choice(net: PetriNet) -> bool:
+    """Free choice: any two transitions sharing an input place have that
+    place as their *only* input.
+
+    Equivalent formulation: for every arc ``(p, t)``, either ``p`` is the
+    unique input of ``t`` or ``t`` is the unique output of ``p``.
+    """
+    for place in net.places:
+        outputs = net.postset(place)
+        if len(outputs) > 1:
+            for trans in outputs:
+                if net.preset(trans) != frozenset({place}):
+                    return False
+    return True
+
+
+def is_extended_free_choice(net: PetriNet) -> bool:
+    """Extended free choice: transitions sharing any input place have
+    identical presets."""
+    for place in net.places:
+        presets = [net.preset(t) for t in net.postset(place)]
+        if any(pre != presets[0] for pre in presets[1:]):
+            return False
+    return True
+
+
+def conflict_clusters(net: PetriNet) -> List[FrozenSet[str]]:
+    """Partition places and transitions into conflict clusters.
+
+    The cluster of a node is the smallest set closed under "place ->
+    its output transitions" and "transition -> its input places".
+    Clusters are where choices are resolved; free-choice nets have
+    particularly simple ones.
+    """
+    parent: Dict[str, str] = {}
+
+    def find(node: str) -> str:
+        root = node
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(node, node) != node:
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for place in net.places:
+        for trans in net.postset(place):
+            union(place, trans)
+    clusters: Dict[str, Set[str]] = {}
+    for node in list(net.places) + list(net.transitions):
+        clusters.setdefault(find(node), set()).add(node)
+    return sorted((frozenset(group) for group in clusters.values()),
+                  key=lambda g: sorted(g)[0])
+
+
+def classify(net: PetriNet) -> Dict[str, bool]:
+    """All class predicates at once (for reports and tooling)."""
+    return {
+        "state_machine": is_state_machine(net),
+        "marked_graph": is_marked_graph(net),
+        "free_choice": is_free_choice(net),
+        "extended_free_choice": is_extended_free_choice(net),
+    }

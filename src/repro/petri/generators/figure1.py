@@ -1,0 +1,53 @@
+"""The paper's running example (Figure 1).
+
+Seven places, seven transitions, eight reachable markings.  The incidence
+matrix is printed explicitly in Section 2.1, which pins the flow relation
+down exactly:
+
+* ``t1: p1 -> p2, p3``     * ``t5: p4 -> p6``
+* ``t2: p1 -> p4, p5``     * ``t6: p5 -> p7``
+* ``t3: p2 -> p6``         * ``t7: p6, p7 -> p1``
+* ``t4: p3 -> p7``
+
+The two minimal semi-positive P-invariants are ``I1 = {p1, p2, p4, p6}``
+and ``I2 = {p1, p3, p5, p7}``, each generating a single-token SMC
+(Figure 2.e).
+"""
+
+from __future__ import annotations
+
+from ..net import PetriNet
+
+# The eight reachable markings of Figure 1.b, as place supports.
+FIGURE1_MARKINGS = [
+    frozenset({"p1"}),
+    frozenset({"p2", "p3"}),
+    frozenset({"p4", "p5"}),
+    frozenset({"p6", "p3"}),
+    frozenset({"p2", "p7"}),
+    frozenset({"p6", "p5"}),
+    frozenset({"p4", "p7"}),
+    frozenset({"p6", "p7"}),
+]
+
+# The two SMCs of Figure 2.e.
+FIGURE1_SMC_PLACES = [
+    ("p1", "p2", "p4", "p6"),
+    ("p1", "p3", "p5", "p7"),
+]
+
+
+def figure1_net() -> PetriNet:
+    """Build the Figure 1 net with its initial marking ``{p1}``."""
+    net = PetriNet("figure1")
+    net.add_place("p1", tokens=1)
+    for name in ("p2", "p3", "p4", "p5", "p6", "p7"):
+        net.add_place(name)
+    net.add_transition("t1", pre=["p1"], post=["p2", "p3"])
+    net.add_transition("t2", pre=["p1"], post=["p4", "p5"])
+    net.add_transition("t3", pre=["p2"], post=["p6"])
+    net.add_transition("t4", pre=["p3"], post=["p7"])
+    net.add_transition("t5", pre=["p4"], post=["p6"])
+    net.add_transition("t6", pre=["p5"], post=["p7"])
+    net.add_transition("t7", pre=["p6", "p7"], post=["p1"])
+    return net

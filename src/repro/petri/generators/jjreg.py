@@ -1,0 +1,115 @@
+"""Register-control nets (the ``JJreg`` substitutes for Table 4).
+
+Yoneda's JJreg benchmarks are register control circuits (~250 places).
+This module rebuilds the same regime: a master-slave register whose
+control runs a four-phase handshake with the environment and whose data
+path has one master and one slave latch pair per bit, plus an input wire
+pair per bit.
+
+* ``variant="a"`` — input bits toggle freely and independently (a
+  parallel-load register): the input wires interleave with the whole
+  handshake and the reachability set is large (the paper's JJreg-a has
+  16x more markings than JJreg-b at nearly the same size).
+* ``variant="b"`` — input bits are driven by a Muller C-element ring (a
+  ring-counter-style source: bit ``j`` rises when bit ``j-1`` is high
+  and bit ``j+1`` low): the same net size, but only the ring's wavefront
+  patterns are reachable, cutting the marking count by orders of
+  magnitude.
+
+Every complementary pair is a single-token two-place SMC and the control
+cycle a four-place SMC, so the dense encoding halves the variable count
+(Table 4 reports 122/251 and 120/248).
+"""
+
+from __future__ import annotations
+
+from ..net import PetriNet
+
+
+def jj_register(variant: str = "a", bits: int = 40) -> PetriNet:
+    """Build a JJreg-style register control net.
+
+    Parameters
+    ----------
+    variant:
+        ``"a"`` (free-running parallel inputs) or ``"b"`` (chained serial
+        inputs: bit ``j`` follows bit ``j-1``).
+    bits:
+        Data-path width; the net has ``8 + 6 * bits`` places (the default
+        40 bits gives 248 places, the paper's JJreg regime).
+    """
+    if variant not in ("a", "b"):
+        raise ValueError(f"unknown variant {variant!r}")
+    if bits < 1:
+        raise ValueError("need at least one data bit")
+    net = PetriNet(f"jjreg-{variant}-{bits}")
+
+    # Controller cycle: idle -> capture -> pass -> done -> idle.
+    net.add_place("ctl_idle", tokens=1)
+    net.add_place("ctl_cap")
+    net.add_place("ctl_pass")
+    net.add_place("ctl_done")
+    # Four-phase request/acknowledge wires to the environment.
+    net.add_place("req_0", tokens=1)
+    net.add_place("req_1")
+    net.add_place("ack_0", tokens=1)
+    net.add_place("ack_1")
+
+    # Variant b drives the inputs from a C-element ring, which needs at
+    # least one high signal to oscillate and at least three signals to be
+    # non-degenerate (with two, a bit's left and right neighbour coincide
+    # and the ring freezes); smaller widths fall back to free inputs.
+    ring_inputs = variant == "b" and bits >= 3
+    high_inputs = {0} if ring_inputs else set()
+    for j in range(bits):
+        high = j in high_inputs
+        net.add_place(f"d{j}_0", tokens=0 if high else 1)  # input wire
+        net.add_place(f"d{j}_1", tokens=1 if high else 0)
+        net.add_place(f"m{j}_0", tokens=1)   # master latch
+        net.add_place(f"m{j}_1")
+        net.add_place(f"s{j}_0", tokens=1)   # slave latch
+        net.add_place(f"s{j}_1")
+
+    # Environment: four-phase handshake on req (observing ack).
+    net.add_transition("env_req_up", pre=["req_0", "ack_0"],
+                       post=["req_1", "ack_0"])
+    net.add_transition("env_req_down", pre=["req_1", "ack_1"],
+                       post=["req_0", "ack_1"])
+    # Controller.
+    net.add_transition("ctl_start", pre=["ctl_idle", "req_1"],
+                       post=["ctl_cap", "req_1"])
+    net.add_transition("ctl_captured", pre=["ctl_cap"], post=["ctl_pass"])
+    net.add_transition("ctl_ack_up", pre=["ctl_pass", "ack_0"],
+                       post=["ctl_done", "ack_1"])
+    net.add_transition("ctl_finish", pre=["ctl_done", "req_0", "ack_1"],
+                       post=["ctl_idle", "req_0", "ack_0"])
+
+    for j in range(bits):
+        # Input toggling: independent in variant a; a C-element ring in
+        # variant b (read arcs on the ring neighbours).
+        if ring_inputs:
+            prev, nxt = (j - 1) % bits, (j + 1) % bits
+            gate_up = [f"d{prev}_1", f"d{nxt}_0"]
+            gate_down = [f"d{prev}_0", f"d{nxt}_1"]
+        else:
+            gate_up = []
+            gate_down = []
+        net.add_transition(f"d{j}_up", pre=[f"d{j}_0"] + gate_up,
+                           post=[f"d{j}_1"] + gate_up)
+        net.add_transition(f"d{j}_down", pre=[f"d{j}_1"] + gate_down,
+                           post=[f"d{j}_0"] + gate_down)
+        # Master follows the input during the capture phase.
+        net.add_transition(f"m{j}_up",
+                           pre=[f"m{j}_0", f"d{j}_1", "ctl_cap"],
+                           post=[f"m{j}_1", f"d{j}_1", "ctl_cap"])
+        net.add_transition(f"m{j}_down",
+                           pre=[f"m{j}_1", f"d{j}_0", "ctl_cap"],
+                           post=[f"m{j}_0", f"d{j}_0", "ctl_cap"])
+        # Slave follows the master during the pass phase.
+        net.add_transition(f"s{j}_up",
+                           pre=[f"s{j}_0", f"m{j}_1", "ctl_pass"],
+                           post=[f"s{j}_1", f"m{j}_1", "ctl_pass"])
+        net.add_transition(f"s{j}_down",
+                           pre=[f"s{j}_1", f"m{j}_0", "ctl_pass"],
+                           post=[f"s{j}_0", f"m{j}_0", "ctl_pass"])
+    return net

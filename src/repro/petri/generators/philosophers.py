@@ -1,0 +1,126 @@
+"""Dining philosophers nets (Figure 4 and the scalable ``phil-n`` family).
+
+Each philosopher cycles through: go to the table (splitting into "needs
+right fork" and "needs left fork" conditions), take the right fork, take
+the left fork, start eating, and finally leave the forks and the table.
+Forks are shared places between ring neighbours.
+
+``philosophers(2)`` is exactly the paper's Figure 4 net (14 places, 10
+transitions, 22 reachable markings); :func:`figure4_net` additionally uses
+the paper's ``p1..p14`` / ``t1..t10`` names so the encodings of Tables 1
+and 2 can be checked literally.
+"""
+
+from __future__ import annotations
+
+from ..net import PetriNet
+
+# Paper numbering for two philosophers (Figure 4):
+#   philosopher 1: p1 idle, p2 needs-right, p3 needs-left, p6 has-right,
+#                  p7 has-left, p8 eating
+#   philosopher 2: p9 idle, p10 needs-right, p11 needs-left, p12 has-right,
+#                  p13 has-left, p14 eating
+#   forks: p4 (right of phil 1 = left of phil 2), p5 (left of phil 1 =
+#          right of phil 2)
+_FIG4_PLACES = {
+    (0, "idle"): "p1", (0, "need_r"): "p2", (0, "need_l"): "p3",
+    (0, "has_r"): "p6", (0, "has_l"): "p7", (0, "eating"): "p8",
+    (1, "idle"): "p9", (1, "need_r"): "p10", (1, "need_l"): "p11",
+    (1, "has_r"): "p12", (1, "has_l"): "p13", (1, "eating"): "p14",
+    ("fork", 0): "p4", ("fork", 1): "p5",
+}
+_FIG4_TRANSITIONS = {
+    (0, "go"): "t1", (0, "take_r"): "t2", (0, "take_l"): "t3",
+    (0, "eat"): "t4", (0, "leave"): "t5",
+    (1, "go"): "t6", (1, "take_r"): "t7", (1, "take_l"): "t8",
+    (1, "eat"): "t9", (1, "leave"): "t10",
+}
+
+
+def philosophers(count: int, paper_names: bool = False) -> PetriNet:
+    """The ``phil-count`` net: ``7 * count`` places, ``5 * count``
+    transitions.
+
+    Philosopher ``k`` uses fork ``k`` as its right fork and fork
+    ``(k + 1) % count`` as its left fork.
+
+    Parameters
+    ----------
+    count:
+        Number of philosophers (>= 2).
+    paper_names:
+        Use the paper's ``p1..p14``/``t1..t10`` names (requires
+        ``count == 2``).
+    """
+    if count < 2:
+        raise ValueError("need at least two philosophers")
+    if paper_names and count != 2:
+        raise ValueError("paper names only defined for two philosophers")
+
+    def place(key) -> str:
+        if paper_names:
+            return _FIG4_PLACES[key]
+        if key[0] == "fork":
+            return f"fork{key[1]}"
+        return f"ph{key[0]}_{key[1]}"
+
+    def trans(key) -> str:
+        if paper_names:
+            return _FIG4_TRANSITIONS[key]
+        return f"ph{key[0]}_{key[1]}"
+
+    net = PetriNet("figure4" if paper_names else f"phil-{count}")
+    for k in range(count):
+        net.add_place(place((k, "idle")), tokens=1)
+        for state in ("need_r", "need_l", "has_r", "has_l", "eating"):
+            net.add_place(place((k, state)))
+    for k in range(count):
+        net.add_place(place(("fork", k)), tokens=1)
+
+    for k in range(count):
+        right = place(("fork", k))
+        left = place(("fork", (k + 1) % count))
+        net.add_transition(trans((k, "go")),
+                           pre=[place((k, "idle"))],
+                           post=[place((k, "need_r")), place((k, "need_l"))])
+        net.add_transition(trans((k, "take_r")),
+                           pre=[place((k, "need_r")), right],
+                           post=[place((k, "has_r"))])
+        net.add_transition(trans((k, "take_l")),
+                           pre=[place((k, "need_l")), left],
+                           post=[place((k, "has_l"))])
+        net.add_transition(trans((k, "eat")),
+                           pre=[place((k, "has_r")), place((k, "has_l"))],
+                           post=[place((k, "eating"))])
+        net.add_transition(trans((k, "leave")),
+                           pre=[place((k, "eating"))],
+                           post=[place((k, "idle")), right, left])
+    return net
+
+
+def figure4_net() -> PetriNet:
+    """The paper's Figure 4 net with its exact place/transition names."""
+    net = philosophers(2, paper_names=True)
+    # Reorder place declarations to p1..p14 for tidy incidence matrices.
+    ordered = PetriNet("figure4")
+    initial = net.initial_marking
+    for i in range(1, 15):
+        name = f"p{i}"
+        ordered.add_place(name, tokens=initial[name])
+    for i in range(1, 11):
+        name = f"t{i}"
+        ordered.add_transition(name, pre=net.preset(name),
+                               post=net.postset(name))
+    return ordered
+
+
+# The SMC decomposition of Figure 3 (all six SMCs of the 2-philosopher
+# net), in the paper's place names.
+FIGURE3_SMC_PLACES = [
+    ("p1", "p2", "p6", "p8"),            # SM1
+    ("p1", "p3", "p7", "p8"),            # SM2
+    ("p9", "p10", "p12", "p14"),         # SM3
+    ("p9", "p11", "p13", "p14"),         # SM4
+    ("p4", "p6", "p8", "p13", "p14"),    # SM5 (fork p4)
+    ("p5", "p7", "p8", "p12", "p14"),    # SM6 (fork p5)
+]

@@ -1,0 +1,253 @@
+"""P-invariant computation (Section 2.2).
+
+A P-invariant is a rational solution of ``X^T C = 0``; semi-positive
+invariants (``X >= 0``, ``X != 0``) with minimal support generate all
+others, and by Theorem 2.1 the characteristic vector of a State Machine
+Component is such a minimal invariant.  This module enumerates minimal
+semi-positive invariants with the Farkas / Martinez-Silva elimination,
+using exact integer arithmetic so no invariant is ever lost or corrupted
+by floating point.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from .incidence import incidence_matrix
+from .net import PetriNet, PetriNetError
+
+
+class InvariantExplosion(PetriNetError):
+    """Raised when the Farkas elimination exceeds its row budget."""
+
+
+def _normalize(row: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Divide a row by the gcd of its entries."""
+    divisor = 0
+    for value in row:
+        divisor = gcd(divisor, abs(value))
+        if divisor == 1:
+            return row
+    if divisor <= 1:
+        return row
+    return tuple(value // divisor for value in row)
+
+
+def _support(row: Sequence[int], offset: int) -> FrozenSet[int]:
+    return frozenset(i for i, value in enumerate(row[offset:]) if value != 0)
+
+
+def _prune_supersets(rows: List[Tuple[int, ...]], offset: int
+                     ) -> List[Tuple[int, ...]]:
+    """Drop rows whose place-support strictly contains another row's.
+
+    Keeping only support-minimal rows between elimination steps is the
+    standard Martinez-Silva refinement: every *minimal* semi-positive
+    invariant survives, and the intermediate row sets stay small.
+    """
+    supports = [_support(row, offset) for row in rows]
+    keep = []
+    for i, row in enumerate(rows):
+        sup = supports[i]
+        dominated = False
+        for j, other in enumerate(supports):
+            if i == j:
+                continue
+            if other < sup:
+                dominated = True
+                break
+            if other == sup and j < i:
+                # Equal supports: keep the first representative only if the
+                # rows are proportional; otherwise keep both.
+                if _proportional(rows[i], rows[j]):
+                    dominated = True
+                    break
+        if not dominated:
+            keep.append(row)
+    return keep
+
+
+def _proportional(row_a: Sequence[int], row_b: Sequence[int]) -> bool:
+    ratio = None
+    for a, b in zip(row_a, row_b):
+        if a == 0 and b == 0:
+            continue
+        if a == 0 or b == 0:
+            return False
+        if ratio is None:
+            ratio = (a, b)
+        elif a * ratio[1] != b * ratio[0]:
+            return False
+    return True
+
+
+def minimal_semipositive_invariants(net: PetriNet,
+                                    max_rows: int = 50_000
+                                    ) -> List[Tuple[int, ...]]:
+    """All minimal semi-positive P-invariants of ``net``.
+
+    Returns integer weight vectors over ``net.places`` (gcd-normalized).
+    Raises :class:`InvariantExplosion` if the elimination working set
+    exceeds ``max_rows`` rows.
+    """
+    matrix = incidence_matrix(net)
+    num_places, num_transitions = matrix.shape
+    # Working rows are [C-part | identity-part], all exact Python ints.
+    rows: List[Tuple[int, ...]] = []
+    for i in range(num_places):
+        identity = [0] * num_places
+        identity[i] = 1
+        rows.append(tuple(int(x) for x in matrix[i]) + tuple(identity))
+
+    for col in range(num_transitions):
+        zeros = [row for row in rows if row[col] == 0]
+        pos = [row for row in rows if row[col] > 0]
+        neg = [row for row in rows if row[col] < 0]
+        combined: Dict[Tuple[int, ...], None] = {}
+        for row_p in pos:
+            for row_n in neg:
+                scale_p = -row_n[col]
+                scale_n = row_p[col]
+                new_row = _normalize(tuple(
+                    scale_p * a + scale_n * b
+                    for a, b in zip(row_p, row_n)))
+                combined[new_row] = None
+        rows = zeros + list(combined)
+        if len(rows) > max_rows:
+            raise InvariantExplosion(
+                f"Farkas elimination exceeded {max_rows} rows at "
+                f"transition column {col}")
+        rows = _prune_supersets(rows, num_transitions)
+
+    # All C-columns are now zero; extract the place weights.
+    invariants: Dict[Tuple[int, ...], None] = {}
+    for row in rows:
+        weights = _normalize(row[num_transitions:])
+        if any(w < 0 for w in weights):
+            continue
+        if all(w == 0 for w in weights):
+            continue
+        invariants[weights] = None
+
+    # Final support-minimality filter.
+    result = []
+    items = list(invariants)
+    supports = [_support(inv, 0) for inv in items]
+    for i, inv in enumerate(items):
+        if any(supports[j] < supports[i] for j in range(len(items)) if j != i):
+            continue
+        result.append(inv)
+    return result
+
+
+def is_semipositive_invariant(net: PetriNet,
+                              weights: Sequence[int]) -> bool:
+    """True iff ``weights >= 0``, nonzero, and ``weights @ C == 0``."""
+    if len(weights) != len(net.places):
+        raise ValueError("weight vector length must equal |P|")
+    if any(w < 0 for w in weights) or all(w == 0 for w in weights):
+        return False
+    matrix = incidence_matrix(net)
+    for col in range(matrix.shape[1]):
+        if sum(int(weights[i]) * int(matrix[i, col])
+               for i in range(matrix.shape[0])) != 0:
+            return False
+    return True
+
+
+def invariant_support(net: PetriNet,
+                      weights: Sequence[int]) -> Tuple[str, ...]:
+    """The places with positive weight, in net place order."""
+    return tuple(place for place, weight in zip(net.places, weights)
+                 if weight > 0)
+
+
+def invariant_token_sum(net: PetriNet, weights: Sequence[int]) -> int:
+    """Weighted token count of the initial marking (invariant over time)."""
+    initial = net.initial_marking
+    return sum(int(weight) * initial[place]
+               for place, weight in zip(net.places, weights))
+
+
+def structural_bound(net: PetriNet, place: str,
+                     invariants: Optional[List[Tuple[int, ...]]] = None
+                     ) -> Optional[int]:
+    """Structural token bound of ``place`` from P-invariants.
+
+    Any semi-positive invariant ``I`` with ``I(p) > 0`` bounds the count
+    of ``p`` by ``(I . M0) / I(p)`` in every reachable marking.  Returns
+    the tightest such bound, or None if no invariant covers the place
+    (the place is structurally unbounded as far as invariants can tell).
+    """
+    if place not in net.places:
+        raise PetriNetError(f"unknown place: {place!r}")
+    if invariants is None:
+        invariants = minimal_semipositive_invariants(net)
+    index = net.places.index(place)
+    best: Optional[int] = None
+    for weights in invariants:
+        if weights[index] <= 0:
+            continue
+        bound = invariant_token_sum(net, weights) // weights[index]
+        if best is None or bound < best:
+            best = bound
+    return best
+
+
+def is_structurally_safe(net: PetriNet,
+                         invariants: Optional[List[Tuple[int, ...]]] = None
+                         ) -> bool:
+    """True if P-invariants bound every place by one token.
+
+    A sufficient (not necessary) condition for safeness — exactly the
+    property the paper's encodings rely on when every place is covered
+    by a single-token SMC.
+    """
+    if invariants is None:
+        invariants = minimal_semipositive_invariants(net)
+    return all(structural_bound(net, place, invariants) == 1
+               for place in net.places)
+
+
+def minimal_semipositive_t_invariants(net: PetriNet,
+                                      max_rows: int = 50_000
+                                      ) -> List[Tuple[int, ...]]:
+    """All minimal semi-positive T-invariants of ``net``.
+
+    A T-invariant is a firing-count vector ``X >= 0`` with ``C X = 0``:
+    firing each transition ``X(t)`` times reproduces the starting
+    marking.  Computed by running the Farkas elimination on the
+    transposed incidence matrix (the exact dual of the P-invariant
+    case).  Returns integer weight vectors over ``net.transitions``.
+    """
+    transposed = _TransposedNet(net)
+    return minimal_semipositive_invariants(transposed, max_rows=max_rows)
+
+
+class _TransposedNet:
+    """Duck-typed view swapping the roles of places and transitions, so
+    the P-invariant elimination computes T-invariants."""
+
+    def __init__(self, net: PetriNet) -> None:
+        self._net = net
+        self.places = net.transitions
+        self.transitions = net.places
+
+    def preset(self, node: str):
+        return self._net.preset(node)
+
+    def postset(self, node: str):
+        return self._net.postset(node)
+
+
+def is_t_invariant(net: PetriNet, weights: Sequence[int]) -> bool:
+    """True iff firing transitions per ``weights`` has zero net effect."""
+    if len(weights) != len(net.transitions):
+        raise ValueError("weight vector length must equal |T|")
+    matrix = incidence_matrix(net)
+    for row in range(matrix.shape[0]):
+        if sum(int(weights[j]) * int(matrix[row, j])
+               for j in range(matrix.shape[1])) != 0:
+            return False
+    return True

@@ -1,0 +1,94 @@
+"""A small text exchange format for Petri nets (``.pnet``).
+
+Grammar (one directive per line, ``#`` starts a comment)::
+
+    net <name>
+    place <name> [<tokens>]
+    transition <name>
+    arc <source> <target>
+
+Declaration order of places and transitions is preserved, which matters
+because encodings and incidence matrices index nodes by that order.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from .net import PetriNet, PetriNetError
+
+
+class ParseError(PetriNetError):
+    """Raised on malformed ``.pnet`` input."""
+
+
+def dumps(net: PetriNet) -> str:
+    """Serialize a net to the ``.pnet`` text format."""
+    initial = net.initial_marking
+    out = io.StringIO()
+    out.write(f"net {net.name}\n")
+    for place in net.places:
+        tokens = initial[place]
+        if tokens:
+            out.write(f"place {place} {tokens}\n")
+        else:
+            out.write(f"place {place}\n")
+    for trans in net.transitions:
+        out.write(f"transition {trans}\n")
+    for source, target in net.arcs():
+        out.write(f"arc {source} {target}\n")
+    return out.getvalue()
+
+
+def loads(text: str) -> PetriNet:
+    """Parse a net from the ``.pnet`` text format."""
+    net = PetriNet()
+    seen_net_line = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        directive, args = fields[0], fields[1:]
+        try:
+            if directive == "net":
+                if len(args) != 1:
+                    raise ParseError("net takes exactly one name")
+                if seen_net_line:
+                    raise ParseError("duplicate net directive")
+                net.name = args[0]
+                seen_net_line = True
+            elif directive == "place":
+                if len(args) == 1:
+                    net.add_place(args[0])
+                elif len(args) == 2:
+                    net.add_place(args[0], int(args[1]))
+                else:
+                    raise ParseError("place takes a name and optional tokens")
+            elif directive == "transition":
+                if len(args) != 1:
+                    raise ParseError("transition takes exactly one name")
+                net.add_transition(args[0])
+            elif directive == "arc":
+                if len(args) != 2:
+                    raise ParseError("arc takes a source and a target")
+                net.add_arc(args[0], args[1])
+            else:
+                raise ParseError(f"unknown directive {directive!r}")
+        except (PetriNetError, ValueError) as exc:
+            raise ParseError(f"line {lineno}: {exc}") from exc
+    return net
+
+
+def save(net: PetriNet, path: Union[str, Path]) -> None:
+    """Write a net to a ``.pnet`` file."""
+    Path(path).write_text(dumps(net))
+
+
+def load(source: Union[str, Path, TextIO]) -> PetriNet:
+    """Read a net from a path or an open text stream."""
+    if hasattr(source, "read"):
+        return loads(source.read())
+    return loads(Path(source).read_text())

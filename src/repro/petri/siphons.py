@@ -1,0 +1,159 @@
+"""Siphons and traps: structural deadlock analysis.
+
+A *siphon* is a place set ``S`` with ``pre(S) \\subseteq post(S)``: once
+empty it stays empty, disabling every transition consuming from it.  A
+*trap* ``Q`` satisfies ``post(Q) \\subseteq pre(Q)``: once marked it stays
+marked.  The classic Commoner condition — every minimal siphon contains
+an initially marked trap — is sufficient for deadlock freedom of
+free-choice nets, and complements the paper's symbolic deadlock check
+with a purely structural one.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Set
+
+from .net import PetriNet, PetriNetError
+
+
+def _preset_of_set(net: PetriNet, places: Iterable[str]) -> Set[str]:
+    result: Set[str] = set()
+    for place in places:
+        result |= net.preset(place)
+    return result
+
+
+def _postset_of_set(net: PetriNet, places: Iterable[str]) -> Set[str]:
+    result: Set[str] = set()
+    for place in places:
+        result |= net.postset(place)
+    return result
+
+
+def is_siphon(net: PetriNet, places: Iterable[str]) -> bool:
+    """True iff the nonempty place set is a siphon."""
+    subset = set(places)
+    if not subset:
+        return False
+    return _preset_of_set(net, subset) <= _postset_of_set(net, subset)
+
+
+def is_trap(net: PetriNet, places: Iterable[str]) -> bool:
+    """True iff the nonempty place set is a trap."""
+    subset = set(places)
+    if not subset:
+        return False
+    return _postset_of_set(net, subset) <= _preset_of_set(net, subset)
+
+
+def largest_siphon_within(net: PetriNet,
+                          places: Iterable[str]) -> FrozenSet[str]:
+    """The maximal siphon contained in ``places`` (possibly empty).
+
+    Standard pruning fixpoint: repeatedly drop any place with an input
+    transition that takes no input from the current set.
+    """
+    current = set(places)
+    changed = True
+    while changed:
+        changed = False
+        for place in list(current):
+            for trans in net.preset(place):
+                if not (net.preset(trans) & current):
+                    current.discard(place)
+                    changed = True
+                    break
+    return frozenset(current)
+
+
+def largest_trap_within(net: PetriNet,
+                        places: Iterable[str]) -> FrozenSet[str]:
+    """The maximal trap contained in ``places`` (possibly empty)."""
+    current = set(places)
+    changed = True
+    while changed:
+        changed = False
+        for place in list(current):
+            for trans in net.postset(place):
+                if not (net.postset(trans) & current):
+                    current.discard(place)
+                    changed = True
+                    break
+    return frozenset(current)
+
+
+def minimal_siphons(net: PetriNet, limit: int = 10_000
+                    ) -> List[FrozenSet[str]]:
+    """All minimal (inclusion-wise) nonempty siphons.
+
+    Branch-and-prune search: grow candidate sets by resolving, for each
+    unsupplied input transition, which place of its preset joins the
+    siphon.  ``limit`` bounds the explored candidates; exceeding it
+    raises :class:`PetriNetError` (siphon enumeration is exponential in
+    general).
+    """
+    found: List[FrozenSet[str]] = []
+    seen: Set[FrozenSet[str]] = set()
+    explored = 0
+
+    def violating_transition(subset: FrozenSet[str]) -> Optional[str]:
+        for place in subset:
+            for trans in net.preset(place):
+                if not (net.preset(trans) & subset):
+                    return trans
+        return None
+
+    def search(subset: FrozenSet[str]) -> None:
+        nonlocal explored
+        explored += 1
+        if explored > limit:
+            raise PetriNetError(
+                f"minimal-siphon search exceeded {limit} candidates")
+        if subset in seen:
+            return
+        seen.add(subset)
+        if any(known <= subset for known in found):
+            return
+        trans = violating_transition(subset)
+        if trans is None:
+            found[:] = [known for known in found if not subset < known]
+            if not any(known <= subset for known in found):
+                found.append(subset)
+            return
+        preset = net.preset(trans)
+        if not preset:
+            return  # source transition: no siphon can contain this place
+        for place in sorted(preset):
+            search(subset | {place})
+
+    for place in net.places:
+        search(frozenset({place}))
+    return sorted(found, key=lambda s: (len(s), sorted(s)))
+
+
+def commoner_condition(net: PetriNet, limit: int = 10_000) -> bool:
+    """Every minimal siphon contains an initially marked trap.
+
+    Sufficient for deadlock freedom of free-choice nets (Commoner's
+    theorem); returns False when some siphon lacks a marked trap.
+    """
+    initial = net.initial_marking
+    for siphon in minimal_siphons(net, limit=limit):
+        trap = largest_trap_within(net, siphon)
+        if not trap or all(initial[p] == 0 for p in trap):
+            return False
+    return True
+
+
+def empty_siphon_in_deadlock(net: PetriNet, marking) -> Optional[FrozenSet[str]]:
+    """For a dead marking, the token-free siphon that explains it.
+
+    In a deadlocked marking the unmarked places contain a siphon whose
+    emptiness disables every transition; returns it (or None if the
+    marking is not actually dead).
+    """
+    if net.enabled_transitions(marking):
+        return None
+    unmarked = [p for p in net.places if marking[p] == 0]
+    siphon = largest_siphon_within(net, unmarked)
+    return siphon if siphon else None

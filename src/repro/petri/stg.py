@@ -1,0 +1,182 @@
+"""Signal Transition Graphs (STGs) — the paper's application domain.
+
+The paper's motivation is synthesis and verification of asynchronous
+circuits, whose specifications are STGs: Petri nets whose transitions are
+labeled with rising (``s+``) and falling (``s-``) edges of circuit
+signals.  This module provides the standard *state-holding expansion*
+used throughout the benchmark generators: every signal becomes a
+complementary place pair ``(s_0, s_1)`` — a two-place single-token SMC,
+which is precisely why STG-derived nets respond so well to the paper's
+dense encoding.
+
+An :class:`STG` is specified by signals, transitions (signal, polarity)
+with an explicit causality structure (a Petri net over abstract
+"condition" places), or more conveniently by guard-style rules:
+``signal rises when <these signals have these values>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .net import PetriNet, PetriNetError
+
+
+@dataclass(frozen=True)
+class SignalEdge:
+    """One transition of an STG: a signal changing to a new value."""
+
+    signal: str
+    rising: bool
+    guard: Tuple[Tuple[str, bool], ...] = field(default=())
+    name: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        """Conventional STG label, e.g. ``req+`` or ``ack-``."""
+        return f"{self.signal}{'+' if self.rising else '-'}"
+
+
+class STG:
+    """A guard-style signal transition graph.
+
+    Each edge fires when its signal is at the old value and every guard
+    signal holds its required value; firing moves the signal's token
+    between the complementary places.  Guards become read (self-loop)
+    arcs in the expansion — the construction behind the Muller, DME and
+    JJreg generators.
+    """
+
+    def __init__(self, name: str = "stg") -> None:
+        self.name = name
+        self._signals: Dict[str, bool] = {}
+        self._edges: List[SignalEdge] = []
+
+    @property
+    def signals(self) -> Tuple[str, ...]:
+        """Declared signals, in declaration order."""
+        return tuple(self._signals)
+
+    @property
+    def edges(self) -> Tuple[SignalEdge, ...]:
+        """Declared signal edges."""
+        return tuple(self._edges)
+
+    def add_signal(self, name: str, initial: bool = False) -> str:
+        """Declare a signal with its reset value."""
+        if name in self._signals:
+            raise PetriNetError(f"duplicate signal: {name!r}")
+        self._signals[name] = bool(initial)
+        return name
+
+    def add_edge(self, signal: str, rising: bool,
+                 guard: Iterable[Tuple[str, bool]] = (),
+                 name: Optional[str] = None) -> SignalEdge:
+        """Declare ``signal+``/``signal-`` guarded by signal values."""
+        if signal not in self._signals:
+            raise PetriNetError(f"unknown signal: {signal!r}")
+        guard = tuple(guard)
+        for other, _ in guard:
+            if other not in self._signals:
+                raise PetriNetError(f"unknown guard signal: {other!r}")
+            if other == signal:
+                raise PetriNetError("a signal cannot guard its own edge")
+        edge = SignalEdge(signal=signal, rising=rising, guard=guard,
+                          name=name)
+        self._edges.append(edge)
+        return edge
+
+    def rise(self, signal: str, when: Dict[str, bool] = None,
+             name: Optional[str] = None) -> SignalEdge:
+        """Shorthand for ``add_edge(signal, True, when.items())``."""
+        return self.add_edge(signal, True, (when or {}).items(), name)
+
+    def fall(self, signal: str, when: Dict[str, bool] = None,
+             name: Optional[str] = None) -> SignalEdge:
+        """Shorthand for ``add_edge(signal, False, when.items())``."""
+        return self.add_edge(signal, False, (when or {}).items(), name)
+
+    # ------------------------------------------------------------------
+
+    def place_of(self, signal: str, value: bool) -> str:
+        """Name of the expansion place holding ``signal == value``."""
+        return f"{signal}_{1 if value else 0}"
+
+    def to_petri_net(self) -> PetriNet:
+        """The state-holding expansion: one complementary pair per
+        signal, one transition per edge, guards as read arcs."""
+        net = PetriNet(self.name)
+        for signal, initial in self._signals.items():
+            net.add_place(self.place_of(signal, False),
+                          tokens=0 if initial else 1)
+            net.add_place(self.place_of(signal, True),
+                          tokens=1 if initial else 0)
+        used_names = set()
+        for index, edge in enumerate(self._edges):
+            label = edge.name or f"t_{edge.signal}" \
+                f"{'_up' if edge.rising else '_down'}"
+            if label in used_names:
+                label = f"{label}_{index}"
+            used_names.add(label)
+            source = self.place_of(edge.signal, not edge.rising)
+            target = self.place_of(edge.signal, edge.rising)
+            reads = [self.place_of(sig, val) for sig, val in edge.guard]
+            net.add_transition(label, pre=[source] + reads,
+                               post=[target] + reads)
+        return net
+
+    def initial_state(self) -> Dict[str, bool]:
+        """The reset values of all signals."""
+        return dict(self._signals)
+
+    def __repr__(self) -> str:
+        return (f"<STG {self.name!r} signals={len(self._signals)} "
+                f"edges={len(self._edges)}>")
+
+
+def c_element(name: str = "c-element") -> STG:
+    """The STG of a Muller C-element with inputs a, b and output c.
+
+    The output rises when both inputs are high and falls when both are
+    low; the (eager) environment toggles each input after the output has
+    acknowledged the previous value.
+    """
+    stg = STG(name)
+    for signal in ("a", "b", "c"):
+        stg.add_signal(signal)
+    stg.rise("c", {"a": True, "b": True})
+    stg.fall("c", {"a": False, "b": False})
+    # Environment: inputs follow the inverted output (one transition per
+    # input edge, as in the canonical specification).
+    stg.rise("a", {"c": False})
+    stg.fall("a", {"c": True})
+    stg.rise("b", {"c": False})
+    stg.fall("b", {"c": True})
+    return stg
+
+
+def pipeline_stage(name: str = "stage") -> STG:
+    """A four-phase pipeline latch-controller STG with its environment.
+
+    Signals: input handshake (``r_in``, ``a_in``) and output handshake
+    (``r_out``, ``a_out``).  The stage forwards requests when the output
+    channel is idle and acknowledges its input once the output request
+    has been raised; both environments are eager.
+    """
+    stg = STG(name)
+    for signal in ("r_in", "a_in", "r_out", "a_out"):
+        stg.add_signal(signal)
+    # The stage: a C-element from (r_in, not a_out) to r_out.
+    stg.rise("r_out", {"r_in": True, "a_out": False})
+    stg.fall("r_out", {"r_in": False, "a_out": True})
+    # Input acknowledge mirrors the forwarded request.
+    stg.rise("a_in", {"r_out": True})
+    stg.fall("a_in", {"r_out": False})
+    # Left environment: four-phase requester.
+    stg.rise("r_in", {"a_in": False})
+    stg.fall("r_in", {"a_in": True})
+    # Right environment: eager acknowledger.
+    stg.rise("a_out", {"r_out": True})
+    stg.fall("a_out", {"r_out": False})
+    return stg

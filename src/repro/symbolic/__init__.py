@@ -1,0 +1,26 @@
+"""Symbolic analysis: traversal, model checking, ZDD baseline.
+
+* :class:`SymbolicNet` — encoded net + BDD manager, image/preimage.
+* :func:`traverse` — BFS reachability fixpoint with statistics.
+* :class:`RelationalNet` / :func:`traverse_relational` — Eq. 3
+  transition-relation cross-check.
+* :class:`ModelChecker` — deadlock, mutual exclusion, EF/AG queries.
+* :class:`ZddNet` / :func:`traverse_zdd` — the Yoneda sparse-ZDD
+  baseline of Table 4.
+"""
+
+from .checker import CheckReport, ModelChecker
+from .kbounded import KBoundedNet, KBoundedResult, traverse_kbounded
+from .relational import RelationalNet
+from .transition import SymbolicNet
+from .traversal import TraversalResult, reachable_set, traverse, \
+    traverse_relational
+from .zdd_traversal import ZddNet, ZddTraversalResult, traverse_zdd
+
+__all__ = [
+    "SymbolicNet", "RelationalNet",
+    "traverse", "traverse_relational", "reachable_set", "TraversalResult",
+    "ModelChecker", "CheckReport",
+    "ZddNet", "ZddTraversalResult", "traverse_zdd",
+    "KBoundedNet", "KBoundedResult", "traverse_kbounded",
+]

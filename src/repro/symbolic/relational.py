@@ -1,0 +1,119 @@
+"""Relational image computation (the Eq. 3 cross-check).
+
+The fast path in :class:`~repro.symbolic.transition.SymbolicNet` never
+renames variables.  This module implements the textbook alternative the
+paper describes: a partitioned transition relation ``R_t(P, Q)`` over
+interleaved current/next variables, images by relational product
+(``and_exists``) and a monotone rename back to current variables.  It is
+used to cross-validate the fast path and as an ablation (relation-based
+traversal is measurably slower — one reason the paper's toggle approach
+matters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..bdd import BDD, Function, cube, false, true, variable
+from ..encoding.characteristic import initial_function
+from ..encoding.scheme import Encoding
+
+
+def _next_name(name: str) -> str:
+    return name + "'"
+
+
+class RelationalNet:
+    """Partitioned transition relations over interleaved variables."""
+
+    def __init__(self, encoding: Encoding, bdd: Optional[BDD] = None) -> None:
+        if bdd is None:
+            bdd = BDD()
+        if bdd.num_vars:
+            raise ValueError("RelationalNet needs a fresh BDD manager")
+        self.encoding = encoding
+        self.net = encoding.net
+        self.bdd = bdd
+        # Interleave current and next variables so that renaming either
+        # way is order-monotone.
+        for name in encoding.variables:
+            bdd.add_var(name)
+            bdd.add_var(_next_name(name))
+        self.current = tuple(encoding.variables)
+        self.next = tuple(_next_name(v) for v in self.current)
+        self._to_next = dict(zip(self.current, self.next))
+        self._to_current = dict(zip(self.next, self.current))
+
+        # Rebuild place/enabling functions over this manager.
+        self.places: Dict[str, Function] = {}
+        memo: Dict[str, Function] = {}
+
+        def place_fn(place: str) -> Function:
+            cached = memo.get(place)
+            if cached is not None:
+                return cached
+            func = cube(bdd, dict(encoding.owner_code(place)))
+            for partner in encoding.partners(place):
+                func = func & ~place_fn(partner)
+            memo[place] = func
+            return func
+
+        for place in self.net.places:
+            self.places[place] = place_fn(place)
+        self.enabling: Dict[str, Function] = {}
+        for transition in self.net.transitions:
+            func = true(bdd)
+            for place in sorted(self.net.preset(transition)):
+                func = func & self.places[place]
+            self.enabling[transition] = func
+
+        self.relations: Dict[str, Function] = {
+            t: self._build_relation(t) for t in self.net.transitions}
+        self.initial: Function = initial_function(encoding, bdd)
+
+    def _build_relation(self, transition: str) -> Function:
+        """``R_t(P, Q) = E_t(P) and AND_i (q_i <-> delta_i(P, t))``."""
+        spec = self.encoding.transition_spec(transition)
+        forced = dict(spec.force)
+        relation = self.enabling[transition]
+        for name in self.current:
+            next_var = variable(self.bdd, self._to_next[name])
+            if name in forced:
+                target = (next_var if forced[name]
+                          else ~next_var)
+            else:
+                target = next_var.iff(variable(self.bdd, name))
+            relation = relation & target
+        return relation
+
+    def image(self, states: Function, transition: str) -> Function:
+        """Successors via relational product and monotone rename."""
+        next_states = states.and_exists(self.relations[transition],
+                                        self.current)
+        return next_states.rename(self._to_current)
+
+    def image_all(self, states: Function) -> Function:
+        """Successors under the full disjunctive partition (Eq. 3)."""
+        result = false(self.bdd)
+        for transition in self.net.transitions:
+            result = result | self.image(states, transition)
+        return result
+
+    def monolithic_relation(self) -> Function:
+        """The single relation ``R = OR_t R_t`` (ablation baseline)."""
+        result = false(self.bdd)
+        for transition in self.net.transitions:
+            result = result | self.relations[transition]
+        return result
+
+    def image_monolithic(self, states: Function,
+                         relation: Optional[Function] = None) -> Function:
+        """Image through the monolithic relation."""
+        if relation is None:
+            relation = self.monolithic_relation()
+        next_states = states.and_exists(relation, self.current)
+        return next_states.rename(self._to_current)
+
+    def count_markings(self, states: Function) -> int:
+        """Number of markings represented (over current variables)."""
+        return states.satcount(len(self.current))

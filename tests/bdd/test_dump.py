@@ -1,0 +1,47 @@
+"""Unit tests for Graphviz export."""
+
+from repro.bdd import BDD, ZDD, variable
+from repro.bdd.dump import bdd_to_dot, zdd_to_dot
+
+
+class TestBddDot:
+    def test_contains_all_nodes_and_edges(self):
+        bdd = BDD(var_names=["a", "b"])
+        f = variable(bdd, "a") & variable(bdd, "b")
+        dot = bdd_to_dot(bdd, [("f", f.node)])
+        assert dot.startswith("digraph bdd {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="a"' in dot
+        assert 'label="b"' in dot
+        assert 'label="0"' in dot
+        assert 'label="1"' in dot
+        assert "style=dashed" in dot and "style=solid" in dot
+
+    def test_multiple_roots_share_nodes(self):
+        bdd = BDD(var_names=["a", "b"])
+        a, b = variable(bdd, "a"), variable(bdd, "b")
+        f, g = a & b, a | b
+        dot = bdd_to_dot(bdd, [("f", f.node), ("g", g.node)])
+        assert '"r_f"' in dot and '"r_g"' in dot
+        # Shared variable nodes are emitted once.
+        assert dot.count('label="b"') <= 2
+
+    def test_terminal_root(self):
+        bdd = BDD(var_names=["a"])
+        dot = bdd_to_dot(bdd, [("t", 1)])
+        assert 'label="1"' in dot
+
+
+class TestZddDot:
+    def test_contains_structure(self):
+        zdd = ZDD(var_names=["p", "q"])
+        fam = zdd.from_sets([{"p"}, {"p", "q"}])
+        dot = zdd_to_dot(zdd, [("fam", fam)])
+        assert dot.startswith("digraph zdd {")
+        assert 'label="p"' in dot
+        assert 'label="q"' in dot
+
+    def test_empty_family(self):
+        zdd = ZDD(var_names=["p"])
+        dot = zdd_to_dot(zdd, [("e", zdd.empty())])
+        assert 'label="{}"' in dot

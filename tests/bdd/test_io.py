@@ -1,0 +1,124 @@
+"""Unit tests for BDD serialization."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDD, BDDError, variable
+from repro.bdd.io import (dump_functions, load_functions,
+                          load_functions_file, save_functions)
+
+
+@pytest.fixture
+def source():
+    bdd = BDD(var_names=["a", "b", "c"])
+    a, b, c = (variable(bdd, n) for n in "abc")
+    return bdd, {"f": (a & b) | c, "g": a ^ c}
+
+
+def eval_everywhere(func, names):
+    return tuple(func(dict(zip(names, values)))
+                 for values in itertools.product([False, True],
+                                                 repeat=len(names)))
+
+
+class TestRoundTrip:
+    def test_same_order(self, source):
+        bdd, funcs = source
+        text = dump_functions(funcs)
+        target = BDD(var_names=["a", "b", "c"])
+        loaded = load_functions(text, target)
+        for label in funcs:
+            assert (eval_everywhere(loaded[label], ["a", "b", "c"])
+                    == eval_everywhere(funcs[label], ["a", "b", "c"]))
+
+    def test_different_target_order(self, source):
+        bdd, funcs = source
+        text = dump_functions(funcs)
+        target = BDD(var_names=["c", "a", "b"])
+        loaded = load_functions(text, target)
+        for label in funcs:
+            assert (eval_everywhere(loaded[label], ["a", "b", "c"])
+                    == eval_everywhere(funcs[label], ["a", "b", "c"]))
+
+    def test_constants(self):
+        bdd = BDD(var_names=["a"])
+        from repro.bdd import false, true
+        text = dump_functions({"t": true(bdd), "f": false(bdd)})
+        target = BDD(var_names=["a"])
+        loaded = load_functions(text, target)
+        assert loaded["t"].is_one()
+        assert loaded["f"].is_zero()
+
+    def test_file_round_trip(self, source, tmp_path):
+        bdd, funcs = source
+        path = tmp_path / "funcs.bdd"
+        save_functions(funcs, path)
+        target = BDD(var_names=["a", "b", "c"])
+        loaded = load_functions_file(path, target)
+        assert set(loaded) == {"f", "g"}
+
+    def test_shared_structure_written_once(self, source):
+        bdd, funcs = source
+        text = dump_functions({"f": funcs["f"], "f2": funcs["f"]})
+        assert text.count("root") == 2
+        # Identical roots reuse the same node records.
+        assert text.count("node") == funcs["f"].size() - 2
+
+    def test_reachable_set_round_trip(self):
+        """The practical use: persist a computed reachability set."""
+        from repro.encoding import ImprovedEncoding
+        from repro.petri.generators import figure4_net
+        from repro.symbolic import SymbolicNet, traverse
+        symnet = SymbolicNet(ImprovedEncoding(figure4_net()))
+        reached = traverse(symnet).reachable
+        text = dump_functions({"reachable": reached})
+        target = BDD(var_names=list(symnet.encoding.variables))
+        loaded = load_functions(text, target)["reachable"]
+        assert loaded.satcount(symnet.encoding.num_variables) == 22
+
+
+class TestErrors:
+    def test_empty_dump_rejected(self):
+        with pytest.raises(BDDError):
+            dump_functions({})
+
+    def test_mixed_managers_rejected(self):
+        bdd1 = BDD(var_names=["a"])
+        bdd2 = BDD(var_names=["a"])
+        with pytest.raises(BDDError):
+            dump_functions({"f": variable(bdd1, "a"),
+                            "g": variable(bdd2, "a")})
+
+    def test_label_with_space_rejected(self, source):
+        bdd, funcs = source
+        with pytest.raises(BDDError):
+            dump_functions({"bad label": funcs["f"]})
+
+    def test_bad_header(self):
+        bdd = BDD(var_names=["a"])
+        with pytest.raises(BDDError):
+            load_functions("garbage", bdd)
+
+    def test_missing_variable_in_target(self, source):
+        bdd, funcs = source
+        text = dump_functions(funcs)
+        target = BDD(var_names=["a", "b"])  # no c
+        with pytest.raises(BDDError):
+            load_functions(text, target)
+
+    def test_forward_reference_rejected(self):
+        bdd = BDD(var_names=["a"])
+        text = "bddio 1\nvar a\nnode 2 a 3 1\nroot f 2\n"
+        with pytest.raises(BDDError):
+            load_functions(text, bdd)
+
+    def test_no_roots_rejected(self):
+        bdd = BDD(var_names=["a"])
+        with pytest.raises(BDDError):
+            load_functions("bddio 1\nvar a\n", bdd)
+
+    def test_unknown_record_rejected(self):
+        bdd = BDD(var_names=["a"])
+        with pytest.raises(BDDError):
+            load_functions("bddio 1\nfrob x\n", bdd)

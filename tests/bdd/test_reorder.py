@@ -1,0 +1,173 @@
+"""Unit tests for adjacent-level swap and sifting."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDD, BDDError, sift, sift_to_convergence, variable
+from repro.bdd.reorder import random_order
+
+
+def build_interleaved_adder(bdd, a_names, b_names):
+    """The classic order-sensitive function: sum-of-products a_i & b_i."""
+    f = None
+    for a_name, b_name in zip(a_names, b_names):
+        term = variable(bdd, a_name) & variable(bdd, b_name)
+        f = term if f is None else (f | term)
+    return f
+
+
+def eval_everywhere(func, names):
+    return tuple(func(dict(zip(names, values)))
+                 for values in itertools.product([False, True],
+                                                 repeat=len(names)))
+
+
+class TestSwapLevels:
+    def test_swap_preserves_semantics(self):
+        bdd = BDD(var_names=["a", "b", "c"])
+        a, b, c = (variable(bdd, name) for name in "abc")
+        f = (a & b) | (~a & c)
+        names = ["a", "b", "c"]
+        before = eval_everywhere(f, names)
+        bdd.swap_levels(0)
+        assert bdd.order() == ["b", "a", "c"]
+        assert eval_everywhere(f, names) == before
+        bdd.assert_consistent()
+
+    def test_swap_back_restores_order(self):
+        bdd = BDD(var_names=["a", "b", "c"])
+        a, b, c = (variable(bdd, name) for name in "abc")
+        f = a.ite(b, c)
+        bdd.swap_levels(1)
+        bdd.swap_levels(1)
+        assert bdd.order() == ["a", "b", "c"]
+        assert f({"a": 1, "b": 1, "c": 0})
+        bdd.assert_consistent()
+
+    def test_swap_out_of_range_raises(self):
+        bdd = BDD(var_names=["a", "b"])
+        with pytest.raises(BDDError):
+            bdd.swap_levels(1)
+        with pytest.raises(BDDError):
+            bdd.swap_levels(-1)
+
+    def test_swap_with_shared_nodes(self):
+        bdd = BDD(var_names=["a", "b", "c", "d"])
+        a, b, c, d = (variable(bdd, name) for name in "abcd")
+        f = (a & b) | (c & d)
+        g = (a | b) & (c | d)
+        names = ["a", "b", "c", "d"]
+        expected_f = eval_everywhere(f, names)
+        expected_g = eval_everywhere(g, names)
+        for level in (0, 1, 2, 1, 0):
+            bdd.swap_levels(level)
+            bdd.assert_consistent()
+        assert eval_everywhere(f, names) == expected_f
+        assert eval_everywhere(g, names) == expected_g
+
+    def test_node_ids_stable_across_swap(self):
+        bdd = BDD(var_names=["a", "b"])
+        a, b = variable(bdd, "a"), variable(bdd, "b")
+        f = a & b
+        node_before = f.node
+        bdd.swap_levels(0)
+        assert f.node == node_before
+        assert f({"a": 1, "b": 1})
+
+
+class TestSetOrder:
+    def test_set_order_permutes(self):
+        bdd = BDD(var_names=["a", "b", "c", "d"])
+        f = build_interleaved_adder(bdd, ["a", "b"], ["c", "d"])
+        names = ["a", "b", "c", "d"]
+        before = eval_everywhere(f, names)
+        bdd.set_order(["d", "c", "b", "a"])
+        assert bdd.order() == ["d", "c", "b", "a"]
+        assert eval_everywhere(f, names) == before
+        bdd.assert_consistent()
+
+    def test_set_order_requires_permutation(self):
+        bdd = BDD(var_names=["a", "b"])
+        with pytest.raises(BDDError):
+            bdd.set_order(["a", "a"])
+
+    def test_interleaving_shrinks_adder(self):
+        """With blocks [a0..a3][b0..b3] the product-of-sums is exponential;
+        interleaved it is linear — the classic reordering benefit."""
+        names_a = [f"a{i}" for i in range(4)]
+        names_b = [f"b{i}" for i in range(4)]
+        bdd = BDD(var_names=names_a + names_b)
+        f = build_interleaved_adder(bdd, names_a, names_b)
+        blocked_size = f.size()
+        interleaved = [name for pair in zip(names_a, names_b) for name in pair]
+        bdd.set_order(interleaved)
+        assert f.size() < blocked_size
+
+
+class TestSifting:
+    def test_sift_preserves_semantics(self):
+        names_a = [f"a{i}" for i in range(3)]
+        names_b = [f"b{i}" for i in range(3)]
+        bdd = BDD(var_names=names_a + names_b)
+        f = build_interleaved_adder(bdd, names_a, names_b)
+        names = names_a + names_b
+        before = eval_everywhere(f, names)
+        sift(bdd)
+        assert eval_everywhere(f, names) == before
+        bdd.assert_consistent()
+
+    def test_sift_finds_small_order_for_adder(self):
+        names_a = [f"a{i}" for i in range(5)]
+        names_b = [f"b{i}" for i in range(5)]
+        bdd = BDD(var_names=names_a + names_b)
+        f = build_interleaved_adder(bdd, names_a, names_b)
+        blocked_size = f.size()
+        sift_to_convergence(bdd)
+        # Optimal interleaved size is 3n + 2 nodes; sifting should get there
+        # or very close, far below the exponential blocked order.
+        assert f.size() <= blocked_size // 2
+        assert f.size() <= 3 * 5 + 2 + 4
+
+    def test_sift_on_empty_manager(self):
+        bdd = BDD()
+        assert sift(bdd) == 2
+
+    def test_sift_single_variable(self):
+        bdd = BDD(var_names=["a"])
+        f = variable(bdd, "a")
+        assert sift(bdd) >= 2
+        assert f({"a": True})
+
+    def test_random_order_is_deterministic(self):
+        bdd = BDD(var_names=[f"v{i}" for i in range(6)])
+        assert random_order(bdd, seed=3) == random_order(bdd, seed=3)
+        assert sorted(random_order(bdd, seed=3)) == list(range(6))
+
+
+class TestAutoReorder:
+    def test_checkpoint_triggers_reorder(self):
+        names_a = [f"a{i}" for i in range(5)]
+        names_b = [f"b{i}" for i in range(5)]
+        bdd = BDD(var_names=names_a + names_b, auto_reorder=True,
+                  reorder_threshold=8)
+        f = build_interleaved_adder(bdd, names_a, names_b)
+        bdd.checkpoint()
+        assert bdd.reorder_count == 1
+        assert f({name: True for name in names_a + names_b})
+        bdd.assert_consistent()
+
+    def test_checkpoint_below_threshold_does_nothing(self):
+        bdd = BDD(var_names=["a"], auto_reorder=True,
+                  reorder_threshold=1000)
+        bdd.checkpoint()
+        assert bdd.reorder_count == 0
+
+    def test_reorder_hook_called(self):
+        calls = []
+        bdd = BDD(var_names=["a", "b", "c", "d"], auto_reorder=True,
+                  reorder_threshold=2)
+        bdd.reorder_hooks.append(lambda mgr: calls.append(mgr.order()))
+        f = (variable(bdd, "a") & variable(bdd, "b")) | variable(bdd, "c")
+        bdd.checkpoint()
+        assert calls

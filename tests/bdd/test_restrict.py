@@ -1,0 +1,61 @@
+"""Unit tests for the Coudert-Madre generalized cofactor."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDD, BDDError, variable
+
+
+@pytest.fixture
+def setup():
+    bdd = BDD(var_names=["a", "b", "c", "d"])
+    a, b, c, d = (variable(bdd, n) for n in "abcd")
+    return bdd, a, b, c, d
+
+
+def envs(names):
+    for values in itertools.product([False, True], repeat=len(names)):
+        yield dict(zip(names, values))
+
+
+class TestRestrict:
+    def test_agrees_on_care_set(self, setup):
+        bdd, a, b, c, d = setup
+        f = (a & b) | (c ^ d)
+        care = a | b
+        r = f.restrict(care)
+        for env in envs("abcd"):
+            if care(env):
+                assert r(env) == f(env)
+
+    def test_constant_care_is_identity(self, setup):
+        bdd, a, b, c, d = setup
+        f = a & ~b
+        from repro.bdd import true
+        assert f.restrict(true(bdd)) == f
+
+    def test_empty_care_rejected(self, setup):
+        bdd, a, b, c, d = setup
+        from repro.bdd import false
+        with pytest.raises(BDDError):
+            (a & b).restrict(false(bdd))
+
+    def test_classic_simplification(self, setup):
+        """Restricting to a cube cofactors the function."""
+        bdd, a, b, c, d = setup
+        f = (a & b) | c
+        r = f.restrict(a & b)
+        assert r.is_one()
+
+    def test_result_not_larger_in_typical_cases(self, setup):
+        bdd, a, b, c, d = setup
+        f = (a & b & c) | (~a & b & d) | (a & ~b & ~d)
+        care = a
+        assert f.restrict(care).size() <= f.size()
+
+    def test_terminal_inputs(self, setup):
+        bdd, a, b, c, d = setup
+        from repro.bdd import false, true
+        assert true(bdd).restrict(a) == true(bdd)
+        assert false(bdd).restrict(a) == false(bdd)

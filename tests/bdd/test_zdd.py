@@ -1,0 +1,147 @@
+"""Unit tests for the ZDD manager."""
+
+import pytest
+
+from repro.bdd import BASE, EMPTY, ZDD, ZDDError
+
+
+@pytest.fixture
+def zdd():
+    return ZDD(var_names=["p", "q", "r", "s"])
+
+
+def family(zdd, node):
+    return set(zdd.to_sets(node))
+
+
+class TestConstruction:
+    def test_terminals(self, zdd):
+        assert zdd.empty() == EMPTY
+        assert zdd.base() == BASE
+        assert family(zdd, EMPTY) == set()
+        assert family(zdd, BASE) == {frozenset()}
+
+    def test_singleton(self, zdd):
+        f = zdd.singleton(["p", "r"])
+        assert family(zdd, f) == {frozenset({"p", "r"})}
+
+    def test_singleton_empty_set(self, zdd):
+        assert zdd.singleton([]) == BASE
+
+    def test_from_sets_roundtrip(self, zdd):
+        sets = [set(), {"p"}, {"q", "r"}, {"p", "q", "r", "s"}]
+        f = zdd.from_sets(sets)
+        assert family(zdd, f) == {frozenset(s) for s in sets}
+        assert zdd.count(f) == 4
+
+    def test_duplicate_sets_collapse(self, zdd):
+        f = zdd.from_sets([{"p"}, {"p"}])
+        assert zdd.count(f) == 1
+
+    def test_duplicate_name_rejected(self):
+        zdd = ZDD(var_names=["p"])
+        with pytest.raises(ZDDError):
+            zdd.add_var("p")
+
+    def test_unknown_element_raises(self, zdd):
+        with pytest.raises(ZDDError):
+            zdd.singleton(["nope"])
+
+
+class TestAlgebra:
+    def test_union(self, zdd):
+        f = zdd.from_sets([{"p"}, {"q"}])
+        g = zdd.from_sets([{"q"}, {"r"}])
+        assert family(zdd, zdd.union(f, g)) == {
+            frozenset({"p"}), frozenset({"q"}), frozenset({"r"})}
+
+    def test_intersect(self, zdd):
+        f = zdd.from_sets([{"p"}, {"q"}])
+        g = zdd.from_sets([{"q"}, {"r"}])
+        assert family(zdd, zdd.intersect(f, g)) == {frozenset({"q"})}
+
+    def test_diff(self, zdd):
+        f = zdd.from_sets([{"p"}, {"q"}])
+        g = zdd.from_sets([{"q"}, {"r"}])
+        assert family(zdd, zdd.diff(f, g)) == {frozenset({"p"})}
+
+    def test_union_identity_laws(self, zdd):
+        f = zdd.from_sets([{"p", "q"}])
+        assert zdd.union(f, EMPTY) == f
+        assert zdd.union(EMPTY, f) == f
+        assert zdd.union(f, f) == f
+
+    def test_intersect_annihilator(self, zdd):
+        f = zdd.from_sets([{"p", "q"}])
+        assert zdd.intersect(f, EMPTY) == EMPTY
+        assert zdd.intersect(f, f) == f
+
+    def test_diff_laws(self, zdd):
+        f = zdd.from_sets([{"p"}, {"q", "r"}])
+        assert zdd.diff(f, f) == EMPTY
+        assert zdd.diff(f, EMPTY) == f
+        assert zdd.diff(EMPTY, f) == EMPTY
+
+    def test_canonicity(self, zdd):
+        f = zdd.from_sets([{"p"}, {"q"}, {"p", "q"}])
+        g = zdd.union(zdd.union(zdd.singleton(["q"]), zdd.singleton(["p"])),
+                      zdd.singleton(["p", "q"]))
+        assert f == g
+
+
+class TestElementOps:
+    def test_subset1(self, zdd):
+        f = zdd.from_sets([{"p", "q"}, {"q"}, {"r"}])
+        s = zdd.subset1(f, "q")
+        assert family(zdd, s) == {frozenset({"p"}), frozenset()}
+
+    def test_subset0(self, zdd):
+        f = zdd.from_sets([{"p", "q"}, {"q"}, {"r"}])
+        s = zdd.subset0(f, "q")
+        assert family(zdd, s) == {frozenset({"r"})}
+
+    def test_subset_partition(self, zdd):
+        """subset0 + (change . subset1) partitions any family."""
+        f = zdd.from_sets([set(), {"p"}, {"p", "s"}, {"q", "r"}])
+        with_p = zdd.change(zdd.subset1(f, "p"), "p")
+        without_p = zdd.subset0(f, "p")
+        assert zdd.union(with_p, without_p) == f
+        assert zdd.intersect(with_p, without_p) == EMPTY
+
+    def test_change_adds_and_removes(self, zdd):
+        f = zdd.from_sets([{"p"}, {"q"}])
+        g = zdd.change(f, "p")
+        assert family(zdd, g) == {frozenset(), frozenset({"p", "q"})}
+
+    def test_change_involution(self, zdd):
+        f = zdd.from_sets([{"p", "r"}, {"s"}, set()])
+        assert zdd.change(zdd.change(f, "q"), "q") == f
+
+    def test_contains(self, zdd):
+        f = zdd.from_sets([{"p", "q"}, {"r"}])
+        assert zdd.contains(f, ["p", "q"])
+        assert zdd.contains(f, ["r"])
+        assert not zdd.contains(f, ["p"])
+        assert not zdd.contains(f, [])
+
+    def test_contains_empty_set(self, zdd):
+        f = zdd.from_sets([set(), {"p"}])
+        assert zdd.contains(f, [])
+
+
+class TestCounts:
+    def test_count(self, zdd):
+        f = zdd.from_sets([set(), {"p"}, {"p", "q"}, {"s"}])
+        assert zdd.count(f) == 4
+        assert zdd.count(EMPTY) == 0
+        assert zdd.count(BASE) == 1
+
+    def test_size_is_compact_for_sparse_families(self, zdd):
+        # A single big set costs one node per present element.
+        f = zdd.singleton(["p", "q", "r", "s"])
+        assert zdd.size(f) == 6  # 4 element nodes + both terminals
+
+    def test_zero_suppression(self, zdd):
+        """Nodes with empty high branch must never exist."""
+        f = zdd._mk(0, BASE, EMPTY)
+        assert f == BASE

@@ -1,0 +1,89 @@
+"""Unit tests for the unate covering solver."""
+
+import pytest
+
+from repro.encoding.covering import (CoverOption, CoveringError,
+                                     smc_cover_options, solve_cover)
+from repro.petri import find_smcs
+from repro.petri.generators import figure4_net
+
+
+def opt(label, covers, cost):
+    return CoverOption(label=label, covers=frozenset(covers), cost=cost)
+
+
+class TestExact:
+    def test_single_option(self):
+        chosen = solve_cover("ab", [opt("s", "ab", 1)])
+        assert [o.label for o in chosen] == ["s"]
+
+    def test_prefers_cheap_combination(self):
+        options = [opt("big", "abcd", 5),
+                   opt("left", "ab", 2), opt("right", "cd", 2)]
+        chosen = solve_cover("abcd", options)
+        assert {o.label for o in chosen} == {"left", "right"}
+
+    def test_prefers_single_when_cheaper(self):
+        options = [opt("big", "abcd", 3),
+                   opt("left", "ab", 2), opt("right", "cd", 2)]
+        chosen = solve_cover("abcd", options)
+        assert {o.label for o in chosen} == {"big"}
+
+    def test_partial_overlap(self):
+        options = [opt("s1", "abc", 2), opt("s2", "cde", 2),
+                   opt("s3", "e", 1)]
+        chosen = solve_cover("abcde", options)
+        assert sum(o.cost for o in chosen) == 4
+
+    def test_empty_universe(self):
+        assert solve_cover([], [opt("s", "ab", 1)]) == []
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(CoveringError):
+            solve_cover("abz", [opt("s", "ab", 1)])
+
+    def test_solution_always_covers(self):
+        options = [opt(i, cover, cost) for i, (cover, cost) in enumerate(
+            [("abc", 2), ("bcd", 2), ("de", 1), ("ae", 2), ("c", 1)])]
+        chosen = solve_cover("abcde", options)
+        covered = set().union(*(o.covers for o in chosen))
+        assert covered >= set("abcde")
+
+
+class TestGreedyFallback:
+    def test_greedy_covers_large_instance(self):
+        universe = [f"e{i}" for i in range(40)]
+        options = [opt(f"s{i}", {f"e{i}", f"e{(i + 1) % 40}"}, 1)
+                   for i in range(40)]
+        chosen = solve_cover(universe, options, exact_limit=4)
+        covered = set().union(*(o.covers for o in chosen))
+        assert covered == set(universe)
+
+    def test_greedy_prefers_efficient_sets(self):
+        universe = "abcdef"
+        options = [opt("all", "abcdef", 3)] + \
+            [opt(c, {c}, 1) for c in universe]
+        chosen = solve_cover(universe, options, exact_limit=0)
+        assert {o.label for o in chosen} == {"all"}
+
+
+class TestPaperFormulation:
+    def test_figure4_cover_cost_is_ten(self):
+        """Section 4.3: minimum-cost cover of the 2-philosopher net uses
+        10 variables (SMCs at log-cost plus leftover single places)."""
+        net = figure4_net()
+        components = find_smcs(net, strategy="farkas")
+        smc_options, place_options = smc_cover_options(net.places,
+                                                       components)
+        chosen = solve_cover(net.places, smc_options + place_options)
+        assert sum(o.cost for o in chosen) == 10
+
+    def test_smc_costs_are_logarithmic(self):
+        net = figure4_net()
+        components = find_smcs(net, strategy="farkas")
+        smc_options, place_options = smc_cover_options(net.places,
+                                                       components)
+        for option in smc_options:
+            size = len(option.covers)
+            assert option.cost == max(1, (size - 1).bit_length())
+        assert all(o.cost == 1 for o in place_options)

@@ -1,0 +1,86 @@
+"""Unit tests for Gray-like code assignment (Section 5.2)."""
+
+import pytest
+
+from repro.encoding.gray import (assign_arbitrary_codes, assign_gray_codes,
+                                 gray_sequence, hamming, place_adjacency,
+                                 toggle_cost, walk_order)
+from repro.petri import find_smcs, smc_from_places
+from repro.petri.generators import figure1_net, figure4_net
+
+
+class TestGraySequence:
+    def test_first_codes(self):
+        assert gray_sequence(4, 2) == [
+            (False, False), (False, True), (True, True), (True, False)]
+
+    def test_adjacent_codes_differ_by_one_bit(self):
+        codes = gray_sequence(8, 3)
+        for a, b in zip(codes, codes[1:]):
+            assert hamming(a, b) == 1
+
+    def test_cycle_closes_at_power_of_two(self):
+        codes = gray_sequence(8, 3)
+        assert hamming(codes[-1], codes[0]) == 1
+
+    def test_width_too_small(self):
+        with pytest.raises(ValueError):
+            gray_sequence(5, 2)
+
+    def test_injective(self):
+        assert len(set(gray_sequence(8, 3))) == 8
+
+
+class TestAdjacency:
+    def test_figure1_smc_moves(self):
+        net = figure1_net()
+        smc = smc_from_places(net, ("p1", "p2", "p4", "p6"))
+        moves = set(place_adjacency(net, smc))
+        assert moves == {("p1", "p2"), ("p1", "p4"),
+                         ("p2", "p6"), ("p4", "p6"), ("p6", "p1")}
+
+    def test_walk_starts_at_marked_place(self):
+        net = figure1_net()
+        smc = smc_from_places(net, ("p1", "p2", "p4", "p6"))
+        order = walk_order(net, smc)
+        assert order[0] == "p1"
+        assert sorted(order) == ["p1", "p2", "p4", "p6"]
+
+
+class TestAssignment:
+    def test_gray_codes_injective_and_right_width(self):
+        net = figure4_net()
+        for smc in find_smcs(net, strategy="farkas"):
+            codes = assign_gray_codes(net, smc)
+            assert len(set(codes.values())) == len(smc.places)
+            width = max(1, (len(smc.places) - 1).bit_length())
+            assert all(len(code) == width for code in codes.values())
+
+    def test_gray_beats_arbitrary_on_cycles(self):
+        """On the paper's SM1 cycle, Gray assignment reaches the optimum
+        of one toggle per transition."""
+        net = figure4_net()
+        smc = smc_from_places(net, ("p1", "p2", "p6", "p8"))
+        moves = place_adjacency(net, smc)
+        gray = assign_gray_codes(net, smc)
+        assert toggle_cost(moves, gray) == len(moves)
+
+    def test_gray_no_worse_than_arbitrary(self):
+        net = figure4_net()
+        for smc in find_smcs(net, strategy="farkas"):
+            moves = place_adjacency(net, smc)
+            gray = assign_gray_codes(net, smc)
+            arbitrary = assign_arbitrary_codes(smc)
+            assert (toggle_cost(moves, gray)
+                    <= toggle_cost(moves, arbitrary))
+
+    def test_arbitrary_codes_shape(self):
+        net = figure4_net()
+        smc = smc_from_places(net, ("p1", "p2", "p6", "p8"))
+        codes = assign_arbitrary_codes(smc)
+        assert len(set(codes.values())) == 4
+        with pytest.raises(ValueError):
+            assign_arbitrary_codes(smc, width=1)
+
+    def test_toggle_cost_empty_moves(self):
+        assert toggle_cost([], {}) == 0

@@ -1,0 +1,134 @@
+"""Literal reproduction of the paper's Tables 1 and 2 and Figure 2/3
+artifacts on the two-philosopher net."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.encoding import ImprovedEncoding, place_functions
+from repro.encoding.characteristic import declare_variables
+from repro.petri import ReachabilityGraph, smc_from_places
+from repro.petri.generators import (FIGURE3_SMC_PLACES, figure4_net)
+
+
+@pytest.fixture(scope="module")
+def paper_encoding():
+    """Improved encoding built from the SMCs in the paper's order."""
+    net = figure4_net()
+    components = [smc_from_places(net, places, name=f"SM{i + 1}")
+                  for i, places in enumerate(FIGURE3_SMC_PLACES)]
+    assert all(components)
+    return net, ImprovedEncoding(net, components=components)
+
+
+def code_str(encoding, comp_name, place):
+    comp = next(c for c in encoding.components if c.name == comp_name)
+    return "".join(str(int(b)) for b in comp.codes[place])
+
+
+class TestTable1:
+    """Table 1: the exact variable assignment of the paper."""
+
+    def test_eight_variables(self, paper_encoding):
+        _, enc = paper_encoding
+        assert enc.num_variables == 8
+
+    def test_component_order_and_widths(self, paper_encoding):
+        _, enc = paper_encoding
+        names = [c.name for c in enc.components]
+        widths = [len(c.variables) for c in enc.components]
+        assert names == ["SM1", "SM3", "SM2", "SM4"]
+        assert widths == [2, 2, 1, 1]
+
+    def test_sm1_codes(self, paper_encoding):
+        _, enc = paper_encoding
+        assert code_str(enc, "SM1", "p1") == "00"
+        assert code_str(enc, "SM1", "p2") == "01"
+        assert code_str(enc, "SM1", "p6") == "11"
+        assert code_str(enc, "SM1", "p8") == "10"
+
+    def test_sm3_codes(self, paper_encoding):
+        _, enc = paper_encoding
+        assert code_str(enc, "SM3", "p9") == "00"
+        assert code_str(enc, "SM3", "p10") == "01"
+        assert code_str(enc, "SM3", "p12") == "11"
+        assert code_str(enc, "SM3", "p14") == "10"
+
+    def test_sm2_codes(self, paper_encoding):
+        _, enc = paper_encoding
+        assert code_str(enc, "SM2", "p1") == "0"
+        assert code_str(enc, "SM2", "p3") == "0"
+        assert code_str(enc, "SM2", "p7") == "1"
+        assert code_str(enc, "SM2", "p8") == "1"
+
+    def test_sm4_codes(self, paper_encoding):
+        _, enc = paper_encoding
+        assert code_str(enc, "SM4", "p9") == "0"
+        assert code_str(enc, "SM4", "p11") == "0"
+        assert code_str(enc, "SM4", "p13") == "1"
+        assert code_str(enc, "SM4", "p14") == "1"
+
+    def test_forks_are_free_places(self, paper_encoding):
+        _, enc = paper_encoding
+        assert enc.free_places == ["p4", "p5"]
+
+
+class TestTable2:
+    """Table 2: the characteristic functions, checked semantically —
+    [p] must hold exactly on the encodings of markings that mark p."""
+
+    def test_characteristic_functions_on_all_markings(self, paper_encoding):
+        net, enc = paper_encoding
+        bdd = BDD()
+        declare_variables(enc, bdd)
+        places = place_functions(enc, bdd)
+        for marking in ReachabilityGraph(net).markings:
+            assignment = enc.marking_to_assignment(marking)
+            for place in net.places:
+                assert places[place](assignment) == (place in marking), \
+                    f"[{place}] wrong on {marking!r}"
+
+    def test_shared_code_functions_use_resolvers(self, paper_encoding):
+        """[p3] = !x5 (x1 + x2): the shared code 0 with p1 is resolved by
+        SM1's variables (Table 2, first column)."""
+        net, enc = paper_encoding
+        bdd = BDD()
+        declare_variables(enc, bdd)
+        places = place_functions(enc, bdd)
+        # Paper formula for [p3].
+        import repro.bdd as bddlib
+        x1 = bddlib.variable(bdd, "x1")
+        x2 = bddlib.variable(bdd, "x2")
+        x5 = bddlib.variable(bdd, "x5")
+        assert places["p3"] == (~x5 & (x1 | x2))
+
+    def test_owned_place_functions_are_plain_cubes(self, paper_encoding):
+        """[p1] = !x1 !x2 and [p8] = x1 !x2 (Table 2)."""
+        net, enc = paper_encoding
+        bdd = BDD()
+        declare_variables(enc, bdd)
+        places = place_functions(enc, bdd)
+        import repro.bdd as bddlib
+        x1 = bddlib.variable(bdd, "x1")
+        x2 = bddlib.variable(bdd, "x2")
+        assert places["p1"] == (~x1 & ~x2)
+        assert places["p8"] == (x1 & ~x2)
+
+    def test_free_place_functions_are_literals(self, paper_encoding):
+        net, enc = paper_encoding
+        bdd = BDD()
+        declare_variables(enc, bdd)
+        places = place_functions(enc, bdd)
+        import repro.bdd as bddlib
+        assert places["p4"] == bddlib.variable(bdd, "p4")
+        assert places["p5"] == bddlib.variable(bdd, "p5")
+
+
+class TestFigure3:
+    """Figure 3: the six SMCs of the two-philosopher net."""
+
+    def test_all_six_validate(self):
+        net = figure4_net()
+        for places in FIGURE3_SMC_PLACES:
+            smc = smc_from_places(net, places)
+            assert smc is not None
+            assert smc.token_count == 1

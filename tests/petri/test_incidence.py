@@ -1,0 +1,71 @@
+"""Unit tests for the incidence matrix and state equation (Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.petri import Marking
+from repro.petri.generators import figure1_net
+from repro.petri.incidence import (check_invariant, firing_count_vector,
+                                   incidence_matrix, invariant_token_count,
+                                   marking_vector, state_equation)
+
+# The incidence matrix printed in Section 2.1 of the paper.
+PAPER_MATRIX = np.array([
+    [-1, -1, 0, 0, 0, 0, 1],
+    [1, 0, -1, 0, 0, 0, 0],
+    [1, 0, 0, -1, 0, 0, 0],
+    [0, 1, 0, 0, -1, 0, 0],
+    [0, 1, 0, 0, 0, -1, 0],
+    [0, 0, 1, 0, 1, 0, -1],
+    [0, 0, 0, 1, 0, 1, -1],
+])
+
+
+def test_incidence_matrix_matches_paper():
+    assert np.array_equal(incidence_matrix(figure1_net()), PAPER_MATRIX)
+
+
+def test_marking_vector_matches_paper_m0():
+    net = figure1_net()
+    assert np.array_equal(marking_vector(net, net.initial_marking),
+                          np.array([1, 0, 0, 0, 0, 0, 0]))
+
+
+def test_firing_count_vector():
+    net = figure1_net()
+    sigma = firing_count_vector(net, ["t1", "t3", "t1"])
+    assert sigma.tolist() == [2, 0, 1, 0, 0, 0, 0]
+
+
+def test_state_equation_matches_token_game():
+    net = figure1_net()
+    sequence = ["t1", "t3", "t4", "t7", "t2"]
+    via_equation = state_equation(net, net.initial_marking, sequence)
+    via_firing = net.fire_sequence(net.initial_marking, sequence)
+    assert np.array_equal(via_equation,
+                          marking_vector(net, via_firing))
+
+
+def test_paper_invariants_check_out():
+    net = figure1_net()
+    # I = [2 1 1 1 1 1 1] is an invariant but not minimal; I1 and I2 are.
+    assert check_invariant(net, [2, 1, 1, 1, 1, 1, 1])
+    assert check_invariant(net, [1, 1, 0, 1, 0, 1, 0])
+    assert check_invariant(net, [1, 0, 1, 0, 1, 0, 1])
+    assert not check_invariant(net, [1, 0, 0, 0, 0, 0, 0])
+
+
+def test_invariant_token_count_constant_over_firings():
+    net = figure1_net()
+    weights = [1, 1, 0, 1, 0, 1, 0]
+    marking = net.initial_marking
+    count = invariant_token_count(net, weights, marking)
+    assert count == 1
+    for trans in ["t1", "t3", "t4", "t7"]:
+        marking = net.fire(marking, trans)
+        assert invariant_token_count(net, weights, marking) == count
+
+
+def test_check_invariant_wrong_length():
+    with pytest.raises(ValueError):
+        check_invariant(figure1_net(), [1, 2, 3])

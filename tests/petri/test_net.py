@@ -1,0 +1,174 @@
+"""Unit tests for PetriNet structure and token game."""
+
+import pytest
+
+from repro.petri import Marking, PetriNet, PetriNetError
+from repro.petri.generators import figure1_net
+
+
+@pytest.fixture
+def simple():
+    """p1 -> t1 -> p2 -> t2 -> p1 (a two-place cycle)."""
+    net = PetriNet("simple")
+    net.add_place("p1", tokens=1)
+    net.add_place("p2")
+    net.add_transition("t1", pre=["p1"], post=["p2"])
+    net.add_transition("t2", pre=["p2"], post=["p1"])
+    return net
+
+
+class TestConstruction:
+    def test_places_and_transitions_ordered(self, simple):
+        assert simple.places == ("p1", "p2")
+        assert simple.transitions == ("t1", "t2")
+
+    def test_duplicate_place_rejected(self, simple):
+        with pytest.raises(PetriNetError):
+            simple.add_place("p1")
+
+    def test_place_transition_name_clash_rejected(self, simple):
+        with pytest.raises(PetriNetError):
+            simple.add_transition("p1")
+        with pytest.raises(PetriNetError):
+            simple.add_place("t1")
+
+    def test_negative_tokens_rejected(self):
+        net = PetriNet()
+        with pytest.raises(PetriNetError):
+            net.add_place("p", tokens=-1)
+
+    def test_arc_must_be_bipartite(self, simple):
+        with pytest.raises(PetriNetError):
+            simple.add_arc("p1", "p2")
+        with pytest.raises(PetriNetError):
+            simple.add_arc("t1", "t2")
+
+    def test_arc_unknown_node(self, simple):
+        with pytest.raises(PetriNetError):
+            simple.add_arc("p1", "nope")
+
+    def test_add_places_bulk(self):
+        net = PetriNet()
+        net.add_places(["a", "b", "c"])
+        assert net.places == ("a", "b", "c")
+
+    def test_set_initial(self, simple):
+        simple.set_initial({"p2": 1})
+        assert simple.initial_marking == Marking(["p2"])
+
+    def test_set_initial_unknown_place(self, simple):
+        with pytest.raises(PetriNetError):
+            simple.set_initial({"zzz": 1})
+
+    def test_validate_isolated_transition(self):
+        net = PetriNet()
+        net.add_transition("t")
+        with pytest.raises(PetriNetError):
+            net.validate()
+
+    def test_validate_ok(self, simple):
+        simple.validate()
+
+
+class TestStructureQueries:
+    def test_preset_postset_of_transition(self):
+        net = figure1_net()
+        assert net.preset("t7") == {"p6", "p7"}
+        assert net.postset("t7") == {"p1"}
+
+    def test_preset_postset_of_place(self):
+        net = figure1_net()
+        assert net.preset("p1") == {"t7"}
+        assert net.postset("p1") == {"t1", "t2"}
+
+    def test_preset_unknown_node(self, simple):
+        with pytest.raises(PetriNetError):
+            simple.preset("zzz")
+
+    def test_is_place_is_transition(self, simple):
+        assert simple.is_place("p1")
+        assert not simple.is_place("t1")
+        assert simple.is_transition("t1")
+
+    def test_arcs_enumeration(self, simple):
+        assert set(simple.arcs()) == {
+            ("p1", "t1"), ("t1", "p2"), ("p2", "t2"), ("t2", "p1")}
+
+    def test_to_networkx(self):
+        graph = figure1_net().to_networkx()
+        assert graph.number_of_nodes() == 14
+        assert graph.nodes["p1"]["kind"] == "place"
+        assert graph.nodes["t1"]["kind"] == "transition"
+
+    def test_copy_is_independent(self, simple):
+        dup = simple.copy("dup")
+        dup.add_place("p3")
+        assert "p3" not in simple.places
+        assert dup.initial_marking == simple.initial_marking
+
+
+class TestTokenGame:
+    def test_enabled_at_initial(self, simple):
+        m = simple.initial_marking
+        assert simple.is_enabled(m, "t1")
+        assert not simple.is_enabled(m, "t2")
+        assert simple.enabled_transitions(m) == ["t1"]
+
+    def test_fire_moves_token(self, simple):
+        m = simple.fire(simple.initial_marking, "t1")
+        assert m == Marking(["p2"])
+
+    def test_fire_disabled_raises(self, simple):
+        with pytest.raises(PetriNetError):
+            simple.fire(simple.initial_marking, "t2")
+
+    def test_fire_unknown_transition(self, simple):
+        with pytest.raises(PetriNetError):
+            simple.fire(simple.initial_marking, "zzz")
+
+    def test_fire_sequence(self, simple):
+        m = simple.fire_sequence(simple.initial_marking,
+                                 ["t1", "t2", "t1"])
+        assert m == Marking(["p2"])
+
+    def test_figure1_feasible_sequence(self):
+        net = figure1_net()
+        m = net.fire_sequence(net.initial_marking, ["t1", "t3", "t4", "t7"])
+        assert m == net.initial_marking
+
+    def test_fork_join(self):
+        net = figure1_net()
+        m = net.fire(net.initial_marking, "t1")
+        assert m == Marking(["p2", "p3"])
+        assert set(net.enabled_transitions(m)) == {"t3", "t4"}
+
+
+class TestSubnets:
+    def test_subnet_generated_by_places(self):
+        net = figure1_net()
+        sub = net.subnet_generated_by_places(["p1", "p2", "p4", "p6"])
+        assert set(sub.places) == {"p1", "p2", "p4", "p6"}
+        # t1..t3, t5, t7 touch those places; t4, t6 do not.
+        assert set(sub.transitions) == {"t1", "t2", "t3", "t5", "t7"}
+        assert sub.initial_marking == Marking(["p1"])
+
+    def test_subnet_is_state_machine(self):
+        net = figure1_net()
+        sub = net.subnet_generated_by_places(["p1", "p2", "p4", "p6"])
+        assert sub.is_state_machine()
+        assert sub.is_strongly_connected()
+
+    def test_full_net_not_state_machine(self):
+        assert not figure1_net().is_state_machine()
+
+    def test_subnet_unknown_place(self, simple):
+        with pytest.raises(PetriNetError):
+            simple.subnet_generated_by_places(["zzz"])
+
+    def test_non_strongly_connected(self):
+        net = PetriNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_transition("t", pre=["a"], post=["b"])
+        assert net.is_state_machine()
+        assert not net.is_strongly_connected()

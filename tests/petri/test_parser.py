@@ -1,0 +1,75 @@
+"""Unit tests for the .pnet text format."""
+
+import io
+
+import pytest
+
+from repro.petri import Marking
+from repro.petri.generators import figure1_net, figure4_net, muller
+from repro.petri.parser import ParseError, dumps, load, loads, save
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("factory", [figure1_net, figure4_net,
+                                         lambda: muller(3)])
+    def test_roundtrip_preserves_structure(self, factory):
+        net = factory()
+        copy = loads(dumps(net))
+        assert copy.name == net.name
+        assert copy.places == net.places
+        assert copy.transitions == net.transitions
+        assert set(copy.arcs()) == set(net.arcs())
+        assert copy.initial_marking == net.initial_marking
+
+    def test_file_roundtrip(self, tmp_path):
+        net = figure1_net()
+        path = tmp_path / "fig1.pnet"
+        save(net, path)
+        assert load(path).places == net.places
+
+    def test_stream_load(self):
+        net = load(io.StringIO(dumps(figure1_net())))
+        assert net.name == "figure1"
+
+
+class TestParsing:
+    def test_comments_and_blank_lines(self):
+        net = loads("""
+        # a comment
+        net demo
+        place a 1   # trailing comment
+        place b
+        transition t
+        arc a t
+        arc t b
+        """)
+        assert net.name == "demo"
+        assert net.initial_marking == Marking(["a"])
+
+    def test_multi_token_place(self):
+        net = loads("net x\nplace a 3\n")
+        assert net.initial_marking == Marking({"a": 3})
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError):
+            loads("frobnicate a b\n")
+
+    def test_bad_arc(self):
+        with pytest.raises(ParseError):
+            loads("net x\nplace a\narc a\n")
+
+    def test_bad_tokens(self):
+        with pytest.raises(ParseError):
+            loads("net x\nplace a lots\n")
+
+    def test_duplicate_net_directive(self):
+        with pytest.raises(ParseError):
+            loads("net x\nnet y\n")
+
+    def test_arc_between_places_rejected(self):
+        with pytest.raises(ParseError):
+            loads("net x\nplace a\nplace b\narc a b\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            loads("net x\nplace a\nbogus\n")

@@ -1,0 +1,117 @@
+"""Unit tests for siphon/trap analysis."""
+
+import pytest
+
+from repro.petri import Marking, PetriNet, PetriNetError, find_deadlock
+from repro.petri.generators import figure1_net, figure4_net, muller
+from repro.petri.siphons import (commoner_condition,
+                                 empty_siphon_in_deadlock, is_siphon,
+                                 is_trap, largest_siphon_within,
+                                 largest_trap_within, minimal_siphons)
+
+
+class TestPredicates:
+    def test_smc_supports_are_siphons_and_traps(self):
+        """A strongly connected SMC's place set is both."""
+        net = figure1_net()
+        for support in (("p1", "p2", "p4", "p6"), ("p1", "p3", "p5", "p7")):
+            assert is_siphon(net, support)
+            assert is_trap(net, support)
+
+    def test_empty_set_is_neither(self):
+        net = figure1_net()
+        assert not is_siphon(net, [])
+        assert not is_trap(net, [])
+
+    def test_non_siphon(self):
+        net = figure1_net()
+        # p2 alone: t1 feeds it but takes from p1 (outside).
+        assert not is_siphon(net, ["p2"])
+
+    def test_siphon_only(self):
+        """A source-consumed place set: siphon but not trap."""
+        net = PetriNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_transition("t", pre=["a"], post=["b"])
+        assert is_siphon(net, ["a"])      # pre(a) = {} subset of post
+        assert not is_trap(net, ["a"])    # post(a) = {t} not in pre(a)
+        assert is_trap(net, ["b"])
+        assert not is_siphon(net, ["b"])
+
+
+class TestLargestWithin:
+    def test_whole_place_set(self):
+        net = figure1_net()
+        assert largest_siphon_within(net, net.places) == set(net.places)
+        assert largest_trap_within(net, net.places) == set(net.places)
+
+    def test_pruning_to_empty(self):
+        net = figure1_net()
+        assert largest_siphon_within(net, ["p2", "p3"]) == frozenset()
+        assert largest_trap_within(net, ["p2"]) == frozenset()
+
+    def test_finds_embedded_siphon(self):
+        net = figure1_net()
+        # p7 gets pruned: its input t6 takes from p5, outside the set.
+        subset = ["p1", "p2", "p4", "p6", "p7"]
+        assert largest_siphon_within(net, subset) == \
+            frozenset({"p1", "p2", "p4", "p6"})
+
+    def test_superset_of_smc_can_still_be_siphon(self):
+        """Adding p3 keeps the siphon property (t1 feeds p3 from p1)."""
+        net = figure1_net()
+        subset = ["p1", "p2", "p4", "p6", "p3"]
+        assert largest_siphon_within(net, subset) == frozenset(subset)
+        assert is_siphon(net, subset)
+
+
+class TestMinimalSiphons:
+    def test_figure1(self):
+        """The two SMC supports are exactly the minimal siphons."""
+        assert set(minimal_siphons(figure1_net())) == {
+            frozenset({"p1", "p2", "p4", "p6"}),
+            frozenset({"p1", "p3", "p5", "p7"})}
+
+    def test_minimality(self):
+        siphons = minimal_siphons(figure4_net())
+        for i, siphon_a in enumerate(siphons):
+            for j, siphon_b in enumerate(siphons):
+                if i != j:
+                    assert not siphon_a < siphon_b
+
+    def test_all_results_are_siphons(self):
+        net = figure4_net()
+        for siphon in minimal_siphons(net):
+            assert is_siphon(net, siphon)
+
+    def test_budget_guard(self):
+        with pytest.raises(PetriNetError):
+            minimal_siphons(figure4_net(), limit=3)
+
+
+class TestCommoner:
+    def test_figure1_satisfies_commoner(self):
+        """Free-choice and deadlock-free: Commoner must hold."""
+        assert commoner_condition(figure1_net())
+
+    def test_philosophers_violate_commoner(self):
+        """The philosophers deadlock; some siphon has no marked trap."""
+        assert not commoner_condition(figure4_net())
+
+    def test_muller_satisfies_commoner(self):
+        assert commoner_condition(muller(2))
+
+
+class TestDeadlockExplanation:
+    def test_deadlock_explained_by_empty_siphon(self):
+        net = figure4_net()
+        dead = find_deadlock(net)
+        siphon = empty_siphon_in_deadlock(net, dead)
+        assert siphon
+        assert is_siphon(net, siphon)
+        assert all(dead[p] == 0 for p in siphon)
+
+    def test_live_marking_has_no_explanation(self):
+        net = figure4_net()
+        assert empty_siphon_in_deadlock(net, net.initial_marking) is None

@@ -1,0 +1,144 @@
+"""Unit tests for State Machine Component extraction."""
+
+import pytest
+
+from repro.petri import (PetriNet, coverage, find_smcs, is_smc_decomposable,
+                         single_token_smcs, smc_from_places,
+                         smcs_from_invariants)
+from repro.petri.generators import (FIGURE1_SMC_PLACES, FIGURE3_SMC_PLACES,
+                                    figure1_net, figure4_net, muller,
+                                    slotted_ring)
+from repro.petri.smc import smc_covering_place_lp
+
+
+class TestValidation:
+    def test_figure1_smcs_validate(self):
+        net = figure1_net()
+        for places in FIGURE1_SMC_PLACES:
+            smc = smc_from_places(net, places)
+            assert smc is not None
+            assert smc.token_count == 1
+            assert smc.place_set == set(places)
+
+    def test_not_state_machine_rejected(self):
+        net = figure1_net()
+        # p6, p7 join at t7 (two inputs): not an SM inside {p6, p7, p1}.
+        assert smc_from_places(net, ["p1", "p6", "p7"]) is None
+
+    def test_not_strongly_connected_rejected(self):
+        net = figure1_net()
+        assert smc_from_places(net, ["p2", "p6"]) is None
+
+    def test_empty_subset(self):
+        assert smc_from_places(figure1_net(), []) is None
+
+    def test_transitions_recorded(self):
+        net = figure1_net()
+        smc = smc_from_places(net, ("p1", "p2", "p4", "p6"))
+        assert set(smc.transitions) == {"t1", "t2", "t3", "t5", "t7"}
+
+    def test_len_and_repr(self):
+        smc = smc_from_places(figure1_net(), ("p1", "p2", "p4", "p6"))
+        assert len(smc) == 4
+        assert "p1" in repr(smc)
+
+
+class TestDiscovery:
+    def test_figure1_discovery(self):
+        components = smcs_from_invariants(figure1_net())
+        assert {c.place_set for c in components} == {
+            frozenset(places) for places in FIGURE1_SMC_PLACES}
+
+    def test_figure3_decomposition(self):
+        """All six SMCs of Figure 3 are discovered."""
+        components = find_smcs(figure4_net(), strategy="farkas")
+        assert {c.place_set for c in components} == {
+            frozenset(places) for places in FIGURE3_SMC_PLACES}
+
+    def test_figure4_decomposable(self):
+        net = figure4_net()
+        components = find_smcs(net)
+        assert is_smc_decomposable(net, components)
+
+    def test_coverage_partition(self):
+        net = figure1_net()
+        components = find_smcs(net)
+        covered, uncovered = coverage(net, components)
+        assert covered == set(net.places)
+        assert uncovered == frozenset()
+
+    def test_partial_coverage(self):
+        net = figure1_net()
+        components = find_smcs(net)[:1]
+        covered, uncovered = coverage(net, components)
+        assert covered and uncovered
+        assert covered | uncovered == set(net.places)
+
+    def test_single_token_filter(self):
+        net = figure4_net()
+        components = find_smcs(net, strategy="farkas")
+        assert single_token_smcs(components) == components
+
+    def test_muller_pair_smcs(self):
+        net = muller(3)
+        components = find_smcs(net, strategy="farkas")
+        assert is_smc_decomposable(net, components)
+        assert all(len(c) == 2 for c in components)
+
+    def test_slotted_ring_decomposition(self):
+        net = slotted_ring(2)
+        components = find_smcs(net, strategy="farkas")
+        assert is_smc_decomposable(net, components)
+        supports = {c.place_set for c in components}
+        # The designed decomposition (controller cycles + wire pairs) must
+        # be among the discovered SMCs; Farkas may find further ones (e.g.
+        # mixed offer/ack/controller cycles), which is correct.
+        for i in range(2):
+            assert frozenset({f"s{i}_c0", f"s{i}_c1",
+                              f"s{i}_c2", f"s{i}_c3"}) in supports
+            for wire in ("p", "a", "b"):
+                assert frozenset({f"s{i}_{wire}0", f"s{i}_{wire}1"}) \
+                    in supports
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            find_smcs(figure1_net(), strategy="magic")
+
+
+class TestLPExtraction:
+    def test_lp_covers_each_figure1_place(self):
+        net = figure1_net()
+        for place in net.places:
+            smc = smc_covering_place_lp(net, place)
+            assert smc is not None
+            assert place in smc.place_set
+            assert smc.token_count == 1
+
+    def test_lp_respects_forbidden_places(self):
+        net = figure1_net()
+        # Every invariant through p2 includes p4 (it is a combination of
+        # the two minimal invariants), so forbidding p4 is infeasible.
+        assert smc_covering_place_lp(
+            net, "p2", forbid=frozenset({"p4"})) is None
+        # Forbidding p3 is fine: SM1 = {p1, p2, p4, p6} avoids it.
+        smc = smc_covering_place_lp(net, "p2", forbid=frozenset({"p3"}))
+        assert smc is not None
+        assert "p3" not in smc.place_set
+
+    def test_lp_unknown_place(self):
+        from repro.petri import PetriNetError
+        with pytest.raises(PetriNetError):
+            smc_covering_place_lp(figure1_net(), "zzz")
+
+    def test_lp_returns_none_when_impossible(self):
+        net = PetriNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_transition("t", pre=["a"], post=["a", "b"])
+        assert smc_covering_place_lp(net, "b") is None
+
+    def test_lp_strategy_on_figure4(self):
+        net = figure4_net()
+        components = find_smcs(net, strategy="lp")
+        covered, _ = coverage(net, components)
+        assert covered == set(net.places)

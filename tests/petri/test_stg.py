@@ -1,0 +1,139 @@
+"""Unit tests for the signal transition graph layer."""
+
+import pytest
+
+from repro.petri import (PetriNetError, ReachabilityGraph, find_smcs,
+                         is_smc_decomposable)
+from repro.petri.stg import STG, c_element, pipeline_stage
+
+
+class TestConstruction:
+    def test_signals_and_edges(self):
+        stg = STG("demo")
+        stg.add_signal("a")
+        stg.add_signal("b", initial=True)
+        edge = stg.rise("a", {"b": True})
+        assert stg.signals == ("a", "b")
+        assert edge.label == "a+"
+        assert stg.initial_state() == {"a": False, "b": True}
+
+    def test_duplicate_signal_rejected(self):
+        stg = STG()
+        stg.add_signal("a")
+        with pytest.raises(PetriNetError):
+            stg.add_signal("a")
+
+    def test_unknown_signal_rejected(self):
+        stg = STG()
+        stg.add_signal("a")
+        with pytest.raises(PetriNetError):
+            stg.rise("b")
+        with pytest.raises(PetriNetError):
+            stg.rise("a", {"zzz": True})
+
+    def test_self_guard_rejected(self):
+        stg = STG()
+        stg.add_signal("a")
+        with pytest.raises(PetriNetError):
+            stg.rise("a", {"a": False})
+
+    def test_edge_labels(self):
+        stg = STG()
+        stg.add_signal("req")
+        assert stg.fall("req").label == "req-"
+
+
+class TestExpansion:
+    def test_complementary_pairs(self):
+        stg = STG("pair")
+        stg.add_signal("s", initial=True)
+        net = stg.to_petri_net()
+        assert set(net.places) == {"s_0", "s_1"}
+        assert net.initial_marking["s_1"] == 1
+        assert net.initial_marking["s_0"] == 0
+
+    def test_guards_become_read_arcs(self):
+        stg = STG()
+        stg.add_signal("a")
+        stg.add_signal("b")
+        stg.rise("a", {"b": False})
+        net = stg.to_petri_net()
+        trans = net.transitions[0]
+        assert net.preset(trans) == {"a_0", "b_0"}
+        assert net.postset(trans) == {"a_1", "b_0"}
+
+    def test_duplicate_edges_get_unique_names(self):
+        stg = STG()
+        stg.add_signal("a")
+        stg.add_signal("b")
+        stg.rise("a", {"b": False})
+        stg.rise("a", {"b": True})
+        net = stg.to_petri_net()
+        assert len(net.transitions) == 2
+
+    def test_expansion_is_safe(self):
+        net = c_element().to_petri_net()
+        graph = ReachabilityGraph(net)
+        assert graph.is_safe()
+
+
+class TestCElement:
+    def test_state_space(self):
+        net = c_element().to_petri_net()
+        graph = ReachabilityGraph(net)
+        # a, b, c with C-element semantics: not all 8 combinations allow
+        # progress the same way, but all are reachable with eager inputs.
+        assert 4 <= len(graph) <= 8
+        assert not graph.deadlocks()
+
+    def test_smc_decomposable(self):
+        net = c_element().to_petri_net()
+        components = find_smcs(net)
+        assert is_smc_decomposable(net, components)
+        assert all(len(c) == 2 for c in components)
+
+    def test_output_rises_only_when_both_inputs_high(self):
+        net = c_element().to_petri_net()
+        graph = ReachabilityGraph(net)
+        for index, marking in enumerate(graph.markings):
+            for trans, successor in graph.successors(marking):
+                if trans == "t_c_up":
+                    assert "a_1" in marking and "b_1" in marking
+
+
+class TestPipelineStage:
+    def test_safe_live_and_decomposable(self):
+        net = pipeline_stage().to_petri_net()
+        graph = ReachabilityGraph(net)
+        assert graph.is_safe()
+        assert not graph.deadlocks()
+        components = find_smcs(net)
+        assert is_smc_decomposable(net, components)
+
+    def test_dense_encoding_halves_variables(self):
+        from repro.encoding import ImprovedEncoding, SparseEncoding
+        net = pipeline_stage().to_petri_net()
+        assert ImprovedEncoding(net).num_variables \
+            == SparseEncoding(net).num_variables // 2
+
+    def test_symbolic_traversal_matches_explicit(self):
+        from repro.encoding import ImprovedEncoding
+        from repro.symbolic import SymbolicNet, traverse
+        net = pipeline_stage().to_petri_net()
+        expected = len(ReachabilityGraph(net))
+        result = traverse(SymbolicNet(ImprovedEncoding(net)))
+        assert result.marking_count == expected
+
+    def test_handshake_order(self):
+        """a_in never acknowledges before r_out has risen."""
+        net = pipeline_stage().to_petri_net()
+        graph = ReachabilityGraph(net)
+        for marking in graph.markings:
+            if "a_in_1" in marking:
+                # a_in high implies r_out rose at some point; with the
+                # eager mirror it can only fall after r_out falls.
+                pass  # structural: checked by the guard test below
+        for marking in graph.markings:
+            for trans, _ in graph.successors(marking):
+                if trans == "t_a_in_up":
+                    assert "r_out_1" in marking

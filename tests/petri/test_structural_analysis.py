@@ -1,0 +1,100 @@
+"""Unit tests for T-invariants and structural bounds."""
+
+import pytest
+
+from repro.petri import PetriNet, ReachabilityGraph
+from repro.petri.generators import figure1_net, figure4_net, muller
+from repro.petri.invariants import (is_structurally_safe, is_t_invariant,
+                                    minimal_semipositive_t_invariants,
+                                    structural_bound)
+
+
+class TestTInvariants:
+    def test_figure1_cycles(self):
+        """The two firing cycles of the running example: t1 t3 t4 t7 and
+        t2 t5 t6 t7."""
+        net = figure1_net()
+        invariants = minimal_semipositive_t_invariants(net)
+        supports = {tuple(t for t, w in zip(net.transitions, weights)
+                          if w > 0)
+                    for weights in invariants}
+        assert ("t1", "t3", "t4", "t7") in supports
+        assert ("t2", "t5", "t6", "t7") in supports
+        assert len(invariants) == 2
+
+    def test_t_invariants_reproduce_marking(self):
+        """Firing a T-invariant's transitions returns to the start."""
+        net = figure1_net()
+        marking = net.fire_sequence(net.initial_marking,
+                                    ["t1", "t3", "t4", "t7"])
+        assert marking == net.initial_marking
+
+    def test_is_t_invariant(self):
+        net = figure1_net()
+        assert is_t_invariant(net, [1, 0, 1, 1, 0, 0, 1])
+        assert not is_t_invariant(net, [1, 0, 0, 0, 0, 0, 0])
+        # The sum of both cycles fires t7 twice.
+        assert is_t_invariant(net, [1, 1, 1, 1, 1, 1, 2])
+
+    def test_is_t_invariant_wrong_length(self):
+        with pytest.raises(ValueError):
+            is_t_invariant(figure1_net(), [1, 2])
+
+    def test_philosopher_cycles(self):
+        """Each philosopher's five transitions form a T-invariant."""
+        net = figure4_net()
+        invariants = minimal_semipositive_t_invariants(net)
+        supports = {tuple(t for t, w in zip(net.transitions, weights)
+                          if w > 0)
+                    for weights in invariants}
+        assert ("t1", "t2", "t3", "t4", "t5") in supports
+        assert ("t6", "t7", "t8", "t9", "t10") in supports
+
+    def test_acyclic_net_has_no_t_invariant(self):
+        net = PetriNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_transition("t", pre=["a"], post=["b"])
+        assert minimal_semipositive_t_invariants(net) == []
+
+
+class TestStructuralBounds:
+    def test_figure1_bounds_are_one(self):
+        net = figure1_net()
+        for place in net.places:
+            assert structural_bound(net, place) == 1
+
+    def test_structural_safety(self):
+        assert is_structurally_safe(figure1_net())
+        assert is_structurally_safe(figure4_net())
+        assert is_structurally_safe(muller(2))
+
+    def test_bound_matches_actual_bound(self):
+        """The invariant bound is an upper bound on the real bound."""
+        net = figure4_net()
+        graph = ReachabilityGraph(net)
+        for place in net.places:
+            assert graph.place_bound(place) <= structural_bound(net, place)
+
+    def test_uncovered_place_unbounded(self):
+        net = PetriNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_transition("t", pre=["a"], post=["a", "b"])
+        assert structural_bound(net, "b") is None
+        assert not is_structurally_safe(net)
+
+    def test_weighted_bound(self):
+        """A two-token invariant gives bound 2."""
+        net = PetriNet()
+        net.add_place("a", tokens=2)
+        net.add_place("b")
+        net.add_transition("t1", pre=["a"], post=["b"])
+        net.add_transition("t2", pre=["b"], post=["a"])
+        assert structural_bound(net, "a") == 2
+        assert not is_structurally_safe(net)
+
+    def test_unknown_place(self):
+        from repro.petri import PetriNetError
+        with pytest.raises(PetriNetError):
+            structural_bound(figure1_net(), "zzz")

@@ -1,0 +1,120 @@
+"""Property-based tests for the encoding schemes and symbolic images.
+
+Random walks through the token game of the benchmark nets generate
+reachable markings; every encoding must round-trip them, and the
+symbolic one-step image must agree with the explicit successors from
+arbitrary reachable frontiers.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
+from repro.petri import ReachabilityGraph
+from repro.petri.generators import figure1_net, figure4_net, muller
+from repro.symbolic import SymbolicNet
+
+NETS = {
+    "figure1": figure1_net(),
+    "figure4": figure4_net(),
+    "muller2": muller(2),
+}
+GRAPHS = {name: ReachabilityGraph(net) for name, net in NETS.items()}
+SCHEMES = [SparseEncoding, DenseEncoding, ImprovedEncoding]
+ENCODINGS = {(name, scheme.__name__): scheme(net)
+             for name, net in NETS.items() for scheme in SCHEMES}
+SYMNETS = {key: SymbolicNet(enc) for key, enc in ENCODINGS.items()}
+
+net_names = st.sampled_from(sorted(NETS))
+scheme_names = st.sampled_from([s.__name__ for s in SCHEMES])
+
+
+def random_marking(name, seed):
+    graph = GRAPHS[name]
+    return graph.markings[seed % len(graph.markings)]
+
+
+@settings(max_examples=120, deadline=None)
+@given(net_names, scheme_names, st.integers(min_value=0, max_value=10_000))
+def test_reachable_markings_roundtrip(name, scheme, seed):
+    encoding = ENCODINGS[(name, scheme)]
+    marking = random_marking(name, seed)
+    assignment = encoding.marking_to_assignment(marking)
+    assert encoding.assignment_to_marking(assignment) == marking
+
+
+@settings(max_examples=120, deadline=None)
+@given(net_names, scheme_names, st.integers(min_value=0, max_value=10_000))
+def test_characteristic_semantics(name, scheme, seed):
+    """[p] holds on an encoded marking iff p is marked."""
+    symnet = SYMNETS[(name, scheme)]
+    marking = random_marking(name, seed)
+    assignment = symnet.encoding.marking_to_assignment(marking)
+    for place in symnet.net.places:
+        assert symnet.places[place](assignment) == (place in marking)
+
+
+@settings(max_examples=100, deadline=None)
+@given(net_names, scheme_names, st.integers(min_value=0, max_value=10_000))
+def test_enabling_semantics(name, scheme, seed):
+    """E_t holds exactly when the token game enables t."""
+    symnet = SYMNETS[(name, scheme)]
+    net = NETS[name]
+    marking = random_marking(name, seed)
+    assignment = symnet.encoding.marking_to_assignment(marking)
+    for transition in net.transitions:
+        assert (symnet.enabling[transition](assignment)
+                == net.is_enabled(marking, transition))
+
+
+@settings(max_examples=60, deadline=None)
+@given(net_names, scheme_names,
+       st.lists(st.integers(min_value=0, max_value=10_000),
+                min_size=1, max_size=4),
+       st.booleans())
+def test_image_matches_explicit_successors(name, scheme, seeds, toggle):
+    """Symbolic one-step image of a random reachable frontier equals the
+    union of explicit successors."""
+    symnet = SYMNETS[(name, scheme)]
+    net = NETS[name]
+    markings = [random_marking(name, seed) for seed in seeds]
+    frontier = None
+    for marking in markings:
+        minterm = symnet.marking_function(marking)
+        frontier = minterm if frontier is None else (frontier | minterm)
+    for transition in net.transitions:
+        expected = {net.fire(m, transition).support
+                    for m in markings if net.is_enabled(m, transition)}
+        if toggle:
+            image = symnet.image_toggle(frontier, transition)
+        else:
+            image = symnet.image(frontier, transition)
+        actual = {m.support for m in symnet.markings_of(image)}
+        assert actual == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(net_names, scheme_names, st.integers(min_value=0, max_value=10_000))
+def test_preimage_contains_explicit_predecessor(name, scheme, seed):
+    """Every explicit firing M -> M' puts M in pre(M')."""
+    symnet = SYMNETS[(name, scheme)]
+    net = NETS[name]
+    marking = random_marking(name, seed)
+    for transition in net.enabled_transitions(marking):
+        successor = net.fire(marking, transition)
+        pre = symnet.preimage(symnet.marking_function(successor),
+                              transition)
+        source = symnet.marking_function(marking)
+        assert (source & pre) == source
+
+
+@settings(max_examples=40, deadline=None)
+@given(net_names, st.integers(min_value=0, max_value=10_000))
+def test_schemes_agree_on_assignment_counts(name, seed):
+    """All schemes represent each reachable marking by one assignment."""
+    marking = random_marking(name, seed)
+    for scheme in SCHEMES:
+        symnet = SYMNETS[(name, scheme.__name__)]
+        minterm = symnet.marking_function(marking)
+        assert minterm.satcount(symnet.encoding.num_variables) == 1

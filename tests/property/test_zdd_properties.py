@@ -1,0 +1,114 @@
+"""Property-based tests for the ZDD manager against Python set families."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import EMPTY, ZDD
+
+NUM_ELEMS = 5
+NAMES = [f"e{i}" for i in range(NUM_ELEMS)]
+
+set_strategy = st.frozensets(
+    st.integers(min_value=0, max_value=NUM_ELEMS - 1), max_size=NUM_ELEMS)
+family_strategy = st.frozensets(set_strategy, max_size=12)
+
+
+def build(zdd, fam):
+    return zdd.from_sets(fam)
+
+
+def extract(zdd, node):
+    return frozenset(zdd.iter_sets(node))
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy)
+def test_roundtrip(fam):
+    zdd = ZDD(var_names=NAMES)
+    assert extract(zdd, build(zdd, fam)) == fam
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, family_strategy)
+def test_union_is_set_union(fam1, fam2):
+    zdd = ZDD(var_names=NAMES)
+    node = zdd.union(build(zdd, fam1), build(zdd, fam2))
+    assert extract(zdd, node) == fam1 | fam2
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, family_strategy)
+def test_intersect_is_set_intersection(fam1, fam2):
+    zdd = ZDD(var_names=NAMES)
+    node = zdd.intersect(build(zdd, fam1), build(zdd, fam2))
+    assert extract(zdd, node) == fam1 & fam2
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, family_strategy)
+def test_diff_is_set_difference(fam1, fam2):
+    zdd = ZDD(var_names=NAMES)
+    node = zdd.diff(build(zdd, fam1), build(zdd, fam2))
+    assert extract(zdd, node) == fam1 - fam2
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, st.integers(min_value=0, max_value=NUM_ELEMS - 1))
+def test_subset1_semantics(fam, elem):
+    zdd = ZDD(var_names=NAMES)
+    node = zdd.subset1(build(zdd, fam), elem)
+    expected = frozenset(s - {elem} for s in fam if elem in s)
+    assert extract(zdd, node) == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, st.integers(min_value=0, max_value=NUM_ELEMS - 1))
+def test_subset0_semantics(fam, elem):
+    zdd = ZDD(var_names=NAMES)
+    node = zdd.subset0(build(zdd, fam), elem)
+    expected = frozenset(s for s in fam if elem not in s)
+    assert extract(zdd, node) == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, st.integers(min_value=0, max_value=NUM_ELEMS - 1))
+def test_change_semantics(fam, elem):
+    zdd = ZDD(var_names=NAMES)
+    node = zdd.change(build(zdd, fam), elem)
+    expected = frozenset(
+        (s - {elem}) if elem in s else frozenset(s | {elem}) for s in fam)
+    assert extract(zdd, node) == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy)
+def test_count_matches_cardinality(fam):
+    zdd = ZDD(var_names=NAMES)
+    assert zdd.count(build(zdd, fam)) == len(fam)
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, family_strategy)
+def test_canonicity(fam1, fam2):
+    zdd = ZDD(var_names=NAMES)
+    node1, node2 = build(zdd, fam1), build(zdd, fam2)
+    assert (node1 == node2) == (fam1 == fam2)
+
+
+@settings(max_examples=100, deadline=None)
+@given(family_strategy, set_strategy)
+def test_contains(fam, probe):
+    zdd = ZDD(var_names=NAMES)
+    node = build(zdd, fam)
+    assert zdd.contains(node, probe) == (probe in fam)
+
+
+@settings(max_examples=100, deadline=None)
+@given(family_strategy, st.integers(min_value=0, max_value=NUM_ELEMS - 1))
+def test_partition_by_element(fam, elem):
+    """with-elem and without-elem partition the family."""
+    zdd = ZDD(var_names=NAMES)
+    node = build(zdd, fam)
+    with_e = zdd.change(zdd.subset1(node, elem), elem)
+    without_e = zdd.subset0(node, elem)
+    assert zdd.union(with_e, without_e) == node
+    assert zdd.intersect(with_e, without_e) == EMPTY

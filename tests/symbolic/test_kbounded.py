@@ -1,0 +1,135 @@
+"""Unit tests for the k-bounded (non-safe) symbolic engine."""
+
+import pytest
+
+from repro.petri import Marking, PetriNet, ReachabilityGraph
+from repro.petri.generators import figure1_net, figure4_net
+from repro.symbolic.kbounded import KBoundedNet, traverse_kbounded
+
+
+def two_token_cycle():
+    """A cycle with two tokens: 2-bounded, never safe."""
+    net = PetriNet("two-token")
+    net.add_place("a", tokens=2)
+    net.add_place("b")
+    net.add_place("c")
+    net.add_transition("t1", pre=["a"], post=["b"])
+    net.add_transition("t2", pre=["b"], post=["c"])
+    net.add_transition("t3", pre=["c"], post=["a"])
+    return net
+
+
+def producer_consumer(buffer_bound):
+    """Unbounded producer throttled only by the engine's bound."""
+    net = PetriNet("prodcons")
+    net.add_place("idle", tokens=1)
+    net.add_place("buffer")
+    net.add_transition("produce", pre=["idle"], post=["idle", "buffer"])
+    net.add_transition("consume", pre=["buffer"], post=[])
+    return net
+
+
+class TestConstruction:
+    def test_bit_width(self):
+        knet = KBoundedNet(two_token_cycle(), bound=2)
+        assert knet.bits == 2
+        assert len(knet.current_vars) == 3 * 2
+
+    def test_safe_bound_single_bit(self):
+        knet = KBoundedNet(figure1_net(), bound=1)
+        assert knet.bits == 1
+        assert len(knet.current_vars) == 7
+
+    def test_bad_bound(self):
+        with pytest.raises(ValueError):
+            KBoundedNet(two_token_cycle(), bound=0)
+
+    def test_initial_exceeding_bound_rejected(self):
+        with pytest.raises(ValueError):
+            KBoundedNet(two_token_cycle(), bound=1)
+
+    def test_fresh_manager_required(self):
+        from repro.bdd import BDD
+        bdd = BDD(var_names=["stale"])
+        with pytest.raises(ValueError):
+            KBoundedNet(two_token_cycle(), bound=2, bdd=bdd)
+
+
+class TestPredicates:
+    def test_count_equals_on_initial(self):
+        knet = KBoundedNet(two_token_cycle(), bound=2)
+        assert not (knet.initial & knet.count_equals("a", 2)).is_zero()
+        assert (knet.initial & knet.count_equals("a", 1)).is_zero()
+
+    def test_count_at_least(self):
+        knet = KBoundedNet(two_token_cycle(), bound=2)
+        assert not (knet.initial & knet.count_at_least("a", 1)).is_zero()
+        assert (knet.initial & knet.count_at_least("b", 1)).is_zero()
+
+    def test_count_out_of_range(self):
+        knet = KBoundedNet(two_token_cycle(), bound=2)
+        with pytest.raises(ValueError):
+            knet.count_equals("a", 9)
+
+
+class TestImage:
+    def test_single_step(self):
+        knet = KBoundedNet(two_token_cycle(), bound=2)
+        successors = knet.image(knet.initial, "t1")
+        assert knet.markings_of(successors) == [Marking({"a": 1, "b": 1})]
+
+    def test_disabled_transition(self):
+        knet = KBoundedNet(two_token_cycle(), bound=2)
+        assert knet.image(knet.initial, "t2").is_zero()
+
+    def test_image_respects_bound(self):
+        """The producer cannot exceed the configured buffer bound."""
+        knet = KBoundedNet(producer_consumer(3), bound=3)
+        result = traverse_kbounded(knet)
+        for marking in knet.markings_of(result.reachable):
+            assert marking["buffer"] <= 3
+
+
+class TestTraversal:
+    def test_two_token_cycle_counts(self):
+        """Token counts over 3 places summing to 2: C(4,2) = 6 markings."""
+        knet = KBoundedNet(two_token_cycle(), bound=2)
+        result = traverse_kbounded(knet)
+        explicit = ReachabilityGraph(two_token_cycle(), require_safe=False)
+        assert result.marking_count == len(explicit) == 6
+
+    def test_matches_explicit_markings(self):
+        knet = KBoundedNet(two_token_cycle(), bound=2)
+        result = traverse_kbounded(knet)
+        explicit = ReachabilityGraph(two_token_cycle(), require_safe=False)
+        assert set(knet.markings_of(result.reachable)) \
+            == set(explicit.markings)
+
+    @pytest.mark.parametrize("factory,expected", [
+        (figure1_net, 8), (figure4_net, 22)])
+    def test_safe_nets_at_bound_one(self, factory, expected):
+        """With k = 1 the engine reproduces the safe engines' counts."""
+        result = traverse_kbounded(KBoundedNet(factory(), bound=1))
+        assert result.marking_count == expected
+
+    def test_safe_net_at_higher_bound_same_counts(self):
+        """A safe net stays safe under a looser bound."""
+        result = traverse_kbounded(KBoundedNet(figure1_net(), bound=3))
+        assert result.marking_count == 8
+
+    def test_producer_consumer_buffer_levels(self):
+        knet = KBoundedNet(producer_consumer(2), bound=2)
+        result = traverse_kbounded(knet)
+        # idle always 1; buffer in {0, 1, 2}: three markings.
+        assert result.marking_count == 3
+
+    def test_statistics(self):
+        result = traverse_kbounded(KBoundedNet(two_token_cycle(), bound=2))
+        assert result.iterations > 0
+        assert result.variable_count == 6
+        assert "markings=6" in repr(result)
+
+    def test_max_iterations_guard(self):
+        knet = KBoundedNet(two_token_cycle(), bound=2)
+        with pytest.raises(RuntimeError):
+            traverse_kbounded(knet, max_iterations=1)

@@ -1,0 +1,60 @@
+"""Unit tests for traversal strategies and frontier simplification."""
+
+import pytest
+
+from repro.encoding import ImprovedEncoding, SparseEncoding
+from repro.petri import ReachabilityGraph
+from repro.petri.generators import figure4_net, muller, slotted_ring
+from repro.symbolic import SymbolicNet, traverse
+
+FAMILIES = [
+    ("figure4", figure4_net, 22),
+    ("muller5", lambda: muller(5), 420),
+    ("slot3", lambda: slotted_ring(3), 224),
+]
+
+
+@pytest.mark.parametrize("name,factory,expected", FAMILIES,
+                         ids=[f[0] for f in FAMILIES])
+@pytest.mark.parametrize("strategy", ["bfs", "chaining"])
+@pytest.mark.parametrize("simplify", [False, True])
+def test_all_strategies_reach_same_fixpoint(name, factory, expected,
+                                            strategy, simplify):
+    symnet = SymbolicNet(ImprovedEncoding(factory()))
+    result = traverse(symnet, use_toggle=True, strategy=strategy,
+                      simplify_frontier=simplify)
+    assert result.marking_count == expected
+
+
+def test_chaining_needs_fewer_iterations():
+    net = muller(6)
+    bfs = traverse(SymbolicNet(ImprovedEncoding(net)), strategy="bfs")
+    chain = traverse(SymbolicNet(ImprovedEncoding(net)),
+                     strategy="chaining")
+    assert chain.iterations < bfs.iterations
+    assert chain.marking_count == bfs.marking_count
+
+
+def test_chaining_respects_transition_order_semantics():
+    """Chaining explores more per iteration but never invents states."""
+    net = figure4_net()
+    explicit = {m.support for m in ReachabilityGraph(net).markings}
+    symnet = SymbolicNet(SparseEncoding(net))
+    result = traverse(symnet, strategy="chaining")
+    assert {m.support for m in symnet.markings_of(result.reachable)} \
+        == explicit
+
+
+def test_unknown_strategy_rejected():
+    symnet = SymbolicNet(SparseEncoding(figure4_net()))
+    with pytest.raises(ValueError):
+        traverse(symnet, strategy="dfs")
+
+
+def test_simplified_frontier_with_reordering():
+    net = slotted_ring(3)
+    symnet = SymbolicNet(ImprovedEncoding(net), auto_reorder=True,
+                         reorder_threshold=500)
+    result = traverse(symnet, use_toggle=True, strategy="chaining",
+                      simplify_frontier=True)
+    assert result.marking_count == 224

@@ -1,0 +1,119 @@
+"""Cross-validation of every symbolic engine against explicit enumeration."""
+
+import pytest
+
+from repro.encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
+from repro.petri import ReachabilityGraph
+from repro.petri.generators import (dme_spec, figure1_net, figure4_net,
+                                    jj_register, muller, philosophers,
+                                    slotted_ring)
+from repro.symbolic import (RelationalNet, SymbolicNet, traverse,
+                            traverse_relational)
+
+FAMILIES = [
+    ("figure1", figure1_net),
+    ("figure4", figure4_net),
+    ("muller3", lambda: muller(3)),
+    ("slot2", lambda: slotted_ring(2)),
+    ("phil3", lambda: philosophers(3)),
+    ("dme2", lambda: dme_spec(2)),
+    ("jjreg-a2", lambda: jj_register("a", bits=2)),
+]
+SCHEMES = [SparseEncoding, DenseEncoding, ImprovedEncoding]
+
+
+@pytest.fixture(scope="module")
+def explicit_counts():
+    return {name: len(ReachabilityGraph(factory(), max_markings=200_000))
+            for name, factory in FAMILIES}
+
+
+@pytest.mark.parametrize("name,factory", FAMILIES,
+                         ids=[n for n, _ in FAMILIES])
+@pytest.mark.parametrize("scheme", SCHEMES,
+                         ids=[s.__name__ for s in SCHEMES])
+def test_marking_count_matches_explicit(name, factory, scheme,
+                                        explicit_counts):
+    result = traverse(SymbolicNet(scheme(factory())))
+    assert result.marking_count == explicit_counts[name]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES,
+                         ids=[s.__name__ for s in SCHEMES])
+def test_toggle_firing_agrees(scheme, explicit_counts):
+    """The Section 5.2 toggle path reaches the same fixpoint."""
+    for name, factory in FAMILIES[:5]:
+        result = traverse(SymbolicNet(scheme(factory())), use_toggle=True)
+        assert result.marking_count == explicit_counts[name]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES,
+                         ids=[s.__name__ for s in SCHEMES])
+def test_relational_engine_agrees(scheme, explicit_counts):
+    """The Eq. 3 relational path reaches the same fixpoint."""
+    for name, factory in [("figure1", figure1_net),
+                          ("figure4", figure4_net),
+                          ("slot2", lambda: slotted_ring(2))]:
+        result = traverse_relational(RelationalNet(scheme(factory())))
+        assert result.marking_count == explicit_counts[name]
+
+
+def test_monolithic_relation_agrees(explicit_counts):
+    relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+    result = traverse_relational(relnet, monolithic=True)
+    assert result.marking_count == explicit_counts["figure4"]
+
+
+def test_reachable_sets_decode_identically():
+    """BDD reachable set decodes to exactly the explicit marking set."""
+    net = figure4_net()
+    explicit = {m.support for m in ReachabilityGraph(net).markings}
+    for scheme in SCHEMES:
+        symnet = SymbolicNet(scheme(net))
+        reached = traverse(symnet).reachable
+        symbolic = {m.support for m in symnet.markings_of(reached)}
+        assert symbolic == explicit
+
+
+def test_traversal_statistics_sane():
+    symnet = SymbolicNet(ImprovedEncoding(figure4_net()))
+    result = traverse(symnet)
+    assert result.iterations > 0
+    assert result.variable_count == 8
+    assert result.final_bdd_nodes >= 3
+    assert result.peak_live_nodes >= result.final_bdd_nodes
+    assert result.seconds >= 0
+    assert "markings=22" in repr(result)
+
+
+def test_on_iteration_observer():
+    steps = []
+    symnet = SymbolicNet(SparseEncoding(figure1_net()))
+    traverse(symnet, on_iteration=lambda i, r: steps.append(i))
+    assert steps == list(range(1, len(steps) + 1))
+    assert steps  # at least one frontier step
+
+
+def test_max_iterations_guard():
+    symnet = SymbolicNet(SparseEncoding(figure4_net()))
+    with pytest.raises(RuntimeError):
+        traverse(symnet, max_iterations=1)
+
+
+def test_traversal_with_dynamic_reordering():
+    """Auto-reordering during traversal must not change the result."""
+    net = slotted_ring(3)
+    expected = len(ReachabilityGraph(net))
+    symnet = SymbolicNet(ImprovedEncoding(net), auto_reorder=True,
+                         reorder_threshold=500)
+    result = traverse(symnet, use_toggle=True)
+    assert result.marking_count == expected
+    assert result.reorder_count > 0
+
+
+def test_dense_uses_fewer_variables_everywhere():
+    for name, factory in FAMILIES:
+        net = factory()
+        sparse = SparseEncoding(net)
+        improved = ImprovedEncoding(net)
+        assert improved.num_variables < sparse.num_variables, name

@@ -1,0 +1,82 @@
+"""Unit tests for the sparse-ZDD baseline engine (Table 4)."""
+
+import pytest
+
+from repro.petri import Marking, ReachabilityGraph
+from repro.petri.generators import (figure1_net, figure4_net, muller,
+                                    slotted_ring)
+from repro.symbolic import ZddNet, traverse_zdd
+
+
+class TestZddNet:
+    def test_fresh_manager_required(self):
+        from repro.bdd import ZDD
+        zdd = ZDD(var_names=["stale"])
+        with pytest.raises(ValueError):
+            ZddNet(figure1_net(), zdd=zdd)
+
+    def test_initial_family(self):
+        zddnet = ZddNet(figure1_net())
+        assert zddnet.markings_of(zddnet.initial) == [Marking(["p1"])]
+
+    def test_image_single_transition(self):
+        zddnet = ZddNet(figure1_net())
+        successors = zddnet.image(zddnet.initial, "t1")
+        assert zddnet.markings_of(successors) == [Marking(["p2", "p3"])]
+
+    def test_image_disabled_is_empty(self):
+        zddnet = ZddNet(figure1_net())
+        assert zddnet.image(zddnet.initial, "t7") == zddnet.zdd.empty()
+
+    def test_image_with_self_loops(self):
+        """Read arcs must survive firing (muller uses them heavily)."""
+        net = muller(2)
+        zddnet = ZddNet(net)
+        rg = ReachabilityGraph(net)
+        for trans, successor in rg.successors(rg.initial):
+            image = zddnet.image(zddnet.initial, trans)
+            assert zddnet.markings_of(image) == [successor]
+
+    def test_image_all_matches_explicit_successors(self):
+        net = figure1_net()
+        zddnet = ZddNet(net)
+        rg = ReachabilityGraph(net)
+        successors = zddnet.image_all(zddnet.initial)
+        expected = {m.support for _, m in rg.successors(rg.initial)}
+        assert {m.support for m in zddnet.markings_of(successors)} \
+            == expected
+
+
+class TestTraversal:
+    @pytest.mark.parametrize("factory,expected", [
+        (figure1_net, 8),
+        (figure4_net, 22),
+        (lambda: muller(3), 30),
+        (lambda: slotted_ring(2), 40),
+    ])
+    def test_counts_match_explicit(self, factory, expected):
+        result = traverse_zdd(ZddNet(factory()))
+        assert result.marking_count == expected
+
+    def test_reachable_family_decodes_exactly(self):
+        net = figure4_net()
+        zddnet = ZddNet(net)
+        result = traverse_zdd(zddnet)
+        explicit = {m.support for m in ReachabilityGraph(net).markings}
+        symbolic = {m.support
+                    for m in zddnet.markings_of(result.reachable)}
+        assert symbolic == explicit
+
+    def test_statistics(self):
+        result = traverse_zdd(ZddNet(figure1_net()))
+        assert result.variable_count == 7
+        assert result.final_zdd_nodes > 2
+        assert result.iterations > 0
+        assert "markings=8" in repr(result)
+
+    def test_zdd_smaller_than_place_count_blowup(self):
+        """ZDD nodes stay near-linear for these structured families —
+        the Yoneda effect that motivates Table 4's baseline."""
+        small = traverse_zdd(ZddNet(slotted_ring(2))).final_zdd_nodes
+        large = traverse_zdd(ZddNet(slotted_ring(4))).final_zdd_nodes
+        assert large < small * 8  # mild growth, not explosion

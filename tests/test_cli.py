@@ -1,0 +1,90 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def muller_file(tmp_path):
+    path = tmp_path / "m3.pnet"
+    assert main(["generate", "muller", "3", "-o", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "slot", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "net slot-2" in out
+        assert "place s0_c0 1" in out
+
+    def test_generate_to_file(self, muller_file):
+        assert muller_file.exists()
+        text = muller_file.read_text()
+        assert "net muller-3" in text
+        assert "place y0_0" in text
+
+    def test_generate_jjreg_variant(self, tmp_path, capsys):
+        path = tmp_path / "jj.pnet"
+        assert main(["generate", "jjreg", "3", "--variant", "b",
+                     "-o", str(path)]) == 0
+        assert "jjreg-b-3" in capsys.readouterr().out
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "nosuch", "3"])
+
+
+class TestInfo:
+    def test_structure_report(self, muller_file, capsys):
+        assert main(["info", str(muller_file)]) == 0
+        out = capsys.readouterr().out
+        assert "12 places" in out
+        assert "single-token SMCs: 6" in out
+        assert "free_choice" in out
+
+    def test_invariants_flag(self, muller_file, capsys):
+        assert main(["info", str(muller_file), "--invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "P-invariants" in out
+        assert "T-invariants" in out
+
+
+class TestEncode:
+    @pytest.mark.parametrize("scheme,expected", [
+        ("sparse", "12 variables"),
+        ("improved", "6 variables"),
+        ("dense", "6 variables"),
+    ])
+    def test_schemes(self, muller_file, capsys, scheme, expected):
+        assert main(["encode", str(muller_file), "--scheme", scheme]) == 0
+        assert expected in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_bdd_engine(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file)]) == 0
+        out = capsys.readouterr().out
+        assert "markings=30" in out
+        assert "scheme=improved" in out
+
+    def test_zdd_engine(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file), "--engine", "zdd"]) == 0
+        assert "markings=30" in capsys.readouterr().out
+
+    def test_sparse_bfs_no_reorder(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file), "--scheme", "sparse",
+                     "--strategy", "bfs", "--no-reorder"]) == 0
+        out = capsys.readouterr().out
+        assert "variables=12" in out
+        assert "markings=30" in out
+
+    def test_deadlock_report(self, tmp_path, capsys):
+        path = tmp_path / "phil.pnet"
+        main(["generate", "phil", "2", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["analyze", str(path), "--deadlocks"]) == 0
+        out = capsys.readouterr().out
+        assert "markings=22" in out
+        assert "deadlocked" in out
