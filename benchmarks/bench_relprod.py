@@ -1,0 +1,259 @@
+"""Relational-product benchmarks: fused vs. materialised, engines compared.
+
+Two questions, answered on the slotted-ring and philosophers generators:
+
+1. **Fused vs. materialised image** — computing ``Img(R, S)`` with the
+   one-pass ``and_exists`` against first building the conjunction
+   ``R AND S`` and quantifying afterwards.  The fused form is the hot
+   path of every relational traversal; the materialised form is the
+   naive baseline it replaces.
+2. **Image engines** — monolithic vs. partitioned vs. chained traversal
+   through the same disjunctive partition (see
+   :mod:`repro.symbolic.traversal`).
+
+Results are written to ``BENCH_relprod.json`` at the repository root so
+the speedups land in the perf trajectory.  Run either way::
+
+    PYTHONPATH=src python benchmarks/bench_relprod.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_relprod.py -q
+
+Harness-scale instances by default; set ``REPRO_FULL=1`` for larger ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Tuple
+
+import pytest
+
+from repro.encoding import ImprovedEncoding
+from repro.petri.generators import philosophers, slotted_ring
+from repro.symbolic import (ImageEngine, RelationalNet, traverse_relational)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_relprod.json")
+
+# Ordered smallest to largest; the last entry is the configuration the
+# acceptance speedup is measured on.
+CONFIGS: List[Tuple[str, Callable]] = [
+    ("slot-3", lambda: slotted_ring(3)),
+    ("phil-6", lambda: philosophers(6)),
+    ("phil-8", lambda: philosophers(8)),
+]
+if os.environ.get("REPRO_FULL"):
+    CONFIGS += [
+        ("slot-5", lambda: slotted_ring(5)),
+        ("phil-12", lambda: philosophers(12)),
+    ]
+
+ENGINES = ("monolithic", "partitioned", "chained")
+CLUSTER_SIZE = 1
+OLD_ENGINE = "monolithic-materialised"
+
+
+class MaterialisedMonolithicEngine(ImageEngine):
+    """The pre-``and_exists`` baseline: build ``frontier AND R`` in full,
+    then quantify — one intermediate conjunction BDD per step."""
+
+    name = OLD_ENGINE
+
+    def __init__(self, relnet: RelationalNet) -> None:
+        super().__init__(relnet)
+        self._relation = None
+
+    def advance(self, reached, frontier):
+        if self._relation is None:
+            self._relation = self.relnet.monolithic_relation()
+        conjunction = frontier & self._relation
+        successors = conjunction.exists(self.relnet.current).rename(
+            self.relnet._to_current)
+        return self._absorb(reached, successors)
+
+
+def measure_image(factory: Callable) -> Dict:
+    """Time one full-reachable-set image, materialised vs. fused.
+
+    Both paths compute ``exists(current, S AND R)`` for the monolithic
+    relation ``R`` and the reachable set ``S``; caches are cleared and
+    garbage collected between the two so neither warms the other.  Live
+    node counts are sampled right after the image to expose the
+    footprint of the materialised intermediate conjunction.
+    """
+    relnet = RelationalNet(ImprovedEncoding(factory()))
+    bdd = relnet.bdd
+    relation = relnet.monolithic_relation()
+    reached = traverse_relational(relnet, engine="chained",
+                                  cluster_size=CLUSTER_SIZE).reachable
+
+    bdd.collect_garbage()
+    base_nodes = bdd.live_nodes()
+    start = time.perf_counter()
+    conjunction = reached & relation
+    materialised = conjunction.exists(relnet.current)
+    old_seconds = time.perf_counter() - start
+    old_nodes = bdd.live_nodes()
+    conjunction_nodes = conjunction.size()
+    del conjunction
+
+    bdd.collect_garbage()
+    start = time.perf_counter()
+    fused = reached.and_exists(relation, relnet.current)
+    new_seconds = time.perf_counter() - start
+    new_nodes = bdd.live_nodes()
+
+    assert fused == materialised, "fused and materialised images disagree"
+    return {
+        "variables": len(relnet.current),
+        "transitions": len(relnet.net.transitions),
+        "relation_nodes": relation.size(),
+        "reachable_nodes": reached.size(),
+        "conjunction_nodes": conjunction_nodes,
+        "materialised_seconds": old_seconds,
+        "materialised_live_nodes": old_nodes - base_nodes,
+        "fused_seconds": new_seconds,
+        "fused_live_nodes": new_nodes - base_nodes,
+        "speedup": old_seconds / new_seconds if new_seconds > 0
+        else float("inf"),
+    }
+
+
+def measure_engines(factory: Callable) -> Dict[str, Dict]:
+    """Full fixpoint statistics per image engine, including the old
+    materialise-then-quantify baseline (fresh manager per engine, so
+    caches and peaks are not shared)."""
+    rows: Dict[str, Dict] = {}
+    for engine in (OLD_ENGINE,) + ENGINES:
+        relnet = RelationalNet(ImprovedEncoding(factory()))
+        if engine == OLD_ENGINE:
+            chosen = MaterialisedMonolithicEngine(relnet)
+        else:
+            chosen = engine
+        result = traverse_relational(relnet, engine=chosen,
+                                     cluster_size=CLUSTER_SIZE)
+        rows[engine] = {
+            "markings": result.marking_count,
+            "iterations": result.iterations,
+            "image_seconds": result.seconds,
+            "peak_live_nodes": result.peak_live_nodes,
+            "final_bdd_nodes": result.final_bdd_nodes,
+            "ae_calls": relnet.bdd.ae_calls,
+            "ae_cache_hits": relnet.bdd.ae_cache_hits,
+        }
+    old_seconds = rows[OLD_ENGINE]["image_seconds"]
+    for engine in ENGINES:
+        row = rows[engine]
+        row["speedup_vs_materialised"] = (
+            old_seconds / row["image_seconds"]
+            if row["image_seconds"] > 0 else float("inf"))
+    return rows
+
+
+def collect() -> Dict:
+    """All measurements, in the JSON layout of ``BENCH_relprod.json``."""
+    report: Dict = {
+        "benchmark": "relational product image engines",
+        "cluster_size": CLUSTER_SIZE,
+        "full_scale": bool(os.environ.get("REPRO_FULL")),
+        "instances": {},
+    }
+    for name, factory in CONFIGS:
+        report["instances"][name] = {
+            "image": measure_image(factory),
+            "engines": measure_engines(factory),
+        }
+    return report
+
+
+def write_report(report: Dict) -> str:
+    with open(JSON_PATH, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return JSON_PATH
+
+
+@pytest.fixture(scope="module")
+def report():
+    data = collect()
+    write_report(data)
+    return data
+
+
+def test_report_written(report):
+    assert os.path.exists(JSON_PATH)
+    with open(JSON_PATH) as handle:
+        assert json.load(handle)["instances"].keys() \
+            == report["instances"].keys()
+
+
+def test_fused_image_never_materialises(report):
+    """The fused single-image pass must not pay for the conjunction: its
+    live-node footprint stays below the materialised path's, which must
+    build a conjunction at least as large as the final image."""
+    for name in report["instances"]:
+        image = report["instances"][name]["image"]
+        assert image["fused_live_nodes"] <= image["materialised_live_nodes"]
+        assert image["conjunction_nodes"] > 0
+
+
+def test_chained_engine_beats_materialised_2x(report):
+    """The acceptance bound: >= 2x image-time improvement on the largest
+    configuration, new chained engine vs. the old materialise-then-
+    quantify monolithic baseline.
+
+    A wall-clock ratio, but a stable one: both sides run in the same
+    process on the same instance, the chained engine's advantage is
+    structural (3 vs 21 fixpoint iterations on phil-8), and the measured
+    margin (~4.7x) leaves ample headroom over the 2x bound.
+    """
+    largest = CONFIGS[-1][0]
+    engines = report["instances"][largest]["engines"]
+    assert engines["chained"]["speedup_vs_materialised"] >= 2.0, engines
+
+
+def test_engines_reach_same_fixpoint(report):
+    for name, rows in report["instances"].items():
+        counts = {rows["engines"][e]["markings"]
+                  for e in (OLD_ENGINE,) + ENGINES}
+        assert len(counts) == 1, (name, rows["engines"])
+
+
+def test_partitioned_engines_use_fewer_live_nodes(report):
+    largest = CONFIGS[-1][0]
+    engines = report["instances"][largest]["engines"]
+    old_peak = engines[OLD_ENGINE]["peak_live_nodes"]
+    for engine in ("partitioned", "chained"):
+        assert engines[engine]["peak_live_nodes"] < old_peak, engines
+
+
+def test_chained_engine_iterates_less(report):
+    for name, rows in report["instances"].items():
+        engines = rows["engines"]
+        assert engines["chained"]["iterations"] \
+            <= engines["partitioned"]["iterations"], name
+
+
+def main() -> None:
+    report = collect()
+    path = write_report(report)
+    for name, rows in report["instances"].items():
+        image = rows["image"]
+        print(f"{name}: single image materialised "
+              f"{image['materialised_seconds']:.3f}s vs fused "
+              f"{image['fused_seconds']:.3f}s ({image['speedup']:.1f}x, "
+              f"conjunction {image['conjunction_nodes']} nodes avoided)")
+        for engine in (OLD_ENGINE,) + ENGINES:
+            row = rows["engines"][engine]
+            speedup = row.get("speedup_vs_materialised")
+            suffix = f" speedup={speedup:.2f}x" if speedup else ""
+            print(f"  {engine:<24} markings={row['markings']} "
+                  f"iters={row['iterations']} "
+                  f"t={row['image_seconds']:.3f}s "
+                  f"peak={row['peak_live_nodes']}{suffix}")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -74,7 +74,16 @@ class BDD:
         self._name2var: Dict[str, int] = {}
 
         self._cache: Dict[tuple, int] = {}
+        # The relational product is the traversal hot path; it gets its own
+        # operation cache so general-purpose operations never evict its
+        # entries mid-image (and vice versa).
+        self._ae_cache: Dict[tuple, int] = {}
         self._interned_sets: Dict[FrozenSet[int], FrozenSet[int]] = {}
+
+        # Relational-product instrumentation (read by benchmarks).
+        self.ae_calls = 0
+        self.ae_recursions = 0
+        self.ae_cache_hits = 0
 
         self.auto_reorder = auto_reorder
         self.reorder_threshold = reorder_threshold
@@ -214,14 +223,23 @@ class BDD:
         """Number of nodes currently stored in the unique tables (plus 2)."""
         return 2 + sum(len(table) for table in self._unique)
 
+    def clear_caches(self) -> None:
+        """Drop every memoized operation result (safe points only).
+
+        Benchmarks call this between timed measurements so one image
+        computation cannot warm the caches for the next.
+        """
+        self._cache.clear()
+        self._ae_cache.clear()
+
     def collect_garbage(self) -> int:
         """Free every node not reachable from a referenced node.
 
         Must only be called at a safe point (never while an operation is in
-        progress).  Clears the operation cache.  Returns the number of nodes
+        progress).  Clears the operation caches.  Returns the number of nodes
         freed.
         """
-        self._cache.clear()
+        self.clear_caches()
         before = len(self._free)
         # Cascading frees make this a single scan: any node whose references
         # all come from dead ancestors is freed when the last ancestor is.
@@ -435,11 +453,25 @@ class BDD:
         return self.apply_not(self.exists(self.apply_not(u), variables))
 
     def and_exists(self, u: int, v: int, variables: Iterable) -> int:
-        """Relational product ``exists(variables, u AND v)`` in one pass."""
-        qvars = self._intern_vars(variables)
-        return self._and_exists(u, v, qvars)
+        """Relational product ``exists(variables, u AND v)`` in one pass.
 
-    def _and_exists(self, u: int, v: int, qvars: FrozenSet[int]) -> int:
+        The conjunction ``u AND v`` is never materialized: a single
+        recursion conjoins and quantifies simultaneously, memoized in a
+        dedicated operation cache.  Quantified variables are eliminated as
+        the recursion passes their levels; once the recursion has descended
+        below the deepest quantified variable the remaining subproblem is a
+        plain conjunction and is delegated to :meth:`apply_and` (whose
+        operands at that point are strict subfunctions, not ``u AND v``).
+        """
+        qvars = self._intern_vars(variables)
+        self.ae_calls += 1
+        if not qvars:
+            return self.apply_and(u, v)
+        qbottom = max(self._var2level[var] for var in qvars)
+        return self._and_exists(u, v, qvars, qbottom)
+
+    def _and_exists(self, u: int, v: int, qvars: FrozenSet[int],
+                    qbottom: int) -> int:
         if u == ZERO or v == ZERO:
             return ZERO
         if u == ONE and v == ONE:
@@ -450,25 +482,33 @@ class BDD:
             return self._exists(u, qvars)
         if u > v:
             u, v = v, u
-        key = ("ae", u, v, qvars)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
         ulvl, vlvl = self._level(u), self._level(v)
         level = min(ulvl, vlvl)
+        if level > qbottom:
+            # Every quantified variable has been passed: what remains is a
+            # pure conjunction of subfunctions.
+            return self.apply_and(u, v)
+        key = (u, v, qvars)
+        cached = self._ae_cache.get(key)
+        if cached is not None:
+            self.ae_cache_hits += 1
+            return cached
+        self.ae_recursions += 1
         var = self._level2var[level]
         u0, u1 = self._cofactors_at(u, level)
         v0, v1 = self._cofactors_at(v, level)
         if var in qvars:
-            r0 = self._and_exists(u0, v0, qvars)
+            r0 = self._and_exists(u0, v0, qvars, qbottom)
             if r0 == ONE:
                 result = ONE
             else:
-                result = self.apply_or(r0, self._and_exists(u1, v1, qvars))
+                result = self.apply_or(
+                    r0, self._and_exists(u1, v1, qvars, qbottom))
         else:
-            result = self._mk(var, self._and_exists(u0, v0, qvars),
-                              self._and_exists(u1, v1, qvars))
-        self._cache[key] = result
+            result = self._mk(var,
+                              self._and_exists(u0, v0, qvars, qbottom),
+                              self._and_exists(u1, v1, qvars, qbottom))
+        self._ae_cache[key] = result
         return result
 
     # ------------------------------------------------------------------
@@ -786,7 +826,7 @@ class BDD:
         """
         if not 0 <= level < len(self._level2var) - 1:
             raise BDDError(f"cannot swap level {level}")
-        self._cache.clear()
+        self.clear_caches()
         upper = self._level2var[level]
         lower = self._level2var[level + 1]
         upper_table = self._unique[upper]

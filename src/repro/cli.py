@@ -24,6 +24,7 @@ Examples
     python -m repro.cli info muller4.pnet
     python -m repro.cli encode muller4.pnet --scheme improved
     python -m repro.cli analyze muller4.pnet --scheme improved --engine bdd
+    python -m repro.cli analyze muller4.pnet --image chained --cluster-size 8
 """
 
 from __future__ import annotations
@@ -42,7 +43,8 @@ from .petri.invariants import (invariant_support,
                                minimal_semipositive_invariants,
                                minimal_semipositive_t_invariants)
 from .petri.parser import dumps, load
-from .symbolic import SymbolicNet, ZddNet, traverse, traverse_zdd
+from .symbolic import (IMAGE_ENGINES, RelationalNet, SymbolicNet, ZddNet,
+                       traverse, traverse_relational, traverse_zdd)
 
 FAMILIES = {
     "muller": muller,
@@ -92,6 +94,17 @@ def _build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--engine", default="bdd", choices=["bdd", "zdd"])
     ana.add_argument("--strategy", default="chaining",
                      choices=["bfs", "chaining"])
+    ana.add_argument("--image", default="functional",
+                     choices=["functional"] + list(IMAGE_ENGINES),
+                     help="image computation: the renaming-free functional "
+                          "operators (default) or a relational product "
+                          "engine over partitioned transition relations")
+    ana.add_argument("--cluster-size", type=int, default=4,
+                     help="transitions per partition block for the "
+                          "partitioned/chained image engines")
+    ana.add_argument("--chain-order", default="support",
+                     choices=["net", "support"],
+                     help="sweep order for the chaining strategy")
     ana.add_argument("--no-reorder", action="store_true",
                      help="disable dynamic variable reordering")
     ana.add_argument("--deadlocks", action="store_true",
@@ -167,10 +180,34 @@ def _cmd_analyze(args) -> int:
               f"time={result.seconds:.2f}s")
         return 0
     encoding = SCHEMES[args.scheme](net)
-    symnet = SymbolicNet(encoding, auto_reorder=not args.no_reorder,
-                         reorder_threshold=2_000)
-    result = traverse(symnet, use_toggle=True, strategy=args.strategy)
-    print(f"engine=bdd scheme={args.scheme} "
+    if args.image != "functional":
+        if args.cluster_size < 1:
+            print(f"cluster-size must be >= 1: {args.cluster_size}",
+                  file=sys.stderr)
+            return 2
+        if args.deadlocks:
+            print("deadlocks: only supported with --image functional",
+                  file=sys.stderr)
+            return 2
+        ignored = [flag for flag, is_set in (
+            ("--strategy", args.strategy != "chaining"),
+            ("--chain-order", args.chain_order != "support"),
+            ("--no-reorder", args.no_reorder)) if is_set]
+        if ignored:
+            print(f"warning: {', '.join(ignored)} ignored with "
+                  f"--image {args.image} (relational engines use their "
+                  f"own sweep order and a fixed interleaved variable "
+                  f"order)", file=sys.stderr)
+        relnet = RelationalNet(encoding)
+        result = traverse_relational(relnet, engine=args.image,
+                                     cluster_size=args.cluster_size)
+        symnet = None
+    else:
+        symnet = SymbolicNet(encoding, auto_reorder=not args.no_reorder,
+                             reorder_threshold=2_000)
+        result = traverse(symnet, use_toggle=True, strategy=args.strategy,
+                          chain_order=args.chain_order)
+    print(f"engine=bdd scheme={args.scheme} image={result.engine} "
           f"variables={result.variable_count} "
           f"markings={result.marking_count} "
           f"nodes={result.final_bdd_nodes} "

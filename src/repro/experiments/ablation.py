@@ -7,7 +7,8 @@ Four questions, answered on the same mid-size instances:
 2. **Gray vs. arbitrary codes** — toggle activity per fired transition
    (Section 5.2).
 3. **Quantify-force vs. toggle firing vs. relational image** — traversal
-   time of the three image implementations.
+   time of the image implementations, including the partitioned and
+   chained relational-product engines.
 4. **Dynamic reordering on/off** — final BDD size and time.
 
 Run with ``python -m repro.experiments.ablation``.
@@ -105,6 +106,14 @@ def image_implementation_ablation() -> List[AblationRow]:
             lambda: traverse_relational(RelationalNet(
                 ImprovedEncoding(net, components=components)),
                 monolithic=True)), "s"))
+        rows.append(AblationRow(name, "image=rel-clustered(4)", timed(
+            lambda: traverse_relational(RelationalNet(
+                ImprovedEncoding(net, components=components)),
+                engine="partitioned", cluster_size=4)), "s"))
+        rows.append(AblationRow(name, "image=rel-chained(4)", timed(
+            lambda: traverse_relational(RelationalNet(
+                ImprovedEncoding(net, components=components)),
+                engine="chained", cluster_size=4)), "s"))
     return rows
 
 

@@ -3,7 +3,8 @@
 * :class:`SymbolicNet` — encoded net + BDD manager, image/preimage.
 * :func:`traverse` — BFS reachability fixpoint with statistics.
 * :class:`RelationalNet` / :func:`traverse_relational` — Eq. 3
-  transition-relation cross-check.
+  transition-relation traversal with pluggable image engines
+  (monolithic | partitioned | chained) over disjunctive partitions.
 * :class:`ModelChecker` — deadlock, mutual exclusion, EF/AG queries.
 * :class:`ZddNet` / :func:`traverse_zdd` — the Yoneda sparse-ZDD
   baseline of Table 4.
@@ -11,15 +12,20 @@
 
 from .checker import CheckReport, ModelChecker
 from .kbounded import KBoundedNet, KBoundedResult, traverse_kbounded
-from .relational import RelationalNet
-from .transition import SymbolicNet
-from .traversal import TraversalResult, reachable_set, traverse, \
-    traverse_relational
+from .relational import RelationPartition, RelationalNet
+from .transition import SymbolicNet, cluster_by_support
+from .traversal import (IMAGE_ENGINES, ChainedImageEngine, ImageEngine,
+                        MonolithicImageEngine, PartitionedImageEngine,
+                        TraversalResult, make_image_engine, reachable_set,
+                        traverse, traverse_relational)
 from .zdd_traversal import ZddNet, ZddTraversalResult, traverse_zdd
 
 __all__ = [
-    "SymbolicNet", "RelationalNet",
+    "SymbolicNet", "RelationalNet", "RelationPartition",
+    "cluster_by_support",
     "traverse", "traverse_relational", "reachable_set", "TraversalResult",
+    "IMAGE_ENGINES", "ImageEngine", "make_image_engine",
+    "MonolithicImageEngine", "PartitionedImageEngine", "ChainedImageEngine",
     "ModelChecker", "CheckReport",
     "ZddNet", "ZddTraversalResult", "traverse_zdd",
     "KBoundedNet", "KBoundedResult", "traverse_kbounded",

@@ -1,22 +1,63 @@
-"""Relational image computation (the Eq. 3 cross-check).
+"""Relational image computation with partitioned transition relations.
 
 The fast path in :class:`~repro.symbolic.transition.SymbolicNet` never
-renames variables.  This module implements the textbook alternative the
-paper describes: a partitioned transition relation ``R_t(P, Q)`` over
-interleaved current/next variables, images by relational product
-(``and_exists``) and a monotone rename back to current variables.  It is
-used to cross-validate the fast path and as an ablation (relation-based
-traversal is measurably slower — one reason the paper's toggle approach
-matters).
+renames variables.  This module implements the relation-based alternative
+the paper describes: transition relations ``R_t(P, Q)`` over interleaved
+current/next variables, images by fused relational product
+(:meth:`~repro.bdd.manager.BDD.and_exists`) and a monotone rename back to
+current variables.
+
+Three relation granularities are provided, feeding the pluggable image
+engines in :mod:`repro.symbolic.traversal`:
+
+* **monolithic** — one relation ``R = OR_t R_t`` (the textbook baseline;
+  the relation BDD itself is often huge),
+* **partitioned** — the disjunctive partition of Eq. 3, kept per
+  transition or clustered by support into groups of a configurable size
+  (small relations, one relational product each),
+* **chained** — the same partition applied in support-sorted order while
+  accumulating successors, so states discovered by an early partition are
+  expanded by later ones within the same sweep.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..bdd import BDD, Function, cube, false, true, variable
 from ..encoding.characteristic import initial_function
 from ..encoding.scheme import Encoding
+from .transition import cluster_by_support
+
+
+@dataclass(frozen=True, eq=False)
+class RelationPartition:
+    """One block of a disjunctively partitioned transition relation.
+
+    Partition relations are *sparse*: they constrain only the variables
+    their transitions actually touch — the enabling support plus the
+    changed variables' next-state literals — with identity clauses added
+    only for variables changed by a sibling transition in the same
+    cluster.  Untouched variables pass through the relational product
+    untouched, which keeps each block's support (and therefore the
+    quantification depth of ``and_exists``) local instead of spanning
+    the entire variable order the way the monolithic relation does.
+    """
+
+    label: str
+    transitions: Tuple[str, ...]
+    relation: Function
+    quantify: Tuple[str, ...]
+    rename: Dict[str, str]
+    support: FrozenSet[int]
+    top_level: int
+
+    def __repr__(self) -> str:
+        return (f"<RelationPartition {self.label!r} "
+                f"transitions={len(self.transitions)} "
+                f"quantify={len(self.quantify)} "
+                f"nodes={self.relation.size()}>")
 
 
 def _next_name(name: str) -> str:
@@ -67,9 +108,23 @@ class RelationalNet:
                 func = func & self.places[place]
             self.enabling[transition] = func
 
-        self.relations: Dict[str, Function] = {
-            t: self._build_relation(t) for t in self.net.transitions}
         self.initial: Function = initial_function(encoding, bdd)
+        self._relations: Optional[Dict[str, Function]] = None
+        self._partitions: Dict[int, List[RelationPartition]] = {}
+        self._identities: Dict[str, Function] = {}
+
+    @property
+    def relations(self) -> Dict[str, Function]:
+        """The identity-complete per-transition relations ``R_t(P, Q)``.
+
+        Built lazily: the partitioned/chained engines work from the much
+        smaller sparse relations and never need these, so constructing
+        them eagerly would pay exactly the cost those engines avoid.
+        """
+        if self._relations is None:
+            self._relations = {t: self._build_relation(t)
+                               for t in self.net.transitions}
+        return self._relations
 
     def _build_relation(self, transition: str) -> Function:
         """``R_t(P, Q) = E_t(P) and AND_i (q_i <-> delta_i(P, t))``."""
@@ -113,6 +168,126 @@ class RelationalNet:
             relation = self.monolithic_relation()
         next_states = states.and_exists(relation, self.current)
         return next_states.rename(self._to_current)
+
+    # ------------------------------------------------------------------
+    # Disjunctive partitioning
+    # ------------------------------------------------------------------
+
+    def _sparse_relation(self, transition: str) -> Tuple[Function,
+                                                         Tuple[str, ...]]:
+        """``E_t AND forced-next-values`` plus the changed variables.
+
+        Identity clauses for untouched variables are omitted — the
+        relational product leaves unquantified variables alone, so the
+        identity is implicit.  (Safe-net transition functions force
+        constants, Eq. 2/6, hence a plain cube over next literals.)
+        """
+        spec = self.encoding.transition_spec(transition)
+        forced = {self._to_next[name]: value for name, value in spec.force}
+        relation = self.enabling[transition] & cube(self.bdd, forced)
+        return relation, tuple(spec.quantify)
+
+    def _identity_clause(self, name: str) -> Function:
+        """``next(v) <-> v`` for padding clustered sparse relations."""
+        cached = self._identities.get(name)
+        if cached is None:
+            cached = variable(self.bdd, self._to_next[name]).iff(
+                variable(self.bdd, name))
+            self._identities[name] = cached
+        return cached
+
+    def partitions(self, cluster_size: int = 1) -> List[RelationPartition]:
+        """The disjunctive partition at a given clustering granularity.
+
+        ``cluster_size = 1`` keeps one sparse relation per transition;
+        larger values OR together up to ``cluster_size`` support-adjacent
+        relations per block (fewer relational products per image, slightly
+        larger relation BDDs).  Within a cluster every member is padded
+        with identity clauses for the variables its siblings change, so
+        the block's image is exactly the union of its members' images.
+        Partitions are returned support-sorted (top of the variable order
+        first) and cached per granularity.
+        """
+        if cluster_size < 1:
+            raise ValueError(f"cluster_size must be >= 1: {cluster_size}")
+        cached = self._partitions.get(cluster_size)
+        if cached is not None:
+            return cached
+
+        sparse = {t: self._sparse_relation(t) for t in self.net.transitions}
+
+        def support_of(transition: str) -> FrozenSet[int]:
+            relation, changed = sparse[transition]
+            support = set(relation.support())
+            support.update(self.bdd.var_index(v) for v in changed)
+            return frozenset(support)
+
+        groups = cluster_by_support(self.net.transitions, support_of,
+                                    self.bdd.level_of_var, cluster_size)
+        partitions: List[RelationPartition] = []
+        for group in groups:
+            changed: set = set()
+            for transition in group:
+                changed.update(sparse[transition][1])
+            relation = false(self.bdd)
+            for transition in group:
+                member, own_changed = sparse[transition]
+                for name in sorted(changed - set(own_changed)):
+                    member = member & self._identity_clause(name)
+                relation = relation | member
+            quantify = tuple(sorted(
+                changed, key=lambda name: self.bdd.level_of_var(name)))
+            support = relation.support()
+            top = min((self.bdd.level_of_var(v) for v in support),
+                      default=self.bdd.num_vars)
+            label = group[0] if len(group) == 1 \
+                else f"{group[0]}..{group[-1]}"
+            partitions.append(RelationPartition(
+                label=label, transitions=tuple(group), relation=relation,
+                quantify=quantify,
+                rename={self._to_next[name]: name for name in quantify},
+                support=support, top_level=top))
+        self._partitions[cluster_size] = partitions
+        return partitions
+
+    def image_partition(self, states: Function,
+                        partition: RelationPartition) -> Function:
+        """Successors through one partition block.
+
+        Only the block's changed variables are quantified and renamed;
+        every other variable flows through the fused relational product
+        unchanged.
+        """
+        if not partition.quantify:
+            # Nothing changes: the image is the enabled subset itself.
+            return states & partition.relation
+        next_states = states.and_exists(partition.relation,
+                                        partition.quantify)
+        return next_states.rename(partition.rename)
+
+    def image_partitioned(self, states: Function,
+                          partitions: Sequence[RelationPartition]
+                          ) -> Function:
+        """Image as the union of per-block relational products (Eq. 3)."""
+        result = false(self.bdd)
+        for partition in partitions:
+            result = result | self.image_partition(states, partition)
+        return result
+
+    def image_chained(self, states: Function,
+                      partitions: Sequence[RelationPartition]) -> Function:
+        """One chained sweep: apply blocks in support-sorted order,
+        feeding each block the states accumulated so far.
+
+        Returns ``states`` together with every state discovered during the
+        sweep — a superset of the one-step image, still contained in the
+        reachable closure, which is what makes chained fixpoints converge
+        in (often far) fewer iterations.
+        """
+        current = states
+        for partition in partitions:
+            current = current | self.image_partition(current, partition)
+        return current
 
     def count_markings(self, states: Function) -> int:
         """Number of markings represented (over current variables)."""

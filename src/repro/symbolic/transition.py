@@ -18,7 +18,7 @@ cross-check implementation in :mod:`repro.symbolic.relational`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from ..bdd import BDD, Function, cube, false
 from ..encoding.characteristic import (declare_variables,
@@ -26,6 +26,36 @@ from ..encoding.characteristic import (declare_variables,
                                        place_functions)
 from ..encoding.scheme import Encoding, TransitionSpec
 from ..petri.marking import Marking
+
+
+def cluster_by_support(items: Sequence[str],
+                       support_of: Callable[[str], FrozenSet[int]],
+                       level_of: Callable[[int], int],
+                       cluster_size: int) -> List[List[str]]:
+    """Group ``items`` into support-sorted clusters of bounded size.
+
+    Items are ordered by the top (smallest) level of their support — the
+    standard heuristic for disjunctively partitioned relations: partitions
+    whose support sits high in the variable order are applied first, so a
+    chained sweep pushes information down the order.  Consecutive items in
+    that order (which therefore have nearby support) are merged until a
+    cluster holds ``cluster_size`` items.  ``cluster_size <= 1`` yields the
+    per-item partition.
+    """
+
+    bottom = 1 << 60  # below every real level; supportless items sort last
+
+    def top_level(item: str) -> int:
+        support = support_of(item)
+        if not support:
+            return bottom
+        return min(level_of(var) for var in support)
+
+    order = sorted(items, key=lambda item: (top_level(item), item))
+    if cluster_size <= 1:
+        return [[item] for item in order]
+    return [list(order[i:i + cluster_size])
+            for i in range(0, len(order), cluster_size)]
 
 
 class SymbolicNet:
@@ -97,15 +127,44 @@ class SymbolicNet:
         restricted = states.cofactor(dict(spec.force))
         return restricted & self.enabling[transition]
 
-    def image_all(self, states: Function,
-                  use_toggle: bool = False) -> Function:
+    def image_all(self, states: Function, use_toggle: bool = False,
+                  order: Optional[Sequence[str]] = None) -> Function:
         """Successors under all transitions (disjunctively partitioned,
-        Eq. 3)."""
+        Eq. 3), fired in ``order`` (net order by default)."""
         fire = self.image_toggle if use_toggle else self.image
         result = false(self.bdd)
-        for transition in self.net.transitions:
+        for transition in (self.net.transitions if order is None else order):
             result = result | fire(states, transition)
         return result
+
+    # ------------------------------------------------------------------
+    # Support-sorted partitioning of the functional image
+    # ------------------------------------------------------------------
+
+    def transition_support(self, transition: str) -> FrozenSet[int]:
+        """Variables a transition's image depends on: the enabling
+        function's support plus the variables it quantifies away."""
+        support = set(self.enabling[transition].support())
+        spec = self.specs[transition]
+        support.update(self.bdd.var_index(v) for v in spec.quantify)
+        return frozenset(support)
+
+    def support_sorted_transitions(self) -> List[str]:
+        """Transitions ordered by the top level of their support."""
+        return [t for cluster in self.transition_clusters(1)
+                for t in cluster]
+
+    def transition_clusters(self, cluster_size: int = 1) -> List[List[str]]:
+        """Support-sorted transition clusters of at most ``cluster_size``."""
+        return cluster_by_support(self.net.transitions,
+                                  self.transition_support,
+                                  self.bdd.level_of_var, cluster_size)
+
+    def image_cluster(self, states: Function, transitions: Sequence[str],
+                      use_toggle: bool = False) -> Function:
+        """Successors under one cluster of transitions."""
+        return self.image_all(states, use_toggle=use_toggle,
+                              order=transitions)
 
     def preimage_all(self, states: Function) -> Function:
         """Predecessors under all transitions."""

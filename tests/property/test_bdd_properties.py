@@ -136,6 +136,47 @@ def test_and_exists_equals_composition(left, right, variables):
             == bdd.exists(bdd.apply_and(u, v), variables))
 
 
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs(),
+       st.sets(st.integers(min_value=0, max_value=NUM_VARS - 1), max_size=3),
+       st.permutations(list(range(NUM_VARS))))
+def test_and_exists_consistent_across_reordering(left, right, variables,
+                                                 order):
+    """The dedicated relational-product cache must be invalidated by
+    variable reordering: the fused product stays equal to the
+    materialised composition before and after ``set_order``."""
+    bdd = BDD(var_names=NAMES)
+    u = build_bdd(bdd, left)
+    v = build_bdd(bdd, right)
+    before = bdd.and_exists(u, v, variables)
+    bdd.ref(u), bdd.ref(v), bdd.ref(before)
+    bdd.set_order(order)
+    after = bdd.and_exists(u, v, variables)
+    assert after == before
+    assert after == bdd.exists(bdd.apply_and(u, v), variables)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs(),
+       st.sets(st.integers(min_value=0, max_value=NUM_VARS - 1), max_size=5))
+def test_and_exists_matches_brute_force(left, right, variables):
+    """Semantic check against direct evaluation, any quantified set."""
+    bdd = BDD(var_names=NAMES)
+    u = build_bdd(bdd, left)
+    v = build_bdd(bdd, right)
+    product = bdd.and_exists(u, v, variables)
+    for env in all_envs():
+        expected = False
+        for qvalues in itertools.product([False, True],
+                                         repeat=len(variables)):
+            probe = dict(env)
+            probe.update(zip(sorted(variables), qvalues))
+            if eval_expr(left, probe) and eval_expr(right, probe):
+                expected = True
+                break
+        assert bdd.eval_node(product, env) == expected
+
+
 @settings(max_examples=80, deadline=None)
 @given(exprs(),
        st.sets(st.integers(min_value=0, max_value=NUM_VARS - 1), max_size=3))

@@ -1,0 +1,289 @@
+"""Tests for partitioned transition relations and the image engines.
+
+Covers the three acceptance properties of the relational-product layer:
+``and_exists`` agrees with (but never materialises) the conjunction, the
+partition blocks compose to exactly the per-transition image union, and
+all image engines reach the same fixpoint on the generator nets.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
+from repro.petri import ReachabilityGraph
+from repro.petri.generators import (figure1_net, figure4_net, muller,
+                                    philosophers, slotted_ring)
+from repro.symbolic import (IMAGE_ENGINES, RelationalNet, SymbolicNet,
+                            cluster_by_support, make_image_engine, traverse,
+                            traverse_relational)
+
+FAMILIES = [
+    ("figure1", figure1_net),
+    ("figure4", figure4_net),
+    ("muller4", lambda: muller(4)),
+    ("slot2", lambda: slotted_ring(2)),
+    ("phil3", lambda: philosophers(3)),
+]
+SCHEMES = [SparseEncoding, DenseEncoding, ImprovedEncoding]
+
+
+@pytest.fixture(scope="module")
+def explicit_counts():
+    return {name: len(ReachabilityGraph(factory()))
+            for name, factory in FAMILIES}
+
+
+# ---------------------------------------------------------------------
+# The fused relational product
+# ---------------------------------------------------------------------
+
+class TestAndExists:
+    def test_agrees_with_materialised_composition(self):
+        """``and_exists(S, R, cube)`` == ``exists(S AND R, cube)`` on the
+        real relation BDDs of every generator family."""
+        for _, factory in FAMILIES:
+            relnet = RelationalNet(ImprovedEncoding(factory()))
+            bdd = relnet.bdd
+            states = relnet.initial
+            for transition in relnet.net.transitions:
+                relation = relnet.relations[transition]
+                fused = bdd.and_exists(states.node, relation.node,
+                                       relnet.current)
+                materialised = bdd.exists(
+                    bdd.apply_and(states.node, relation.node),
+                    relnet.current)
+                assert fused == materialised
+
+    def test_never_builds_the_full_conjunction(self):
+        """The one-pass product must not conjoin the operands wholesale;
+        only strict subproblems may reach ``apply_and`` (via the
+        below-quantification fallback)."""
+        relnet = RelationalNet(ImprovedEncoding(muller(4)))
+        bdd = relnet.bdd
+        relation = relnet.monolithic_relation()
+        states = traverse_relational(relnet, engine="chained").reachable
+        bdd.clear_caches()
+        conjoined = []
+        original = bdd.apply_and
+
+        def spy(u, v):
+            conjoined.append(frozenset((u, v)))
+            return original(u, v)
+
+        bdd.apply_and = spy
+        try:
+            bdd.and_exists(states.node, relation.node, relnet.current)
+        finally:
+            bdd.apply_and = original
+        assert frozenset((states.node, relation.node)) not in conjoined
+
+    def test_empty_cube_degenerates_to_and(self):
+        relnet = RelationalNet(SparseEncoding(figure1_net()))
+        bdd = relnet.bdd
+        relation = relnet.monolithic_relation()
+        assert bdd.and_exists(relnet.initial.node, relation.node, ()) \
+            == bdd.apply_and(relnet.initial.node, relation.node)
+
+    def test_dedicated_cache_survives_and_clears(self):
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        bdd = relnet.bdd
+        relation = relnet.monolithic_relation()
+        bdd.and_exists(relnet.initial.node, relation.node, relnet.current)
+        assert bdd.ae_calls > 0 and bdd.ae_recursions > 0
+        before = bdd.ae_cache_hits
+        bdd.and_exists(relnet.initial.node, relation.node, relnet.current)
+        assert bdd.ae_cache_hits > before
+        bdd.clear_caches()
+        assert not bdd._ae_cache
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_randomized_state_sets_image_equivalence(seed):
+    """Random reachable-subset images: fused == materialised, and the
+    sparse partition blocks union to the per-transition image union."""
+    import random
+
+    rng = random.Random(seed)
+    net = muller(3) if seed % 2 else slotted_ring(2)
+    relnet = RelationalNet(ImprovedEncoding(net))
+    bdd = relnet.bdd
+    graph = ReachabilityGraph(net)
+    markings = sorted(graph.markings, key=lambda m: sorted(m.support))
+    chosen = rng.sample(markings, rng.randint(1, len(markings)))
+    states = relnet.initial
+    from repro.bdd import cube
+    for marking in chosen:
+        assignment = relnet.encoding.marking_to_assignment(marking)
+        states = states | cube(bdd, assignment)
+
+    # fused vs materialised, through the monolithic relation
+    relation = relnet.monolithic_relation()
+    fused = bdd.and_exists(states.node, relation.node, relnet.current)
+    materialised = bdd.exists(bdd.apply_and(states.node, relation.node),
+                              relnet.current)
+    assert fused == materialised
+
+    # partition blocks vs per-transition images, at several granularities
+    per_transition = relnet.image_all(states)
+    for cluster_size in (1, 2, 8):
+        blocks = relnet.partitions(cluster_size)
+        assert relnet.image_partitioned(states, blocks) == per_transition
+
+
+# ---------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------
+
+class TestPartitions:
+    def test_every_transition_in_exactly_one_block(self):
+        relnet = RelationalNet(ImprovedEncoding(philosophers(3)))
+        for cluster_size in (1, 2, 5, 100):
+            blocks = relnet.partitions(cluster_size)
+            seen = [t for block in blocks for t in block.transitions]
+            assert sorted(seen) == sorted(relnet.net.transitions)
+            assert all(len(block.transitions) <= max(1, cluster_size)
+                       for block in blocks)
+
+    def test_blocks_are_support_sorted(self):
+        relnet = RelationalNet(ImprovedEncoding(slotted_ring(3)))
+        blocks = relnet.partitions(4)
+        tops = [block.top_level for block in blocks]
+        assert tops == sorted(tops)
+
+    def test_partition_cache_by_granularity(self):
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        assert relnet.partitions(2) is relnet.partitions(2)
+        assert relnet.partitions(2) is not relnet.partitions(3)
+
+    def test_invalid_cluster_size_rejected(self):
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        with pytest.raises(ValueError):
+            relnet.partitions(0)
+
+    def test_sparse_block_support_is_local(self):
+        """Per-transition sparse relations must not mention every
+        variable the way the identity-complete relations do."""
+        relnet = RelationalNet(ImprovedEncoding(philosophers(4)))
+        full_width = 2 * len(relnet.current)
+        widths = [len(block.support) for block in relnet.partitions(1)]
+        assert max(widths) < full_width
+
+    def test_cluster_by_support_chunks_in_order(self):
+        supports = {"a": frozenset({3}), "b": frozenset({0}),
+                    "c": frozenset({1}), "d": frozenset()}
+        clusters = cluster_by_support(["a", "b", "c", "d"],
+                                      supports.__getitem__, lambda v: v, 2)
+        assert clusters == [["b", "c"], ["a", "d"]]
+        singletons = cluster_by_support(["a", "b", "c", "d"],
+                                        supports.__getitem__, lambda v: v, 1)
+        assert singletons == [["b"], ["c"], ["a"], ["d"]]
+
+
+# ---------------------------------------------------------------------
+# Engines
+# ---------------------------------------------------------------------
+
+class TestImageEngines:
+    @pytest.mark.parametrize("name,factory", FAMILIES,
+                             ids=[n for n, _ in FAMILIES])
+    @pytest.mark.parametrize("engine", IMAGE_ENGINES)
+    def test_engines_reach_explicit_fixpoint(self, name, factory, engine,
+                                             explicit_counts):
+        relnet = RelationalNet(ImprovedEncoding(factory()))
+        result = traverse_relational(relnet, engine=engine, cluster_size=3)
+        assert result.marking_count == explicit_counts[name]
+        assert result.engine == f"relational/{engine}"
+
+    @pytest.mark.parametrize("scheme", SCHEMES,
+                             ids=[s.__name__ for s in SCHEMES])
+    @pytest.mark.parametrize("cluster_size", [1, 4])
+    def test_engines_agree_across_schemes(self, scheme, cluster_size,
+                                          explicit_counts):
+        for name, factory in [("figure4", figure4_net),
+                              ("slot2", lambda: slotted_ring(2))]:
+            counts = {
+                traverse_relational(RelationalNet(scheme(factory())),
+                                    engine=engine,
+                                    cluster_size=cluster_size).marking_count
+                for engine in IMAGE_ENGINES}
+            assert counts == {explicit_counts[name]}
+
+    def test_engines_match_functional_traversal(self, explicit_counts):
+        for name, factory in FAMILIES:
+            functional = traverse(SymbolicNet(ImprovedEncoding(factory())),
+                                  use_toggle=True, strategy="chaining",
+                                  chain_order="support")
+            relational = traverse_relational(
+                RelationalNet(ImprovedEncoding(factory())),
+                engine="chained", cluster_size=2)
+            assert functional.marking_count == relational.marking_count \
+                == explicit_counts[name]
+
+    def test_chained_cuts_iterations(self):
+        relnet_bfs = RelationalNet(ImprovedEncoding(slotted_ring(3)))
+        bfs = traverse_relational(relnet_bfs, engine="partitioned")
+        relnet_chained = RelationalNet(ImprovedEncoding(slotted_ring(3)))
+        chained = traverse_relational(relnet_chained, engine="chained")
+        assert chained.iterations < bfs.iterations
+        assert chained.marking_count == bfs.marking_count
+
+    def test_engine_instance_accepted(self):
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        engine = make_image_engine(relnet, "chained", cluster_size=2)
+        result = traverse_relational(relnet, engine=engine)
+        assert result.engine == "relational/chained"
+
+    def test_unknown_engine_rejected(self):
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        with pytest.raises(ValueError):
+            traverse_relational(relnet, engine="quantum")
+
+    def test_max_iterations_guard(self):
+        relnet = RelationalNet(ImprovedEncoding(slotted_ring(2)))
+        with pytest.raises(RuntimeError):
+            traverse_relational(relnet, engine="partitioned",
+                                max_iterations=1)
+
+    def test_monolithic_flag_still_works(self):
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        result = traverse_relational(relnet, monolithic=True)
+        assert result.engine == "relational/monolithic"
+
+
+# ---------------------------------------------------------------------
+# Functional-path support ordering
+# ---------------------------------------------------------------------
+
+class TestFunctionalClusters:
+    def test_support_sorted_transitions_is_permutation(self):
+        symnet = SymbolicNet(ImprovedEncoding(philosophers(3)))
+        assert sorted(symnet.support_sorted_transitions()) \
+            == sorted(symnet.net.transitions)
+
+    def test_transition_clusters_cover_all(self):
+        symnet = SymbolicNet(ImprovedEncoding(slotted_ring(2)))
+        for cluster_size in (1, 3):
+            clusters = symnet.transition_clusters(cluster_size)
+            seen = [t for cluster in clusters for t in cluster]
+            assert sorted(seen) == sorted(symnet.net.transitions)
+
+    def test_image_cluster_unions_members(self):
+        symnet = SymbolicNet(ImprovedEncoding(figure1_net()))
+        states = symnet.initial
+        cluster = list(symnet.net.transitions)[:3]
+        expected = symnet.image(states, cluster[0])
+        for transition in cluster[1:]:
+            expected = expected | symnet.image(states, transition)
+        assert symnet.image_cluster(states, cluster) == expected
+
+    def test_support_chain_order_reaches_fixpoint(self, explicit_counts):
+        for name, factory in FAMILIES:
+            result = traverse(SymbolicNet(ImprovedEncoding(factory())),
+                              strategy="chaining", chain_order="support")
+            assert result.marking_count == explicit_counts[name]
+
+    def test_unknown_chain_order_rejected(self):
+        symnet = SymbolicNet(ImprovedEncoding(figure4_net()))
+        with pytest.raises(ValueError):
+            traverse(symnet, strategy="chaining", chain_order="random")

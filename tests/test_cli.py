@@ -80,6 +80,27 @@ class TestAnalyze:
         assert "variables=12" in out
         assert "markings=30" in out
 
+    @pytest.mark.parametrize("image", ["monolithic", "partitioned",
+                                       "chained"])
+    def test_relational_image_engines(self, muller_file, capsys, image):
+        assert main(["analyze", str(muller_file), "--image", image,
+                     "--cluster-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "markings=30" in out
+        assert f"image=relational/{image}" in out
+
+    def test_functional_support_chaining(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file),
+                     "--chain-order", "support"]) == 0
+        out = capsys.readouterr().out
+        assert "markings=30" in out
+        assert "image=functional" in out
+
+    def test_deadlocks_require_functional_image(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file), "--image", "chained",
+                     "--deadlocks"]) == 2
+        assert "only supported" in capsys.readouterr().err
+
     def test_deadlock_report(self, tmp_path, capsys):
         path = tmp_path / "phil.pnet"
         main(["generate", "phil", "2", "-o", str(path)])
