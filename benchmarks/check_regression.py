@@ -1,0 +1,109 @@
+"""CI gate: fail if the chained engine's image time regresses > 25 %.
+
+Runs the benchmark in quick mode (the two smallest instances) and
+compares the chained engine's image-fixpoint time against the committed
+``BENCH_relprod.json`` baseline.  Raw wall-clock is meaningless across
+machines, so times are normalised by the materialised-monolithic
+baseline measured in the same process — the ratio is a property of the
+algorithms, not the host::
+
+    normalised = chained_image_seconds / materialised_image_seconds
+
+The gate fails when a fresh normalised time exceeds the committed one by
+more than ``TOLERANCE`` on any shared instance.  Two noise guards keep
+it from crying wolf: instances whose committed chained fixpoint ran
+under ``MIN_SECONDS`` are skipped (tens-of-milliseconds timings jitter
+far beyond any real regression), and a failing instance is re-measured
+up to ``ATTEMPTS`` times — only a reproducible slowdown fails the gate.
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+os.environ.setdefault("REPRO_QUICK", "1")
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_relprod  # noqa: E402  (needs REPRO_QUICK set first)
+
+TOLERANCE = 0.25
+MIN_SECONDS = 0.1
+ATTEMPTS = 3
+
+
+def normalised_chained(engines: dict) -> float:
+    materialised = engines[bench_relprod.OLD_ENGINE]["image_seconds"]
+    chained = engines["chained"]["image_seconds"]
+    if materialised <= 0:
+        return float("inf")
+    return chained / materialised
+
+
+def main() -> int:
+    try:
+        with open(bench_relprod.JSON_PATH) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"no committed baseline at {bench_relprod.JSON_PATH}; "
+              f"nothing to gate against")
+        return 0
+
+    failures = []
+    checked = 0
+    shared = 0
+    for name, factory in bench_relprod.CONFIGS:
+        committed = baseline["instances"].get(name)
+        if committed is None:
+            print(f"{name}: not in committed baseline, skipped")
+            continue
+        shared += 1
+        committed_seconds = committed["engines"]["chained"]["image_seconds"]
+        if committed_seconds < MIN_SECONDS:
+            print(f"{name}: committed chained fixpoint took "
+                  f"{committed_seconds:.3f}s (< {MIN_SECONDS}s noise "
+                  f"floor), skipped")
+            continue
+        old_ratio = normalised_chained(committed["engines"])
+        bound = old_ratio * (1 + TOLERANCE)
+        new_ratio = float("inf")
+        for attempt in range(1, ATTEMPTS + 1):
+            fresh = bench_relprod.measure_engines(factory,
+                                                  engines=("chained",))
+            new_ratio = min(new_ratio, normalised_chained(fresh))
+            if new_ratio <= bound:
+                break
+        change = (new_ratio - old_ratio) / old_ratio if old_ratio else 0.0
+        verdict = "OK" if new_ratio <= bound else "REGRESSION"
+        print(f"{name}: chained/materialised time ratio "
+              f"{old_ratio:.3f} -> {new_ratio:.3f} "
+              f"({change:+.1%}, {attempt} attempt(s)) {verdict}")
+        checked += 1
+        if verdict == "REGRESSION":
+            failures.append(name)
+
+    if not shared:
+        print("no instances shared between quick mode and the baseline; "
+              "regenerate BENCH_relprod.json")
+        return 1
+    if not checked:
+        # Every shared instance sat under the noise floor: nothing
+        # gateable, but also no evidence of regression — don't turn CI
+        # red on fast machines.
+        print("all shared instances below the noise floor; gate skipped")
+        return 0
+    if failures:
+        print(f"chained-engine image time regressed >{TOLERANCE:.0%} on: "
+              f"{', '.join(failures)}")
+        return 1
+    print("no chained-engine regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

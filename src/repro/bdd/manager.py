@@ -25,7 +25,9 @@ reference counting).  User code should go through
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import (Callable, Dict, FrozenSet, Iterable, Iterator, List,
+                    Optional, Sequence, Tuple)
 
 ZERO = 0
 ONE = 1
@@ -90,8 +92,19 @@ class BDD:
         self.reorder_count = 0
         self.gc_count = 0
         self.peak_live_nodes = 0
-        # Callbacks invoked after each automatic reordering pass.
+        # Callbacks invoked whenever the variable order changes — after
+        # an explicit :meth:`swap_levels` or :meth:`set_order` and after
+        # each sifting pass (batched: one notification per pass, not one
+        # per internal swap).  Subscribers refresh any order-derived
+        # metadata they cache (see RelationalNet.refresh_partitions).
         self.reorder_hooks: List[Callable[["BDD"], None]] = []
+        self._reorder_notify_depth = 0
+        self._reorder_pending = False
+        # Variable groups that must stay adjacent during sifting (e.g.
+        # interleaved current/next pairs of a transition relation, which
+        # keep rename mappings order-monotone).  ``None`` sifts
+        # variables individually.
+        self.sift_groups: Optional[Sequence[Tuple[int, ...]]] = None
 
         if var_names is not None:
             for name in var_names:
@@ -259,12 +272,49 @@ class BDD:
         if self.auto_reorder and live > self.reorder_threshold:
             self.collect_garbage()
             from .reorder import sift
-            sift(self)
+            sift(self, groups=self.sift_groups)
             self.reorder_threshold = max(self.reorder_threshold,
                                          2 * self.live_nodes())
             self.reorder_count += 1
-            for hook in self.reorder_hooks:
-                hook(self)
+
+    # ------------------------------------------------------------------
+    # Reorder notification
+    # ------------------------------------------------------------------
+
+    def add_reorder_hook(self, hook: Callable[["BDD"], None]) -> None:
+        """Register ``hook(bdd)`` to run after every order change."""
+        self.reorder_hooks.append(hook)
+
+    def remove_reorder_hook(self, hook: Callable[["BDD"], None]) -> None:
+        """Unregister a previously added reorder hook."""
+        self.reorder_hooks.remove(hook)
+
+    @contextmanager
+    def deferred_reorder_notifications(self):
+        """Batch reorder notifications over a block of swaps.
+
+        Sifting performs thousands of :meth:`swap_levels`; firing the
+        hooks per swap would be quadratic.  Inside this context the
+        notification is only recorded; on exit the hooks fire once if
+        any swap happened.
+        """
+        self._reorder_notify_depth += 1
+        try:
+            yield self
+        finally:
+            self._reorder_notify_depth -= 1
+            if self._reorder_notify_depth == 0 and self._reorder_pending:
+                self._fire_reorder_hooks()
+
+    def _notify_reorder(self) -> None:
+        self._reorder_pending = True
+        if self._reorder_notify_depth == 0:
+            self._fire_reorder_hooks()
+
+    def _fire_reorder_hooks(self) -> None:
+        self._reorder_pending = False
+        for hook in self.reorder_hooks:
+            hook(self)
 
     # ------------------------------------------------------------------
     # Constants and literals
@@ -864,6 +914,7 @@ class BDD:
         self._level2var[level + 1] = upper
         self._var2level[lower] = level
         self._var2level[upper] = level + 1
+        self._notify_reorder()
 
     def set_order(self, names_or_vars: Iterable) -> None:
         """Reorder variables to the given top-to-bottom sequence."""
@@ -872,12 +923,13 @@ class BDD:
             raise BDDError("set_order requires a permutation of all variables")
         self.collect_garbage()
         # Selection-sort by repeated adjacent swaps (bubble the right
-        # variable up to each level in turn).
-        for level, var in enumerate(target):
-            current = self._var2level[var]
-            while current > level:
-                self.swap_levels(current - 1)
-                current -= 1
+        # variable up to each level in turn); hooks fire once at the end.
+        with self.deferred_reorder_notifications():
+            for level, var in enumerate(target):
+                current = self._var2level[var]
+                while current > level:
+                    self.swap_levels(current - 1)
+                    current -= 1
 
     # ------------------------------------------------------------------
     # Misc

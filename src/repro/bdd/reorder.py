@@ -11,13 +11,14 @@ that aborts clearly losing directions early.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from .manager import BDD
 
 
 def sift(bdd: BDD, max_growth: float = 1.2,
-         max_vars: Optional[int] = None) -> int:
+         max_vars: Optional[int] = None,
+         groups: Optional[Sequence[Tuple[int, ...]]] = None) -> int:
     """Run one sifting pass over the variables of ``bdd``.
 
     Variables are processed from the largest unique table to the smallest
@@ -26,12 +27,23 @@ def sift(bdd: BDD, max_growth: float = 1.2,
     A direction is abandoned when the total live node count exceeds
     ``max_growth`` times the size when the variable started moving.
 
+    Reorder hooks fire once per pass (not per swap), after the pass.
+
     Parameters
     ----------
     max_growth:
         Growth bound for abandoning a direction.
     max_vars:
-        If given, only the ``max_vars`` largest levels are sifted.
+        If given, only the ``max_vars`` largest levels (or groups) are
+        sifted.
+    groups:
+        Variable groups (tuples of indices/names) that must stay
+        adjacent: each group moves through the order as one block, and
+        positions are only evaluated with every block whole.  Variables
+        not mentioned in any group sift individually.  This is how a
+        relational manager keeps its interleaved current/next pairs —
+        and therefore the order-monotonicity of its rename maps —
+        intact while still reordering (cf. CUDD's group sifting).
 
     Returns the number of live nodes after the pass.
     """
@@ -40,13 +52,17 @@ def sift(bdd: BDD, max_growth: float = 1.2,
     if num < 2:
         return bdd.live_nodes()
 
-    by_size = sorted(range(num), key=lambda v: -len(bdd._unique[v]))
-    if max_vars is not None:
-        by_size = by_size[:max_vars]
+    with bdd.deferred_reorder_notifications():
+        if groups:
+            return _sift_blocks(bdd, groups, max_growth, max_vars)
 
-    for var in by_size:
-        _sift_one(bdd, var, max_growth)
-    return bdd.live_nodes()
+        by_size = sorted(range(num), key=lambda v: -len(bdd._unique[v]))
+        if max_vars is not None:
+            by_size = by_size[:max_vars]
+
+        for var in by_size:
+            _sift_one(bdd, var, max_growth)
+        return bdd.live_nodes()
 
 
 def _sift_one(bdd: BDD, var: int, max_growth: float) -> None:
@@ -111,12 +127,110 @@ def _walk_up(bdd: BDD, var: int, level: int, best_level: int,
     return level, best_level, best_size
 
 
+# ---------------------------------------------------------------------
+# Group (block) sifting
+# ---------------------------------------------------------------------
+
+def _normalize_blocks(bdd: BDD,
+                      groups: Sequence[Tuple[int, ...]]) -> List[List[int]]:
+    """Resolve ``groups`` to disjoint variable blocks and make each one
+    contiguous in the current order (members bubble up below their
+    group's topmost variable; passing variables shift whole, so other
+    blocks are never split).  Ungrouped variables become singletons.
+    Returns the blocks top-to-bottom."""
+    blocks: List[List[int]] = []
+    seen = set()
+    for group in groups:
+        members = [bdd.var_index(v) for v in group]
+        if not members:
+            continue
+        if len(set(members)) != len(members) \
+                or seen.intersection(members):
+            raise ValueError(f"sift groups overlap: {groups!r}")
+        seen.update(members)
+        blocks.append(members)
+    for var in range(bdd.num_vars):
+        if var not in seen:
+            blocks.append([var])
+    for members in blocks:
+        members.sort(key=bdd.level_of_var)
+        top = bdd.level_of_var(members[0])
+        for offset, var in enumerate(members[1:], start=1):
+            current = bdd.level_of_var(var)
+            while current > top + offset:
+                bdd.swap_levels(current - 1)
+                current -= 1
+    blocks.sort(key=lambda members: bdd.level_of_var(members[0]))
+    return blocks
+
+
+def _exchange_blocks(bdd: BDD, blocks: List[List[int]], index: int) -> None:
+    """Swap the adjacent blocks at ``index`` and ``index + 1`` (both stay
+    internally ordered) via adjacent-level swaps."""
+    level = sum(len(b) for b in blocks[:index])
+    upper, lower = len(blocks[index]), len(blocks[index + 1])
+    for passed in range(lower):
+        for step in range(upper):
+            bdd.swap_levels(level + passed + upper - 1 - step)
+    blocks[index], blocks[index + 1] = blocks[index + 1], blocks[index]
+
+
+def _sift_blocks(bdd: BDD, groups: Sequence[Tuple[int, ...]],
+                 max_growth: float, max_vars: Optional[int]) -> int:
+    blocks = _normalize_blocks(bdd, groups)
+    if len(blocks) < 2:
+        return bdd.live_nodes()
+    by_size = sorted(blocks,
+                     key=lambda b: -sum(len(bdd._unique[v]) for v in b))
+    if max_vars is not None:
+        by_size = by_size[:max_vars]
+    for block in by_size:
+        _sift_one_block(bdd, blocks, block, max_growth)
+    return bdd.live_nodes()
+
+
+def _sift_one_block(bdd: BDD, blocks: List[List[int]], block: List[int],
+                    max_growth: float) -> None:
+    last = len(blocks) - 1
+    index = blocks.index(block)
+    size = bdd.live_nodes()
+    limit = int(size * max_growth) + 1
+    best_size, best_index = size, index
+
+    def walk(index: int, step: int, stop: int) -> Tuple[int, int, int]:
+        nonlocal best_size, best_index
+        while index != stop:
+            _exchange_blocks(bdd, blocks, min(index, index + step))
+            index += step
+            size = bdd.live_nodes()
+            if size < best_size:
+                best_size, best_index = size, index
+            if size > limit:
+                break
+        return index
+
+    if last - index <= index:
+        index = walk(index, +1, last)
+        index = walk(index, -1, 0)
+    else:
+        index = walk(index, -1, 0)
+        index = walk(index, +1, last)
+    while index < best_index:
+        _exchange_blocks(bdd, blocks, index)
+        index += 1
+    while index > best_index:
+        _exchange_blocks(bdd, blocks, index - 1)
+        index -= 1
+
+
 def sift_to_convergence(bdd: BDD, max_growth: float = 1.2,
-                        max_passes: int = 8) -> int:
+                        max_passes: int = 8,
+                        groups: Optional[Sequence[Tuple[int, ...]]] = None
+                        ) -> int:
     """Repeat sifting passes until the live node count stops improving."""
-    size = sift(bdd, max_growth)
+    size = sift(bdd, max_growth, groups=groups)
     for _ in range(max_passes - 1):
-        new_size = sift(bdd, max_growth)
+        new_size = sift(bdd, max_growth, groups=groups)
         if new_size >= size:
             return new_size
         size = new_size

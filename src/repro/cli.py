@@ -60,6 +60,21 @@ SCHEMES = {
 }
 
 
+def _cluster_size(value: str):
+    """Parse ``--cluster-size``: a positive integer or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        size = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}")
+    if size < 1:
+        raise argparse.ArgumentTypeError(
+            f"cluster size must be >= 1, got {size}")
+    return size
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -99,14 +114,22 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="image computation: the renaming-free functional "
                           "operators (default) or a relational product "
                           "engine over partitioned transition relations")
-    ana.add_argument("--cluster-size", type=int, default=4,
+    ana.add_argument("--cluster-size", type=_cluster_size, default=4,
                      help="transitions per partition block for the "
-                          "partitioned/chained image engines")
+                          "partitioned/chained image engines (a positive "
+                          "integer, or 'auto' for adaptive support-overlap "
+                          "clustering)")
     ana.add_argument("--chain-order", default="support",
                      choices=["net", "support"],
                      help="sweep order for the chaining strategy")
     ana.add_argument("--no-reorder", action="store_true",
-                     help="disable dynamic variable reordering")
+                     help="disable dynamic variable reordering (functional "
+                          "and relational engines both sift at safe points "
+                          "by default)")
+    ana.add_argument("--simplify-frontier", action="store_true",
+                     help="simplify the frontier by its Coudert-Madre "
+                          "restriction against frontier | ~reached before "
+                          "each image computation")
     ana.add_argument("--deadlocks", action="store_true",
                      help="also report reachable deadlocks")
     return parser
@@ -181,32 +204,30 @@ def _cmd_analyze(args) -> int:
         return 0
     encoding = SCHEMES[args.scheme](net)
     if args.image != "functional":
-        if args.cluster_size < 1:
-            print(f"cluster-size must be >= 1: {args.cluster_size}",
-                  file=sys.stderr)
-            return 2
         if args.deadlocks:
             print("deadlocks: only supported with --image functional",
                   file=sys.stderr)
             return 2
         ignored = [flag for flag, is_set in (
             ("--strategy", args.strategy != "chaining"),
-            ("--chain-order", args.chain_order != "support"),
-            ("--no-reorder", args.no_reorder)) if is_set]
+            ("--chain-order", args.chain_order != "support")) if is_set]
         if ignored:
             print(f"warning: {', '.join(ignored)} ignored with "
                   f"--image {args.image} (relational engines use their "
-                  f"own sweep order and a fixed interleaved variable "
-                  f"order)", file=sys.stderr)
-        relnet = RelationalNet(encoding)
+                  f"own sweep order)", file=sys.stderr)
+        relnet = RelationalNet(encoding,
+                               auto_reorder=not args.no_reorder,
+                               reorder_threshold=2_000)
         result = traverse_relational(relnet, engine=args.image,
-                                     cluster_size=args.cluster_size)
+                                     cluster_size=args.cluster_size,
+                                     simplify_frontier=args.simplify_frontier)
         symnet = None
     else:
         symnet = SymbolicNet(encoding, auto_reorder=not args.no_reorder,
                              reorder_threshold=2_000)
         result = traverse(symnet, use_toggle=True, strategy=args.strategy,
-                          chain_order=args.chain_order)
+                          chain_order=args.chain_order,
+                          simplify_frontier=args.simplify_frontier)
     print(f"engine=bdd scheme={args.scheme} image={result.engine} "
           f"variables={result.variable_count} "
           f"markings={result.marking_count} "

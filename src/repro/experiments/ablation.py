@@ -114,6 +114,22 @@ def image_implementation_ablation() -> List[AblationRow]:
             lambda: traverse_relational(RelationalNet(
                 ImprovedEncoding(net, components=components)),
                 engine="chained", cluster_size=4)), "s"))
+        rows.append(AblationRow(name, "image=rel-chained(auto)", timed(
+            lambda: traverse_relational(RelationalNet(
+                ImprovedEncoding(net, components=components)),
+                engine="chained", cluster_size="auto")), "s"))
+        rows.append(AblationRow(name, "image=rel-chained(auto)+restrict",
+                                timed(
+            lambda: traverse_relational(RelationalNet(
+                ImprovedEncoding(net, components=components)),
+                engine="chained", cluster_size="auto",
+                simplify_frontier=True)), "s"))
+        rows.append(AblationRow(name, "image=rel-chained(auto)+reorder",
+                                timed(
+            lambda: traverse_relational(RelationalNet(
+                ImprovedEncoding(net, components=components),
+                auto_reorder=True, reorder_threshold=1_000),
+                engine="chained", cluster_size="auto")), "s"))
     return rows
 
 

@@ -88,26 +88,35 @@ def run_dense(name: str, net: PetriNet, reorder: bool = True,
 
 
 def run_relational(name: str, net: PetriNet, engine: str = "partitioned",
-                   cluster_size: int = 4,
+                   cluster_size="auto",
+                   simplify_frontier: bool = False,
+                   reorder: bool = False,
+                   reorder_threshold: int = 2_000,
                    encoding_factory: Optional[Callable] = None
                    ) -> ExperimentRow:
     """Relation-based BDD traversal through a chosen image engine.
 
     ``engine`` is one of ``monolithic | partitioned | chained`` (see
     :func:`repro.symbolic.traversal.make_image_engine`); the reported
-    engine column is ``rel-<engine>``.  Construction of the relational
-    net is included in the reported seconds, mirroring
-    :func:`run_dense`'s treatment of encoding time.
+    engine column is ``rel-<engine>``.  ``cluster_size`` is a positive
+    integer or ``"auto"`` (adaptive support-overlap clustering, the
+    default).  ``reorder`` enables pair-grouped sifting at the traversal
+    safe points and ``simplify_frontier`` the Coudert-Madre frontier
+    restriction.  Construction of the relational net is included in the
+    reported seconds, mirroring :func:`run_dense`'s treatment of
+    encoding time.
     """
     start = time.perf_counter()
     if encoding_factory is None:
         encoding = ImprovedEncoding(net)
     else:
         encoding = encoding_factory(net)
-    relnet = RelationalNet(encoding)
+    relnet = RelationalNet(encoding, auto_reorder=reorder,
+                           reorder_threshold=reorder_threshold)
     build_seconds = time.perf_counter() - start
     result = traverse_relational(relnet, engine=engine,
-                                 cluster_size=cluster_size)
+                                 cluster_size=cluster_size,
+                                 simplify_frontier=simplify_frontier)
     return ExperimentRow(instance=name, engine=f"rel-{engine}",
                          markings=result.marking_count,
                          variables=result.variable_count,

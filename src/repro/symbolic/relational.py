@@ -23,12 +23,22 @@ engines in :mod:`repro.symbolic.traversal`:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..bdd import BDD, Function, cube, false, true, variable
 from ..encoding.characteristic import initial_function
 from ..encoding.scheme import Encoding
 from .transition import cluster_by_support
+
+# Greedy auto-clustering knobs (``cluster_size="auto"``): a candidate is
+# merged into the open cluster while it shares at least this fraction of
+# the smaller support, the merged relation estimate stays under the node
+# budget, and the cluster stays below the hard member cap.
+AUTO_MIN_OVERLAP = 0.5
+AUTO_NODE_BUDGET = 600
+AUTO_MAX_CLUSTER = 16
+
+ClusterSize = Union[int, str]
 
 
 @dataclass(frozen=True, eq=False)
@@ -65,13 +75,39 @@ def _next_name(name: str) -> str:
 
 
 class RelationalNet:
-    """Partitioned transition relations over interleaved variables."""
+    """Partitioned transition relations over interleaved variables.
 
-    def __init__(self, encoding: Encoding, bdd: Optional[BDD] = None) -> None:
+    Parameters
+    ----------
+    encoding:
+        Any :class:`~repro.encoding.scheme.Encoding` of a safe net.
+    bdd:
+        An empty BDD manager to use; created fresh when omitted.
+    auto_reorder:
+        Enable threshold-triggered sifting at traversal safe points,
+        exactly as :class:`~repro.symbolic.transition.SymbolicNet` does.
+        Sifting on a relational manager is *grouped*: each current/next
+        variable pair moves as one block (``BDD.sift_groups``), which
+        keeps the partition rename maps order-monotone; cached partition
+        metadata is refreshed through a reorder hook after every pass.
+    reorder_threshold:
+        Live-node threshold for the automatic sifting trigger.
+    """
+
+    def __init__(self, encoding: Encoding, bdd: Optional[BDD] = None,
+                 auto_reorder: bool = False,
+                 reorder_threshold: int = 50_000) -> None:
         if bdd is None:
-            bdd = BDD()
+            bdd = BDD(auto_reorder=auto_reorder,
+                      reorder_threshold=reorder_threshold)
         if bdd.num_vars:
             raise ValueError("RelationalNet needs a fresh BDD manager")
+        if auto_reorder:
+            # Honor the request on a caller-supplied manager too; with
+            # the default auto_reorder=False the manager's own settings
+            # are left untouched.
+            bdd.auto_reorder = True
+            bdd.reorder_threshold = reorder_threshold
         self.encoding = encoding
         self.net = encoding.net
         self.bdd = bdd
@@ -84,6 +120,13 @@ class RelationalNet:
         self.next = tuple(_next_name(v) for v in self.current)
         self._to_next = dict(zip(self.current, self.next))
         self._to_current = dict(zip(self.next, self.current))
+        # Reordering must keep each (current, next) pair adjacent so the
+        # per-partition renames stay monotone; subscribe so cached
+        # partition metadata follows every order change.
+        bdd.sift_groups = [
+            (bdd.var_index(name), bdd.var_index(self._to_next[name]))
+            for name in self.current]
+        bdd.add_reorder_hook(self._on_reorder)
 
         # Rebuild place/enabling functions over this manager.
         self.places: Dict[str, Function] = {}
@@ -110,8 +153,16 @@ class RelationalNet:
 
         self.initial: Function = initial_function(encoding, bdd)
         self._relations: Optional[Dict[str, Function]] = None
-        self._partitions: Dict[int, List[RelationPartition]] = {}
+        self._partitions: Dict[ClusterSize, List[RelationPartition]] = {}
         self._identities: Dict[str, Function] = {}
+        # Sparse relations and their supports are order-independent
+        # (supports are variable-index sets); they are built once and
+        # reused by every partitions() call, so ablation sweeps that
+        # construct one engine per granularity stop re-walking the
+        # relation BDDs.
+        self._sparse: Optional[Dict[str, Tuple[Function,
+                                               Tuple[str, ...]]]] = None
+        self._supports: Dict[str, FrozenSet[int]] = {}
 
     @property
     def relations(self) -> Dict[str, Function]:
@@ -196,59 +247,162 @@ class RelationalNet:
             self._identities[name] = cached
         return cached
 
-    def partitions(self, cluster_size: int = 1) -> List[RelationPartition]:
+    def sparse_relations(self) -> Dict[str, Tuple[Function,
+                                                  Tuple[str, ...]]]:
+        """All sparse per-transition relations, built once and cached."""
+        if self._sparse is None:
+            self._sparse = {t: self._sparse_relation(t)
+                            for t in self.net.transitions}
+        return self._sparse
+
+    def transition_support(self, transition: str) -> FrozenSet[int]:
+        """Variable indices a transition's relation touches: the sparse
+        relation's support plus its changed variables' indices.  Indices
+        are stable across reordering, so the cache never goes stale."""
+        cached = self._supports.get(transition)
+        if cached is None:
+            relation, changed = self.sparse_relations()[transition]
+            support = set(relation.support())
+            support.update(self.bdd.var_index(v) for v in changed)
+            cached = frozenset(support)
+            self._supports[transition] = cached
+        return cached
+
+    def partitions(self, cluster_size: ClusterSize = 1
+                   ) -> List[RelationPartition]:
         """The disjunctive partition at a given clustering granularity.
 
         ``cluster_size = 1`` keeps one sparse relation per transition;
         larger values OR together up to ``cluster_size`` support-adjacent
         relations per block (fewer relational products per image, slightly
-        larger relation BDDs).  Within a cluster every member is padded
-        with identity clauses for the variables its siblings change, so
-        the block's image is exactly the union of its members' images.
-        Partitions are returned support-sorted (top of the variable order
-        first) and cached per granularity.
+        larger relation BDDs).  ``cluster_size = "auto"`` sizes clusters
+        greedily instead: walking the support-sorted order, a transition
+        joins the open cluster while it shares at least
+        ``AUTO_MIN_OVERLAP`` of the smaller support set, the estimated
+        merged relation stays under ``AUTO_NODE_BUDGET`` nodes, and the
+        cluster holds fewer than ``AUTO_MAX_CLUSTER`` members — so tight
+        families (philosophers rings) get wide blocks while loosely
+        coupled ones fall back towards per-transition blocks.
+
+        Within a cluster every member is padded with identity clauses for
+        the variables its siblings change, so the block's image is exactly
+        the union of its members' images.  Partitions are returned
+        support-sorted (top of the variable order first) and cached per
+        granularity; cached metadata is refreshed by the manager's
+        reorder hook whenever the variable order changes.
         """
-        if cluster_size < 1:
-            raise ValueError(f"cluster_size must be >= 1: {cluster_size}")
-        cached = self._partitions.get(cluster_size)
+        if cluster_size == "auto":
+            key: ClusterSize = "auto"
+        else:
+            if not isinstance(cluster_size, int) or cluster_size < 1:
+                raise ValueError(
+                    f"cluster_size must be a positive int or 'auto': "
+                    f"{cluster_size!r}")
+            key = cluster_size
+        cached = self._partitions.get(key)
         if cached is not None:
             return cached
-
-        sparse = {t: self._sparse_relation(t) for t in self.net.transitions}
-
-        def support_of(transition: str) -> FrozenSet[int]:
-            relation, changed = sparse[transition]
-            support = set(relation.support())
-            support.update(self.bdd.var_index(v) for v in changed)
-            return frozenset(support)
-
-        groups = cluster_by_support(self.net.transitions, support_of,
-                                    self.bdd.level_of_var, cluster_size)
-        partitions: List[RelationPartition] = []
-        for group in groups:
-            changed: set = set()
-            for transition in group:
-                changed.update(sparse[transition][1])
-            relation = false(self.bdd)
-            for transition in group:
-                member, own_changed = sparse[transition]
-                for name in sorted(changed - set(own_changed)):
-                    member = member & self._identity_clause(name)
-                relation = relation | member
-            quantify = tuple(sorted(
-                changed, key=lambda name: self.bdd.level_of_var(name)))
-            support = relation.support()
-            top = min((self.bdd.level_of_var(v) for v in support),
-                      default=self.bdd.num_vars)
-            label = group[0] if len(group) == 1 \
-                else f"{group[0]}..{group[-1]}"
-            partitions.append(RelationPartition(
-                label=label, transitions=tuple(group), relation=relation,
-                quantify=quantify,
-                rename={self._to_next[name]: name for name in quantify},
-                support=support, top_level=top))
-        self._partitions[cluster_size] = partitions
+        if key == "auto":
+            groups = self._auto_clusters()
+        else:
+            groups = cluster_by_support(self.net.transitions,
+                                        self.transition_support,
+                                        self.bdd.level_of_var, key)
+        partitions = [self._build_partition(group) for group in groups]
+        partitions.sort(key=lambda p: p.top_level)
+        self._partitions[key] = partitions
         return partitions
+
+    def _auto_clusters(self) -> List[List[str]]:
+        """Greedy support-overlap clustering over the sorted order."""
+        sparse = self.sparse_relations()
+        order = [t for group in
+                 cluster_by_support(self.net.transitions,
+                                    self.transition_support,
+                                    self.bdd.level_of_var, 1)
+                 for t in group]
+        groups: List[List[str]] = []
+        open_group: List[str] = []
+        open_support: set = set()
+        open_nodes = 0
+        for transition in order:
+            support = self.transition_support(transition)
+            nodes = sparse[transition][0].size()
+            if open_group:
+                smaller = min(len(support), len(open_support)) or 1
+                overlap = len(open_support & support) / smaller
+                if (overlap >= AUTO_MIN_OVERLAP
+                        and open_nodes + nodes <= AUTO_NODE_BUDGET
+                        and len(open_group) < AUTO_MAX_CLUSTER):
+                    open_group.append(transition)
+                    open_support |= support
+                    open_nodes += nodes
+                    continue
+                groups.append(open_group)
+            open_group = [transition]
+            open_support = set(support)
+            open_nodes = nodes
+        if open_group:
+            groups.append(open_group)
+        return groups
+
+    def _build_partition(self, group: Sequence[str]) -> RelationPartition:
+        """Pad, merge and annotate one cluster of sparse relations."""
+        sparse = self.sparse_relations()
+        changed: set = set()
+        for transition in group:
+            changed.update(sparse[transition][1])
+        relation = false(self.bdd)
+        for transition in group:
+            member, own_changed = sparse[transition]
+            for name in sorted(changed - set(own_changed)):
+                member = member & self._identity_clause(name)
+            relation = relation | member
+        quantify = tuple(sorted(
+            changed, key=lambda name: self.bdd.level_of_var(name)))
+        support = relation.support()
+        top = min((self.bdd.level_of_var(v) for v in support),
+                  default=self.bdd.num_vars)
+        label = group[0] if len(group) == 1 \
+            else f"{group[0]}..{group[-1]}"
+        return RelationPartition(
+            label=label, transitions=tuple(group), relation=relation,
+            quantify=quantify,
+            rename={self._to_next[name]: name for name in quantify},
+            support=support, top_level=top)
+
+    # ------------------------------------------------------------------
+    # Reorder subscription
+    # ------------------------------------------------------------------
+
+    def _on_reorder(self, bdd: BDD) -> None:
+        self.refresh_partitions()
+
+    def refresh_partitions(self) -> None:
+        """Recompute the order-derived metadata of every cached partition.
+
+        Relations themselves are :class:`Function` handles and survive
+        reordering untouched; what goes stale is the metadata derived
+        from variable *levels* — each block's ``top_level``, the
+        level-sorted ``quantify`` tuple and the support-sorted order of
+        the block list.  Called from the manager's reorder hook after
+        every sifting pass, ``swap_levels`` or ``set_order``.
+        """
+        for key, blocks in self._partitions.items():
+            refreshed = [self._refresh_metadata(block) for block in blocks]
+            refreshed.sort(key=lambda p: p.top_level)
+            self._partitions[key] = refreshed
+
+    def _refresh_metadata(self, block: RelationPartition
+                          ) -> RelationPartition:
+        quantify = tuple(sorted(
+            block.quantify, key=lambda name: self.bdd.level_of_var(name)))
+        top = min((self.bdd.level_of_var(v) for v in block.support),
+                  default=self.bdd.num_vars)
+        return RelationPartition(
+            label=block.label, transitions=block.transitions,
+            relation=block.relation, quantify=quantify,
+            rename=block.rename, support=block.support, top_level=top)
 
     def image_partition(self, states: Function,
                         partition: RelationPartition) -> Function:
@@ -275,7 +429,8 @@ class RelationalNet:
         return result
 
     def image_chained(self, states: Function,
-                      partitions: Sequence[RelationPartition]) -> Function:
+                      partitions: Sequence[RelationPartition],
+                      reached: Optional[Function] = None) -> Function:
         """One chained sweep: apply blocks in support-sorted order,
         feeding each block the states accumulated so far.
 
@@ -283,10 +438,22 @@ class RelationalNet:
         sweep — a superset of the one-step image, still contained in the
         reachable closure, which is what makes chained fixpoints converge
         in (often far) fewer iterations.
+
+        When ``reached`` is given, each block's input is first simplified
+        by the Coudert-Madre restriction against the care set
+        ``accumulated | ~reached`` (everything outside it is already
+        reached and not in the working set).  The simplified set may pick
+        up already-reached states — their successors are reachable, so
+        the sweep stays inside the closure — while its BDD is usually
+        much smaller than the accumulated frontier's.
         """
         current = states
+        not_reached = None if reached is None else ~reached
         for partition in partitions:
-            current = current | self.image_partition(current, partition)
+            work = current
+            if not_reached is not None:
+                work = current.restrict(current | not_reached)
+            current = current | self.image_partition(work, partition)
         return current
 
     def count_markings(self, states: Function) -> int:

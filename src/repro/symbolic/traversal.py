@@ -59,12 +59,20 @@ class ImageEngine:
     returned frontier is empty.  Engines own whatever relation form they
     need (a monolithic relation, a partition list, ...), built lazily on
     first use so constructing an engine is cheap.
+
+    ``simplify_frontier`` enables the Coudert-Madre restriction: the
+    frontier is replaced by ``frontier.restrict(frontier | ~reached)``
+    before images are taken (per sweep block in the chained engine).
+    The simplified set may include already-reached states — harmless,
+    their successors are reachable — but its BDD is usually smaller.
     """
 
     name = "abstract"
 
-    def __init__(self, relnet: RelationalNet) -> None:
+    def __init__(self, relnet: RelationalNet,
+                 simplify_frontier: bool = False) -> None:
         self.relnet = relnet
+        self.simplify_frontier = simplify_frontier
 
     def advance(self, reached: Function,
                 frontier: Function) -> Tuple[Function, Function]:
@@ -74,20 +82,27 @@ class ImageEngine:
                 successors: Function) -> Tuple[Function, Function]:
         return reached | successors, successors - reached
 
+    def _simplify(self, reached: Function, frontier: Function) -> Function:
+        if not self.simplify_frontier:
+            return frontier
+        return frontier.restrict(frontier | ~reached)
+
 
 class MonolithicImageEngine(ImageEngine):
     """Single relational product against ``R = OR_t R_t`` per step."""
 
     name = "monolithic"
 
-    def __init__(self, relnet: RelationalNet) -> None:
-        super().__init__(relnet)
+    def __init__(self, relnet: RelationalNet,
+                 simplify_frontier: bool = False) -> None:
+        super().__init__(relnet, simplify_frontier)
         self._relation: Optional[Function] = None
 
     def advance(self, reached, frontier):
         if self._relation is None:
             self._relation = self.relnet.monolithic_relation()
-        successors = self.relnet.image_monolithic(frontier, self._relation)
+        work = self._simplify(reached, frontier)
+        successors = self.relnet.image_monolithic(work, self._relation)
         return self._absorb(reached, successors)
 
 
@@ -96,8 +111,10 @@ class PartitionedImageEngine(ImageEngine):
 
     name = "partitioned"
 
-    def __init__(self, relnet: RelationalNet, cluster_size: int = 1) -> None:
-        super().__init__(relnet)
+    def __init__(self, relnet: RelationalNet,
+                 cluster_size: "int | str" = 1,
+                 simplify_frontier: bool = False) -> None:
+        super().__init__(relnet, simplify_frontier)
         self.cluster_size = cluster_size
 
     @property
@@ -105,7 +122,8 @@ class PartitionedImageEngine(ImageEngine):
         return self.relnet.partitions(self.cluster_size)
 
     def advance(self, reached, frontier):
-        successors = self.relnet.image_partitioned(frontier, self.partitions)
+        work = self._simplify(reached, frontier)
+        successors = self.relnet.image_partitioned(work, self.partitions)
         return self._absorb(reached, successors)
 
 
@@ -115,19 +133,35 @@ class ChainedImageEngine(PartitionedImageEngine):
     name = "chained"
 
     def advance(self, reached, frontier):
-        swept = self.relnet.image_chained(frontier, self.partitions)
+        swept = self.relnet.image_chained(
+            frontier, self.partitions,
+            reached=reached if self.simplify_frontier else None)
         return reached | swept, swept - reached
 
 
 def make_image_engine(relnet: RelationalNet, engine: str = "partitioned",
-                      cluster_size: int = 1) -> ImageEngine:
-    """Factory for the relational image engines by name."""
+                      cluster_size: "int | str" = 1,
+                      simplify_frontier: bool = False) -> ImageEngine:
+    """Factory for the relational image engines by name.
+
+    ``cluster_size`` must be a positive integer or ``"auto"`` (adaptive
+    support-overlap clustering); ``engine`` one of :data:`IMAGE_ENGINES`.
+    Both are validated here so misconfigurations fail fast with a clear
+    message instead of deep inside ``RelationalNet.partitions``.
+    """
+    if cluster_size != "auto" and (not isinstance(cluster_size, int)
+                                   or isinstance(cluster_size, bool)
+                                   or cluster_size < 1):
+        raise ValueError(
+            f"invalid cluster_size {cluster_size!r}: expected a positive "
+            f"integer or 'auto'")
     if engine == "monolithic":
-        return MonolithicImageEngine(relnet)
+        return MonolithicImageEngine(relnet, simplify_frontier)
     if engine == "partitioned":
-        return PartitionedImageEngine(relnet, cluster_size)
+        return PartitionedImageEngine(relnet, cluster_size,
+                                      simplify_frontier)
     if engine == "chained":
-        return ChainedImageEngine(relnet, cluster_size)
+        return ChainedImageEngine(relnet, cluster_size, simplify_frontier)
     raise ValueError(f"unknown image engine {engine!r}; "
                      f"expected one of {IMAGE_ENGINES}")
 
@@ -224,7 +258,8 @@ def reachable_set(symnet: SymbolicNet, **kwargs) -> Function:
 
 def traverse_relational(relnet: RelationalNet, monolithic: bool = False,
                         engine: "Optional[str | ImageEngine]" = None,
-                        cluster_size: int = 1,
+                        cluster_size: "int | str" = 1,
+                        simplify_frontier: bool = False,
                         max_iterations: Optional[int] = None
                         ) -> TraversalResult:
     """Reachability fixpoint through a :class:`RelationalNet`.
@@ -232,16 +267,24 @@ def traverse_relational(relnet: RelationalNet, monolithic: bool = False,
     Parameters
     ----------
     relnet:
-        The relation-based symbolic net.
+        The relation-based symbolic net.  Construct it with
+        ``auto_reorder=True`` to sift (in reorder-safe current/next
+        pair groups) at the per-iteration safe points, exactly as the
+        functional path does.
     monolithic:
         Backwards-compatible alias for ``engine="monolithic"``.
     engine:
         ``"monolithic"``, ``"partitioned"`` (default) or ``"chained"`` —
         see :func:`make_image_engine`.  An :class:`ImageEngine` instance
-        is also accepted.
+        is also accepted (in which case ``cluster_size`` and
+        ``simplify_frontier`` are ignored — configure the instance).
     cluster_size:
         Partition clustering granularity for the partitioned and chained
-        engines (1 = one relation per transition).
+        engines: a positive integer (1 = one relation per transition) or
+        ``"auto"`` for adaptive support-overlap clustering.
+    simplify_frontier:
+        Apply the Coudert-Madre restriction against ``frontier |
+        ~reached`` before each image (per block in the chained sweep).
 
     Returns a :class:`TraversalResult` (peak statistics refer to the
     relational manager, which also stores the relations themselves).
@@ -251,7 +294,8 @@ def traverse_relational(relnet: RelationalNet, monolithic: bool = False,
     if isinstance(engine, ImageEngine):
         image_engine = engine
     else:
-        image_engine = make_image_engine(relnet, engine, cluster_size)
+        image_engine = make_image_engine(relnet, engine, cluster_size,
+                                         simplify_frontier)
     bdd = relnet.bdd
     start = time.perf_counter()
     reached = relnet.initial

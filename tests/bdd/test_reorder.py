@@ -171,3 +171,109 @@ class TestAutoReorder:
         f = (variable(bdd, "a") & variable(bdd, "b")) | variable(bdd, "c")
         bdd.checkpoint()
         assert calls
+
+
+class TestReorderHooks:
+    def test_hook_fires_once_per_sift_pass(self):
+        names = [f"v{i}" for i in range(6)]
+        bdd = BDD(var_names=names)
+        f = build_interleaved_adder(bdd, names[:3], names[3:])
+        calls = []
+        bdd.add_reorder_hook(lambda mgr: calls.append(mgr.order()))
+        sift(bdd)
+        assert len(calls) == 1
+        assert calls[0] == bdd.order()
+
+    def test_hook_fires_after_swap_and_set_order(self):
+        bdd = BDD(var_names=["a", "b", "c"])
+        calls = []
+        bdd.add_reorder_hook(lambda mgr: calls.append(mgr.order()))
+        bdd.swap_levels(0)
+        assert calls == [["b", "a", "c"]]
+        bdd.set_order(["c", "a", "b"])
+        assert len(calls) == 2
+        assert calls[-1] == ["c", "a", "b"]
+
+    def test_remove_hook(self):
+        bdd = BDD(var_names=["a", "b"])
+        calls = []
+        hook = lambda mgr: calls.append(1)  # noqa: E731
+        bdd.add_reorder_hook(hook)
+        bdd.swap_levels(0)
+        bdd.remove_reorder_hook(hook)
+        bdd.swap_levels(0)
+        assert len(calls) == 1
+
+    def test_deferred_notifications_batch(self):
+        bdd = BDD(var_names=["a", "b", "c"])
+        calls = []
+        bdd.add_reorder_hook(lambda mgr: calls.append(mgr.order()))
+        with bdd.deferred_reorder_notifications():
+            bdd.swap_levels(0)
+            bdd.swap_levels(1)
+            assert calls == []
+        assert len(calls) == 1
+
+
+class TestGroupSifting:
+    def pairs(self, bdd, names):
+        return [(bdd.var_index(a), bdd.var_index(b))
+                for a, b in zip(names[0::2], names[1::2])]
+
+    def test_groups_stay_adjacent_and_ordered(self):
+        names = [f"v{i}" for i in range(8)]
+        bdd = BDD(var_names=names)
+        f = build_interleaved_adder(bdd, names[0::2], names[1::2])
+        groups = self.pairs(bdd, names)
+        before = eval_everywhere(f, names)
+        sift(bdd, groups=groups)
+        for upper, lower in groups:
+            assert bdd.level_of_var(lower) == bdd.level_of_var(upper) + 1
+        assert eval_everywhere(f, names) == before
+        bdd.assert_consistent()
+
+    def test_group_sift_improves_blocked_adder(self):
+        """Pairs (a_i, b_i) start scattered a0..a3 b0..b3; group sifting
+        must still find the small interleaved-pairs order."""
+        names_a = [f"a{i}" for i in range(4)]
+        names_b = [f"b{i}" for i in range(4)]
+        bdd = BDD(var_names=names_a + names_b)
+        f = build_interleaved_adder(bdd, names_a, names_b)
+        blocked = f.size()
+        groups = [(bdd.var_index(a), bdd.var_index(b))
+                  for a, b in zip(names_a, names_b)]
+        sift(bdd, groups=groups)
+        assert f.size() < blocked
+        for upper, lower in groups:
+            assert abs(bdd.level_of_var(lower)
+                       - bdd.level_of_var(upper)) == 1
+        bdd.assert_consistent()
+
+    def test_scattered_groups_are_gathered(self):
+        from repro.bdd.reorder import _normalize_blocks
+        bdd = BDD(var_names=[f"v{i}" for i in range(6)])
+        bdd.set_order([f"v{i}" for i in (0, 2, 4, 1, 3, 5)])
+        blocks = _normalize_blocks(bdd, [(0, 1), (2, 3), (4, 5)])
+        for members in blocks:
+            levels = sorted(bdd.level_of_var(v) for v in members)
+            assert levels == list(range(levels[0],
+                                        levels[0] + len(members)))
+        bdd.assert_consistent()
+
+    def test_overlapping_groups_rejected(self):
+        bdd = BDD(var_names=["a", "b", "c"])
+        with pytest.raises(ValueError):
+            sift(bdd, groups=[(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            sift(bdd, groups=[(0, 0, 1)])
+
+    def test_checkpoint_uses_sift_groups(self):
+        names = [f"v{i}" for i in range(6)]
+        bdd = BDD(var_names=names, auto_reorder=True, reorder_threshold=4)
+        f = build_interleaved_adder(bdd, names[0::2], names[1::2])
+        bdd.sift_groups = self.pairs(bdd, names)
+        bdd.checkpoint()
+        assert bdd.reorder_count == 1
+        for upper, lower in bdd.sift_groups:
+            assert bdd.level_of_var(lower) == bdd.level_of_var(upper) + 1
+        assert f({name: True for name in names})

@@ -59,3 +59,25 @@ class TestRestrict:
         from repro.bdd import false, true
         assert true(bdd).restrict(a) == true(bdd)
         assert false(bdd).restrict(a) == false(bdd)
+
+    def test_idempotent(self, setup):
+        """restrict only reads f on the care set, so a second restriction
+        against the same care set is a no-op."""
+        bdd, a, b, c, d = setup
+        f = (a & b) | (c ^ d) | (~a & d)
+        for care in (a | b, a & ~c, b ^ d):
+            r = f.restrict(care)
+            assert r.restrict(care) == r
+
+    def test_frontier_simplification_shape(self, setup):
+        """The traversal usage: simplifying a frontier against
+        ``frontier | ~reached`` keeps exactly the new states' images."""
+        bdd, a, b, c, d = setup
+        reached = (a & b) | (a & c)
+        frontier = a & c & ~b
+        care = frontier | ~reached
+        simplified = frontier.restrict(care)
+        # Agreement on the care set is what traversal correctness needs:
+        # off-care states are already reached, their successors are safe.
+        assert (simplified & care) == (frontier & care)
+        assert (simplified - reached) == (frontier - reached)

@@ -288,3 +288,30 @@ def test_restrict_by_self_is_tautological(expr):
         return
     r = bdd.restrict_cm(f, f)
     assert bdd.apply_and(r, f) == f
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs(), exprs())
+def test_restrict_is_idempotent(func_expr, care_expr):
+    """Sibling substitution only reads f on the care set, so restricting
+    an already-restricted function changes nothing."""
+    bdd = BDD(var_names=NAMES)
+    f = build_bdd(bdd, func_expr)
+    care = build_bdd(bdd, care_expr)
+    if care == 0:
+        return
+    r = bdd.restrict_cm(f, care)
+    assert bdd.restrict_cm(r, care) == r
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs())
+def test_restrict_constant_care_and_constant_function(expr):
+    """A tautological care set is the identity; constants are fixpoints."""
+    bdd = BDD(var_names=NAMES)
+    f = build_bdd(bdd, expr)
+    assert bdd.restrict_cm(f, 1) == f
+    care = build_bdd(bdd, expr)
+    if care != 0:
+        assert bdd.restrict_cm(0, care) == 0
+        assert bdd.restrict_cm(1, care) == 1

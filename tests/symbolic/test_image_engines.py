@@ -250,6 +250,154 @@ class TestImageEngines:
         result = traverse_relational(relnet, monolithic=True)
         assert result.engine == "relational/monolithic"
 
+    @pytest.mark.parametrize("junk", [0, -3, 2.5, "junk", None, True])
+    def test_bad_cluster_size_rejected_up_front(self, junk):
+        """make_image_engine must fail fast with a message naming the
+        valid values, not deep inside partitions()."""
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        with pytest.raises(ValueError, match="auto"):
+            make_image_engine(relnet, "chained", cluster_size=junk)
+
+    def test_unknown_engine_message_names_engines(self):
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        with pytest.raises(ValueError, match="monolithic"):
+            make_image_engine(relnet, "quantum")
+
+
+# ---------------------------------------------------------------------
+# Adaptive traversal: reordering, frontier restriction, auto clusters
+# ---------------------------------------------------------------------
+
+class TestAdaptiveTraversal:
+    @pytest.mark.parametrize("name,factory", FAMILIES,
+                             ids=[n for n, _ in FAMILIES])
+    @pytest.mark.parametrize("engine", IMAGE_ENGINES)
+    def test_engines_agree_with_reordering_enabled(self, name, factory,
+                                                   engine, explicit_counts):
+        """Acceptance: identical reachable sets with dynamic reordering
+        (pair-grouped sifting + partition refresh) and auto clustering."""
+        relnet = RelationalNet(ImprovedEncoding(factory()),
+                               auto_reorder=True, reorder_threshold=200)
+        result = traverse_relational(relnet, engine=engine,
+                                     cluster_size="auto",
+                                     simplify_frontier=True)
+        assert result.marking_count == explicit_counts[name]
+
+    def test_auto_reorder_honored_on_supplied_manager(self,
+                                                      explicit_counts):
+        from repro.bdd import BDD
+        relnet = RelationalNet(ImprovedEncoding(philosophers(3)),
+                               bdd=BDD(), auto_reorder=True,
+                               reorder_threshold=100)
+        assert relnet.bdd.auto_reorder
+        result = traverse_relational(relnet, engine="chained")
+        assert result.reorder_count > 0
+        assert result.marking_count == explicit_counts["phil3"]
+
+    def test_reordering_actually_happens(self, explicit_counts):
+        relnet = RelationalNet(ImprovedEncoding(philosophers(3)),
+                               auto_reorder=True, reorder_threshold=100)
+        result = traverse_relational(relnet, engine="chained",
+                                     cluster_size=2)
+        assert result.reorder_count > 0
+        assert result.marking_count == explicit_counts["phil3"]
+
+    def test_pairs_stay_adjacent_after_traversal_reorder(self):
+        relnet = RelationalNet(ImprovedEncoding(slotted_ring(2)),
+                               auto_reorder=True, reorder_threshold=100)
+        traverse_relational(relnet, engine="chained")
+        assert relnet.bdd.reorder_count > 0
+        for name in relnet.current:
+            current = relnet.bdd.level_of_var(name)
+            nxt = relnet.bdd.level_of_var(name + "'")
+            assert nxt == current + 1
+
+    def test_auto_clusters_cover_all_transitions(self):
+        relnet = RelationalNet(ImprovedEncoding(philosophers(3)))
+        blocks = relnet.partitions("auto")
+        seen = [t for block in blocks for t in block.transitions]
+        assert sorted(seen) == sorted(relnet.net.transitions)
+        tops = [block.top_level for block in blocks]
+        assert tops == sorted(tops)
+
+    def test_auto_partitions_cached(self):
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        assert relnet.partitions("auto") is relnet.partitions("auto")
+
+    def test_auto_image_equals_per_transition_union(self):
+        relnet = RelationalNet(ImprovedEncoding(muller(4)))
+        states = relnet.initial
+        blocks = relnet.partitions("auto")
+        assert relnet.image_partitioned(states, blocks) \
+            == relnet.image_all(states)
+
+    def test_simplify_frontier_fixpoints_agree(self, explicit_counts):
+        for engine in IMAGE_ENGINES:
+            relnet = RelationalNet(ImprovedEncoding(slotted_ring(2)))
+            result = traverse_relational(relnet, engine=engine,
+                                         simplify_frontier=True)
+            assert result.marking_count == explicit_counts["slot2"]
+
+    def test_sparse_relations_cached_across_engine_builds(self):
+        """Repeated engine construction (ablation sweeps) must reuse the
+        sparse relations and supports instead of re-walking them."""
+        relnet = RelationalNet(ImprovedEncoding(philosophers(3)))
+        first = relnet.sparse_relations()
+        make_image_engine(relnet, "partitioned", 1).partitions
+        make_image_engine(relnet, "chained", 4).partitions
+        make_image_engine(relnet, "chained", "auto").partitions
+        assert relnet.sparse_relations() is first
+        transition = relnet.net.transitions[0]
+        assert relnet.transition_support(transition) \
+            is relnet.transition_support(transition)
+
+
+class TestPartitionRefresh:
+    def reversed_pair_order(self, relnet):
+        pairs = [(name, name + "'") for name in relnet.current]
+        return [v for pair in reversed(pairs) for v in pair]
+
+    def test_metadata_refreshed_after_set_order(self):
+        """Satellite: an explicit set_order must refresh every cached
+        block's top_level/quantify and re-sort the block list."""
+        relnet = RelationalNet(ImprovedEncoding(slotted_ring(2)))
+        bdd = relnet.bdd
+        before = relnet.partitions(2)
+        relations_before = {b.label: b.relation for b in before}
+        bdd.set_order(self.reversed_pair_order(relnet))
+        after = relnet.partitions(2)
+        tops = [block.top_level for block in after]
+        assert tops == sorted(tops)
+        for block in after:
+            assert block.top_level == min(
+                bdd.level_of_var(v) for v in block.support)
+            levels = [bdd.level_of_var(v) for v in block.quantify]
+            assert levels == sorted(levels)
+            # Relations themselves are stable handles, never rebuilt.
+            assert block.relation is relations_before[block.label]
+
+    def test_images_correct_after_set_order(self, explicit_counts):
+        relnet = RelationalNet(ImprovedEncoding(slotted_ring(2)))
+        blocks = relnet.partitions(2)
+        expected = relnet.image_all(relnet.initial)
+        relnet.bdd.set_order(self.reversed_pair_order(relnet))
+        blocks = relnet.partitions(2)
+        assert relnet.image_partitioned(relnet.initial, blocks) == expected
+        result = traverse_relational(relnet, engine="chained",
+                                     cluster_size=2)
+        assert result.marking_count == explicit_counts["slot2"]
+
+    def test_refresh_fires_for_every_cached_granularity(self):
+        relnet = RelationalNet(ImprovedEncoding(figure4_net()))
+        relnet.partitions(1)
+        relnet.partitions(3)
+        relnet.partitions("auto")
+        relnet.bdd.set_order(self.reversed_pair_order(relnet))
+        for key in (1, 3, "auto"):
+            for block in relnet.partitions(key):
+                assert block.top_level == min(
+                    relnet.bdd.level_of_var(v) for v in block.support)
+
 
 # ---------------------------------------------------------------------
 # Functional-path support ordering
