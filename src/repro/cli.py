@@ -25,6 +25,7 @@ Examples
     python -m repro.cli encode muller4.pnet --scheme improved
     python -m repro.cli analyze muller4.pnet --scheme improved --engine bdd
     python -m repro.cli analyze muller4.pnet --image chained --cluster-size 8
+    python -m repro.cli analyze muller4.pnet --engine zdd --image chained
 """
 
 from __future__ import annotations
@@ -44,7 +45,8 @@ from .petri.invariants import (invariant_support,
                                minimal_semipositive_t_invariants)
 from .petri.parser import dumps, load
 from .symbolic import (IMAGE_ENGINES, RelationalNet, SymbolicNet, ZddNet,
-                       traverse, traverse_relational, traverse_zdd)
+                       ZddRelationalNet, traverse, traverse_relational,
+                       traverse_zdd)
 
 FAMILIES = {
     "muller": muller,
@@ -113,7 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=["functional"] + list(IMAGE_ENGINES),
                      help="image computation: the renaming-free functional "
                           "operators (default) or a relational product "
-                          "engine over partitioned transition relations")
+                          "engine over partitioned transition relations "
+                          "(with --engine zdd, 'functional' selects the "
+                          "classic per-transition rewrite and the "
+                          "relational names select the sparse ZDD "
+                          "relational engines)")
     ana.add_argument("--cluster-size", type=_cluster_size, default=4,
                      help="transitions per partition block for the "
                           "partitioned/chained image engines (a positive "
@@ -196,10 +202,31 @@ def _cmd_encode(args) -> int:
 def _cmd_analyze(args) -> int:
     net = load(args.net)
     if args.engine == "zdd":
-        result = traverse_zdd(ZddNet(net))
-        print(f"engine=zdd variables={result.variable_count} "
+        if args.deadlocks:
+            print("deadlocks: only supported with --engine bdd "
+                  "--image functional", file=sys.stderr)
+            return 2
+        ignored = [flag for flag, is_set in (
+            ("--scheme", args.scheme != "improved"),
+            ("--strategy", args.strategy != "chaining"),
+            ("--chain-order", args.chain_order != "support"),
+            ("--no-reorder", args.no_reorder),
+            ("--simplify-frontier", args.simplify_frontier)) if is_set]
+        if ignored:
+            print(f"warning: {', '.join(ignored)} ignored with "
+                  f"--engine zdd (the ZDD engines use the token-set "
+                  f"encoding directly, a fixed element order and raw "
+                  f"frontiers)", file=sys.stderr)
+        if args.image == "functional":
+            result = traverse_zdd(ZddNet(net))
+        else:
+            result = traverse_zdd(ZddRelationalNet(net), engine=args.image,
+                                  cluster_size=args.cluster_size)
+        print(f"engine=zdd image={result.engine} "
+              f"variables={result.variable_count} "
               f"markings={result.marking_count} "
               f"nodes={result.final_zdd_nodes} "
+              f"iterations={result.iterations} "
               f"time={result.seconds:.2f}s")
         return 0
     encoding = SCHEMES[args.scheme](net)

@@ -53,11 +53,22 @@ def instances() -> List[Tuple[str, object]]:
     ]
 
 
-def run(reorder: bool = True) -> List[ExperimentRow]:
-    """Measure every instance under the ZDD baseline and the dense BDD."""
+def run(reorder: bool = True,
+        zdd_engines: Tuple[str, ...] = ("classic", "chained")
+        ) -> List[ExperimentRow]:
+    """Measure every instance under the ZDD baseline(s) and the dense BDD.
+
+    ``zdd_engines`` selects which sparse-ZDD image engines to run —
+    ``"classic"`` is the per-transition Yoneda baseline, the relational
+    names (``chained`` by default) add the partitioned-relation form so
+    the sparse baseline rides the same fused-image machinery as the
+    BDD engines.
+    """
     rows: List[ExperimentRow] = []
     for name, net in instances():
-        rows.append(run_zdd(name, net))
+        for engine in zdd_engines:
+            rows.append(run_zdd(name, net, engine=engine,
+                                cluster_size="auto"))
         rows.append(run_dense(name, net, reorder=reorder))
     return rows
 
@@ -66,10 +77,11 @@ def main() -> None:
     rows = run()
     print(format_table(
         "Table 4: sparse-ZDD (Yoneda) vs. dense BDD (this reproduction)",
-        rows, engines=("zdd", "dense")))
+        rows, engines=("zdd", "zdd-chained", "dense")))
     print()
     print("Expected shape (paper): dense uses ~40-50% fewer variables and "
-          "fewer nodes than the sparse ZDD.")
+          "fewer nodes than the sparse ZDD; zdd-chained reaches the same "
+          "fixpoint as zdd with fewer, cheaper iterations.")
 
 
 if __name__ == "__main__":

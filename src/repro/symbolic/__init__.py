@@ -18,7 +18,13 @@ from .traversal import (IMAGE_ENGINES, ChainedImageEngine, ImageEngine,
                         MonolithicImageEngine, PartitionedImageEngine,
                         TraversalResult, make_image_engine, reachable_set,
                         traverse, traverse_relational)
-from .zdd_traversal import ZddNet, ZddTraversalResult, traverse_zdd
+from .zdd_relational import (ZddRelationPartition, ZddRelationalNet,
+                             ZddSparseRelation)
+from .zdd_traversal import (ZDD_IMAGE_ENGINES, ChainedZddEngine,
+                            ClassicZddEngine, MonolithicZddEngine,
+                            PartitionedZddEngine, ZddImageEngine, ZddNet,
+                            ZddTraversalResult, make_zdd_image_engine,
+                            traverse_zdd)
 
 __all__ = [
     "SymbolicNet", "RelationalNet", "RelationPartition",
@@ -28,5 +34,9 @@ __all__ = [
     "MonolithicImageEngine", "PartitionedImageEngine", "ChainedImageEngine",
     "ModelChecker", "CheckReport",
     "ZddNet", "ZddTraversalResult", "traverse_zdd",
+    "ZddRelationalNet", "ZddRelationPartition", "ZddSparseRelation",
+    "ZDD_IMAGE_ENGINES", "ZddImageEngine", "make_zdd_image_engine",
+    "ClassicZddEngine", "MonolithicZddEngine", "PartitionedZddEngine",
+    "ChainedZddEngine",
     "KBoundedNet", "KBoundedResult", "traverse_kbounded",
 ]

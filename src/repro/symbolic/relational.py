@@ -28,15 +28,12 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 from ..bdd import BDD, Function, cube, false, true, variable
 from ..encoding.characteristic import initial_function
 from ..encoding.scheme import Encoding
-from .transition import cluster_by_support
+from .transition import (AUTO_MAX_CLUSTER, AUTO_MIN_OVERLAP,
+                         AUTO_NODE_BUDGET, cluster_by_support,
+                         cluster_greedily, validate_cluster_size)
 
-# Greedy auto-clustering knobs (``cluster_size="auto"``): a candidate is
-# merged into the open cluster while it shares at least this fraction of
-# the smaller support, the merged relation estimate stays under the node
-# budget, and the cluster stays below the hard member cap.
-AUTO_MIN_OVERLAP = 0.5
-AUTO_NODE_BUDGET = 600
-AUTO_MAX_CLUSTER = 16
+__all__ = ["RelationPartition", "RelationalNet", "AUTO_MIN_OVERLAP",
+           "AUTO_NODE_BUDGET", "AUTO_MAX_CLUSTER"]
 
 ClusterSize = Union[int, str]
 
@@ -291,14 +288,7 @@ class RelationalNet:
         granularity; cached metadata is refreshed by the manager's
         reorder hook whenever the variable order changes.
         """
-        if cluster_size == "auto":
-            key: ClusterSize = "auto"
-        else:
-            if not isinstance(cluster_size, int) or cluster_size < 1:
-                raise ValueError(
-                    f"cluster_size must be a positive int or 'auto': "
-                    f"{cluster_size!r}")
-            key = cluster_size
+        key: ClusterSize = validate_cluster_size(cluster_size)
         cached = self._partitions.get(key)
         if cached is not None:
             return cached
@@ -316,35 +306,10 @@ class RelationalNet:
     def _auto_clusters(self) -> List[List[str]]:
         """Greedy support-overlap clustering over the sorted order."""
         sparse = self.sparse_relations()
-        order = [t for group in
-                 cluster_by_support(self.net.transitions,
-                                    self.transition_support,
-                                    self.bdd.level_of_var, 1)
-                 for t in group]
-        groups: List[List[str]] = []
-        open_group: List[str] = []
-        open_support: set = set()
-        open_nodes = 0
-        for transition in order:
-            support = self.transition_support(transition)
-            nodes = sparse[transition][0].size()
-            if open_group:
-                smaller = min(len(support), len(open_support)) or 1
-                overlap = len(open_support & support) / smaller
-                if (overlap >= AUTO_MIN_OVERLAP
-                        and open_nodes + nodes <= AUTO_NODE_BUDGET
-                        and len(open_group) < AUTO_MAX_CLUSTER):
-                    open_group.append(transition)
-                    open_support |= support
-                    open_nodes += nodes
-                    continue
-                groups.append(open_group)
-            open_group = [transition]
-            open_support = set(support)
-            open_nodes = nodes
-        if open_group:
-            groups.append(open_group)
-        return groups
+        return cluster_greedily(
+            self.net.transitions, self.transition_support,
+            self.bdd.level_of_var,
+            lambda transition: sparse[transition][0].size())
 
     def _build_partition(self, group: Sequence[str]) -> RelationPartition:
         """Pad, merge and annotate one cluster of sparse relations."""

@@ -26,7 +26,7 @@ from typing import Callable, Optional, Tuple
 
 from ..bdd import Function
 from .relational import RelationalNet
-from .transition import SymbolicNet
+from .transition import SymbolicNet, validate_cluster_size
 
 IMAGE_ENGINES = ("monolithic", "partitioned", "chained")
 
@@ -149,12 +149,7 @@ def make_image_engine(relnet: RelationalNet, engine: str = "partitioned",
     Both are validated here so misconfigurations fail fast with a clear
     message instead of deep inside ``RelationalNet.partitions``.
     """
-    if cluster_size != "auto" and (not isinstance(cluster_size, int)
-                                   or isinstance(cluster_size, bool)
-                                   or cluster_size < 1):
-        raise ValueError(
-            f"invalid cluster_size {cluster_size!r}: expected a positive "
-            f"integer or 'auto'")
+    validate_cluster_size(cluster_size)
     if engine == "monolithic":
         return MonolithicImageEngine(relnet, simplify_frontier)
     if engine == "partitioned":

@@ -3,27 +3,38 @@
 The baseline the paper compares against in Table 4 represents each
 marking as the *set of marked places* in a ZDD (one element per place —
 the sparse encoding, but in a structure that charges nothing for absent
-places).  Firing a transition on a whole family of markings is a chain of
-ZDD element operations:
+places).  Two image computations are available behind a pluggable
+engine, selected through :func:`traverse_zdd`:
 
-1. ``subset1`` over every input place — keeps exactly the markings
-   enabling the transition and strips the input tokens;
-2. ``change`` over self-loop places — puts those tokens back;
-3. ``change`` over pure output places — deposits the produced tokens
-   (on a safe net the sets cannot already contain them).
+* ``classic`` — the original per-transition rewrite: firing a transition
+  on a family is a chain of element operations (``subset1`` over every
+  input place, ``change`` over self-loops and outputs), one pass per
+  place per transition.
+* ``monolithic | partitioned | chained`` — the relational-product form
+  over :class:`~repro.symbolic.zdd_relational.ZddRelationalNet`: sparse
+  ``I ∪ O'`` relations on paired current/next elements, support-based
+  clustering, and per-block images through the fused
+  ``supset``/``and_exists``/``rename`` pipeline.  ``chained`` sweeps
+  blocks in support order while accumulating discoveries, converging in
+  a fraction of the iterations.
 
-The traversal is the same BFS frontier fixpoint as the BDD engine.
+The traversal itself is the same BFS frontier fixpoint as the BDD
+engine.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..bdd.zdd import ZDD
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
+from .transition import validate_cluster_size
+from .zdd_relational import ZddRelationalNet
+
+ZDD_IMAGE_ENGINES = ("classic", "monolithic", "partitioned", "chained")
 
 
 @dataclass
@@ -37,6 +48,7 @@ class ZddTraversalResult:
     variable_count: int
     final_zdd_nodes: int
     seconds: float
+    engine: str = "zdd/classic"
 
     def __repr__(self) -> str:
         return (f"<ZddTraversalResult markings={self.marking_count} "
@@ -45,7 +57,11 @@ class ZddTraversalResult:
 
 
 class ZddNet:
-    """A safe net bound to a ZDD manager (one element per place)."""
+    """A safe net bound to a ZDD manager (one element per place).
+
+    This is the *classic* per-transition engine; the relational form
+    lives in :class:`~repro.symbolic.zdd_relational.ZddRelationalNet`.
+    """
 
     def __init__(self, net: PetriNet, zdd: ZDD = None) -> None:
         if zdd is None:
@@ -89,27 +105,179 @@ class ZddNet:
     def markings_of(self, states: int) -> List[Marking]:
         """Decode a family into explicit markings."""
         return [Marking(sorted(members))
-                for members in self.zdd.to_sets(states)]
+                for members in self.zdd.to_name_sets(states)]
 
 
-def traverse_zdd(zddnet: ZddNet) -> ZddTraversalResult:
-    """BFS frontier fixpoint over the sparse-ZDD representation."""
-    zdd = zddnet.zdd
+class ZddImageEngine:
+    """Strategy object advancing a ZDD reachability fixpoint by one step.
+
+    Subclasses implement :meth:`advance`, mapping ``(reached, frontier)``
+    to the next pair; the fixpoint is hit when the returned frontier is
+    the empty family.  Every engine exposes the manager it computes in
+    (``zdd``) and the net it traverses (``net``).
+    """
+
+    name = "abstract"
+
+    def __init__(self, zddnet) -> None:
+        self.zddnet = zddnet
+        self.zdd = zddnet.zdd
+        self.net = zddnet.net
+
+    @property
+    def initial(self) -> int:
+        return self.zddnet.initial
+
+    def advance(self, reached: int, frontier: int) -> Tuple[int, int]:
+        raise NotImplementedError
+
+    def _absorb(self, reached: int, successors: int) -> Tuple[int, int]:
+        zdd = self.zdd
+        return (zdd.union(reached, successors),
+                zdd.diff(successors, reached))
+
+    def count_markings(self, states: int) -> int:
+        return self.zdd.count(states)
+
+
+class ClassicZddEngine(ZddImageEngine):
+    """Per-transition subset1/change rewriting (the original loop)."""
+
+    name = "classic"
+
+    def advance(self, reached, frontier):
+        return self._absorb(reached, self.zddnet.image_all(frontier))
+
+
+class MonolithicZddEngine(ZddImageEngine):
+    """All transitions in one block: a single sweep position per step."""
+
+    name = "monolithic"
+
+    def advance(self, reached, frontier):
+        return self._absorb(reached,
+                            self.zddnet.image_monolithic(frontier))
+
+
+class PartitionedZddEngine(ZddImageEngine):
+    """Union of per-block images (Eq. 3) per step."""
+
+    name = "partitioned"
+
+    def __init__(self, zddnet: ZddRelationalNet,
+                 cluster_size: "int | str" = 1) -> None:
+        super().__init__(zddnet)
+        self.cluster_size = cluster_size
+
+    @property
+    def partitions(self):
+        return self.zddnet.partitions(self.cluster_size)
+
+    def advance(self, reached, frontier):
+        successors = self.zddnet.image_partitioned(frontier,
+                                                   self.partitions)
+        return self._absorb(reached, successors)
+
+
+class ChainedZddEngine(PartitionedZddEngine):
+    """Support-sorted sweep with frontier accumulation per step."""
+
+    name = "chained"
+
+    def advance(self, reached, frontier):
+        return self._absorb(
+            reached, self.zddnet.image_chained(frontier, self.partitions))
+
+
+def make_zdd_image_engine(zddnet, engine: str = "chained",
+                          cluster_size: "int | str" = 1) -> ZddImageEngine:
+    """Factory for the ZDD image engines by name.
+
+    ``zddnet`` must match the chosen engine's form — a :class:`ZddNet`
+    for ``classic``, a :class:`ZddRelationalNet` for the relational
+    engines.  Mixing them is rejected rather than silently bridged: the
+    traversal would otherwise run in a freshly built manager whose node
+    ids mean nothing to the caller's net, so decoding the result through
+    it would yield garbage without any error.  ``cluster_size`` must be
+    a positive integer or ``"auto"``; ``engine`` one of
+    :data:`ZDD_IMAGE_ENGINES`.  Everything is validated here so
+    misconfigurations fail fast.
+    """
+    validate_cluster_size(cluster_size)
+    if engine == "classic":
+        if not isinstance(zddnet, ZddNet):
+            raise TypeError(
+                f"the classic engine needs a ZddNet, got "
+                f"{type(zddnet).__name__}; build one with "
+                f"ZddNet(net)")
+        return ClassicZddEngine(zddnet)
+    if engine not in ZDD_IMAGE_ENGINES:
+        raise ValueError(f"unknown ZDD image engine {engine!r}; "
+                         f"expected one of {ZDD_IMAGE_ENGINES}")
+    if not isinstance(zddnet, ZddRelationalNet):
+        raise TypeError(
+            f"the {engine} engine needs a ZddRelationalNet, got "
+            f"{type(zddnet).__name__}; build one with "
+            f"ZddRelationalNet(net)")
+    if engine == "monolithic":
+        return MonolithicZddEngine(zddnet)
+    if engine == "partitioned":
+        return PartitionedZddEngine(zddnet, cluster_size)
+    return ChainedZddEngine(zddnet, cluster_size)
+
+
+def traverse_zdd(zddnet: "Union[ZddNet, ZddRelationalNet]",
+                 engine: "Union[str, ZddImageEngine]" = "classic",
+                 cluster_size: "int | str" = 1,
+                 max_iterations: Optional[int] = None
+                 ) -> ZddTraversalResult:
+    """BFS frontier fixpoint over the sparse-ZDD representation.
+
+    Parameters
+    ----------
+    zddnet:
+        A :class:`ZddNet` (classic engine) or
+        :class:`~repro.symbolic.zdd_relational.ZddRelationalNet`
+        (relational engines); a mismatch raises ``TypeError`` so node
+        ids in the result always belong to ``zddnet``'s manager.
+    engine:
+        ``"classic"`` (default, the per-transition rewrite),
+        ``"monolithic"``, ``"partitioned"`` or ``"chained"`` — see
+        :func:`make_zdd_image_engine`.  A :class:`ZddImageEngine`
+        instance is also accepted (``cluster_size`` is then ignored).
+    cluster_size:
+        Partition granularity for the partitioned/chained engines: a
+        positive integer or ``"auto"``.
+    max_iterations:
+        Abort (raising ``RuntimeError``) beyond this many frontier
+        steps.
+    """
+    if isinstance(engine, ZddImageEngine):
+        if engine.zddnet is not zddnet:
+            raise ValueError(
+                "engine instance was built for a different net; node ids "
+                "in the result would not belong to zddnet's manager")
+        image_engine = engine
+    else:
+        image_engine = make_zdd_image_engine(zddnet, engine, cluster_size)
+    zdd = image_engine.zdd
     start = time.perf_counter()
-    reached = zddnet.initial
-    frontier = zddnet.initial
+    reached = image_engine.initial
+    frontier = image_engine.initial
     iterations = 0
     while frontier != zdd.empty():
-        successors = zddnet.image_all(frontier)
-        frontier = zdd.diff(successors, reached)
-        reached = zdd.union(reached, successors)
+        if max_iterations is not None and iterations >= max_iterations:
+            raise RuntimeError(
+                f"traversal exceeded {max_iterations} iterations")
+        reached, frontier = image_engine.advance(reached, frontier)
         iterations += 1
     seconds = time.perf_counter() - start
     return ZddTraversalResult(
         zdd=zdd,
         reachable=reached,
-        marking_count=zdd.count(reached),
+        marking_count=image_engine.count_markings(reached),
         iterations=iterations,
-        variable_count=zddnet.net.places.__len__(),
+        variable_count=len(image_engine.net.places),
         final_zdd_nodes=zdd.size(reached),
-        seconds=seconds)
+        seconds=seconds,
+        engine=f"zdd/{image_engine.name}")

@@ -11,7 +11,7 @@ def zdd():
 
 
 def family(zdd, node):
-    return set(zdd.to_sets(node))
+    return set(zdd.to_name_sets(node))
 
 
 class TestConstruction:
@@ -127,6 +127,105 @@ class TestElementOps:
     def test_contains_empty_set(self, zdd):
         f = zdd.from_sets([set(), {"p"}])
         assert zdd.contains(f, [])
+
+
+class TestEnumeration:
+    def test_iter_sets_and_to_sets_agree_on_indices(self, zdd):
+        """Regression: ``to_sets`` used to return element *names* while
+        its own iterator yielded *indices*.  Both now consistently speak
+        indices; the name view has its own pair of methods."""
+        f = zdd.from_sets([{"p"}, {"q", "s"}])
+        listed = zdd.to_sets(f)
+        iterated = list(zdd.iter_sets(f))
+        assert listed == iterated
+        assert set(listed) == {frozenset({0}), frozenset({1, 3})}
+        for members in listed:
+            assert all(isinstance(e, int) for e in members)
+
+    def test_name_sets_mirror_index_sets(self, zdd):
+        f = zdd.from_sets([{"p"}, {"q", "s"}])
+        named = zdd.to_name_sets(f)
+        assert named == list(zdd.iter_name_sets(f))
+        assert set(named) == {frozenset({"p"}), frozenset({"q", "s"})}
+        for members in named:
+            assert all(isinstance(e, str) for e in members)
+        by_translation = [frozenset(zdd.var_name(e) for e in members)
+                          for members in zdd.iter_sets(f)]
+        assert by_translation == named
+
+
+class TestRelationalCore:
+    def test_product_joins_families(self, zdd):
+        f = zdd.from_sets([{"p"}, {"q"}])
+        g = zdd.from_sets([{"r"}, set()])
+        assert family(zdd, zdd.product(f, g)) == {
+            frozenset({"p", "r"}), frozenset({"p"}),
+            frozenset({"q", "r"}), frozenset({"q"})}
+
+    def test_product_identities(self, zdd):
+        f = zdd.from_sets([{"p", "q"}])
+        from repro.bdd import BASE, EMPTY
+        assert zdd.product(f, BASE) == f
+        assert zdd.product(BASE, f) == f
+        assert zdd.product(f, EMPTY) == EMPTY
+
+    def test_exists_removes_and_merges(self, zdd):
+        f = zdd.from_sets([{"p", "q"}, {"q"}, {"p"}])
+        assert family(zdd, zdd.exists(f, ["p"])) == {
+            frozenset({"q"}), frozenset()}
+
+    def test_exists_no_vars_is_identity(self, zdd):
+        f = zdd.from_sets([{"p", "q"}])
+        assert zdd.exists(f, []) == f
+
+    def test_project_keeps_only_subset(self, zdd):
+        f = zdd.from_sets([{"p", "q"}, {"r", "s"}])
+        assert family(zdd, zdd.project(f, ["p", "r"])) == {
+            frozenset({"p"}), frozenset({"r"})}
+
+    def test_supset_requires_all(self, zdd):
+        f = zdd.from_sets([{"p", "q"}, {"q"}, {"q", "r"}])
+        assert family(zdd, zdd.supset(f, ["q"])) == {
+            frozenset({"p", "q"}), frozenset({"q"}),
+            frozenset({"q", "r"})}
+        assert family(zdd, zdd.supset(f, ["p", "q"])) == {
+            frozenset({"p", "q"})}
+        assert family(zdd, zdd.supset(f, [])) == family(zdd, f)
+
+    def test_rename_monotone_shift(self, zdd):
+        f = zdd.from_sets([{"p", "q"}, {"q"}])
+        shifted = zdd.rename(f, {"p": "q", "q": "r"})
+        assert family(zdd, shifted) == {
+            frozenset({"q", "r"}), frozenset({"r"})}
+
+    def test_rename_collision_collapses_by_set_semantics(self, zdd):
+        # {p, q} with q -> p collapses to {p}; {q} maps to {p} too.
+        f = zdd.from_sets([{"p", "q"}, {"q"}])
+        renamed = zdd.rename(f, {"q": "p"})
+        assert family(zdd, renamed) == {frozenset({"p"})}
+
+    def test_rename_rejects_non_monotone_maps(self, zdd):
+        from repro.bdd import ZDDError
+        f = zdd.singleton(["p", "r"])
+        with pytest.raises(ZDDError):
+            zdd.rename(f, {"p": "s", "r": "q"})
+
+    def test_and_exists_counters_and_cache(self, zdd):
+        f = zdd.from_sets([{"p", "q"}, {"q", "r"}])
+        g = zdd.from_sets([{"s"}, {"r", "s"}])
+        first = zdd.and_exists(f, g, ["q"])
+        assert first == zdd.exists(zdd.product(f, g), ["q"])
+        assert zdd.ae_calls > 0 and zdd.ae_recursions > 0
+        before = zdd.ae_cache_hits
+        assert zdd.and_exists(f, g, ["q"]) == first
+        assert zdd.ae_cache_hits > before
+        zdd.clear_cache()
+        assert not zdd._ae_cache
+
+    def test_and_exists_empty_quantifier_degenerates_to_product(self, zdd):
+        f = zdd.from_sets([{"p"}, {"q"}])
+        g = zdd.from_sets([{"r"}])
+        assert zdd.and_exists(f, g, []) == zdd.product(f, g)
 
 
 class TestCounts:

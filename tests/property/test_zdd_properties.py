@@ -112,3 +112,86 @@ def test_partition_by_element(fam, elem):
     without_e = zdd.subset0(node, elem)
     assert zdd.union(with_e, without_e) == node
     assert zdd.intersect(with_e, without_e) == EMPTY
+
+
+# ---------------------------------------------------------------------
+# The relational core: product / exists / project / supset / rename /
+# and_exists
+# ---------------------------------------------------------------------
+
+vars_strategy = st.frozensets(
+    st.integers(min_value=0, max_value=NUM_ELEMS - 1), max_size=NUM_ELEMS)
+ALL_ELEMS = frozenset(range(NUM_ELEMS))
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, family_strategy)
+def test_product_is_set_join(fam1, fam2):
+    zdd = ZDD(var_names=NAMES)
+    node = zdd.product(build(zdd, fam1), build(zdd, fam2))
+    assert extract(zdd, node) == frozenset(a | b for a in fam1
+                                           for b in fam2)
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, family_strategy, family_strategy)
+def test_product_distributes_over_union(fam1, fam2, fam3):
+    zdd = ZDD(var_names=NAMES)
+    u, v, w = (build(zdd, f) for f in (fam1, fam2, fam3))
+    assert zdd.product(u, zdd.union(v, w)) \
+        == zdd.union(zdd.product(u, v), zdd.product(u, w))
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, vars_strategy)
+def test_exists_semantics_and_idempotence(fam, qvars):
+    zdd = ZDD(var_names=NAMES)
+    node = build(zdd, fam)
+    once = zdd.exists(node, qvars)
+    assert extract(zdd, once) == frozenset(s - qvars for s in fam)
+    assert zdd.exists(once, qvars) == once
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, vars_strategy)
+def test_project_is_exists_on_the_complement(fam, keep):
+    zdd = ZDD(var_names=NAMES)
+    node = build(zdd, fam)
+    projected = zdd.project(node, keep)
+    assert extract(zdd, projected) == frozenset(s & keep for s in fam)
+    assert projected == zdd.exists(node, ALL_ELEMS - keep)
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, vars_strategy)
+def test_supset_filters_by_containment(fam, want):
+    zdd = ZDD(var_names=NAMES)
+    node = zdd.supset(build(zdd, fam), want)
+    assert extract(zdd, node) == frozenset(s for s in fam if want <= s)
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy)
+def test_rename_round_trip(fam):
+    """Shifting every element to its primed copy and back is identity."""
+    paired = ZDD()
+    for name in NAMES:
+        paired.add_var(name)
+        paired.add_var(name + "'")
+    node = paired.from_sets([{2 * e for e in s} for s in fam])
+    forward = {2 * i: 2 * i + 1 for i in range(NUM_ELEMS)}
+    backward = {2 * i + 1: 2 * i for i in range(NUM_ELEMS)}
+    assert paired.rename(paired.rename(node, forward), backward) == node
+
+
+@settings(max_examples=150, deadline=None)
+@given(family_strategy, family_strategy, vars_strategy)
+def test_and_exists_is_fused_project_of_product(fam1, fam2, qvars):
+    """``and_exists(u, v, qvars)`` equals ``exists(product(u, v), qvars)``
+    — equivalently the projection of the product onto the kept subset."""
+    zdd = ZDD(var_names=NAMES)
+    u, v = build(zdd, fam1), build(zdd, fam2)
+    fused = zdd.and_exists(u, v, qvars)
+    joined = zdd.product(u, v)
+    assert fused == zdd.exists(joined, qvars)
+    assert fused == zdd.project(joined, ALL_ELEMS - qvars)

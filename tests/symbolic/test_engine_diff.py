@@ -1,0 +1,101 @@
+"""Cross-engine differential harness: every engine, same marking sets.
+
+Runs each generator family through the BDD relational engines
+(monolithic / partitioned / chained over ``RelationalNet``) and every
+ZDD engine (classic per-transition plus the relational
+monolithic / partitioned / chained over ``ZddRelationalNet``) and
+asserts they all compute *identical* reachable sets — identical counts
+and identical marking sets — against the explicit-enumeration oracle.
+
+Set identity, not just cardinality: the ZDD families are decoded to
+marking supports and compared exactly; the BDD sets are checked by
+containment of every explicit marking's cube, which together with the
+count match pins the set.
+
+Small instances run in tier-1; the large configurations are marked
+``slow`` (run with ``-m slow``, as the CI workflow does).
+"""
+
+import pytest
+
+from repro.bdd import cube
+from repro.encoding import ImprovedEncoding
+from repro.petri import Marking, ReachabilityGraph
+from repro.symbolic import (RelationalNet, ZddNet, ZddRelationalNet,
+                            traverse_relational, traverse_zdd)
+
+# Every generator family in tier-1 reach, at small sizes.
+SMALL_NETS = ["figure1", "phil3", "slot2", "muller3", "dme2", "jjreg-a2"]
+# Larger configurations of the same families, outside tier-1.
+LARGE_NETS = ["phil6", "slot3", "muller5", "dme3", "dmecir2", "jjreg-a3"]
+
+BDD_ENGINES = ("monolithic", "partitioned", "chained")
+ZDD_RELATIONAL_ENGINES = ("monolithic", "partitioned", "chained")
+
+
+def explicit_marking_set(net):
+    graph = ReachabilityGraph(net, max_markings=200_000)
+    return {m.support for m in graph.markings}
+
+
+def assert_bdd_set_matches(relnet, reached, count, explicit, context):
+    """Count match + containment of every explicit marking == identity."""
+    assert count == len(explicit), context
+    bdd = relnet.bdd
+    for support in sorted(explicit):
+        assignment = relnet.encoding.marking_to_assignment(
+            Marking(sorted(support)))
+        marking_cube = cube(bdd, assignment)
+        assert (marking_cube & reached) == marking_cube, \
+            (context, sorted(support))
+
+
+def run_differential_matrix(name, make_net):
+    # One explicit enumeration per net serves as both the marking-set
+    # oracle and (via len) the count oracle.
+    net = make_net(name)
+    explicit = explicit_marking_set(net)
+    assert explicit
+
+    for engine in BDD_ENGINES:
+        relnet = RelationalNet(ImprovedEncoding(make_net(name)))
+        result = traverse_relational(relnet, engine=engine,
+                                     cluster_size="auto")
+        assert_bdd_set_matches(relnet, result.reachable,
+                               result.marking_count, explicit,
+                               (name, f"bdd/{engine}"))
+
+    classic = ZddNet(make_net(name))
+    result = traverse_zdd(classic)
+    assert result.marking_count == len(explicit), (name, "zdd/classic")
+    decoded = {m.support for m in classic.markings_of(result.reachable)}
+    assert decoded == explicit, (name, "zdd/classic")
+
+    for engine in ZDD_RELATIONAL_ENGINES:
+        relnet = ZddRelationalNet(make_net(name))
+        result = traverse_zdd(relnet, engine=engine, cluster_size="auto")
+        assert result.marking_count == len(explicit), \
+            (name, f"zdd/{engine}")
+        decoded = {m.support for m in relnet.markings_of(result.reachable)}
+        assert decoded == explicit, (name, f"zdd/{engine}")
+
+
+@pytest.mark.parametrize("name", SMALL_NETS)
+def test_engines_agree_small(name, make_net):
+    run_differential_matrix(name, make_net)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", LARGE_NETS)
+def test_engines_agree_large(name, make_net):
+    run_differential_matrix(name, make_net)
+
+
+def test_cluster_sizes_do_not_change_the_set(make_net, explicit_counts):
+    """Granularity sweep on one net: every cluster_size, same set."""
+    expected = explicit_counts["slot2"]
+    for cluster_size in (1, 2, 8, "auto"):
+        relnet = ZddRelationalNet(make_net("slot2"))
+        result = traverse_zdd(relnet, engine="chained",
+                              cluster_size=cluster_size)
+        assert result.marking_count == expected, cluster_size

@@ -17,20 +17,10 @@ from repro.symbolic import (IMAGE_ENGINES, RelationalNet, SymbolicNet,
                             cluster_by_support, make_image_engine, traverse,
                             traverse_relational)
 
-FAMILIES = [
-    ("figure1", figure1_net),
-    ("figure4", figure4_net),
-    ("muller4", lambda: muller(4)),
-    ("slot2", lambda: slotted_ring(2)),
-    ("phil3", lambda: philosophers(3)),
-]
+# Net instances come from the shared fixtures in tests/conftest.py
+# (make_net builds them, explicit_counts is the enumeration oracle).
+FAMILIES = ["figure1", "figure4", "muller4", "slot2", "phil3"]
 SCHEMES = [SparseEncoding, DenseEncoding, ImprovedEncoding]
-
-
-@pytest.fixture(scope="module")
-def explicit_counts():
-    return {name: len(ReachabilityGraph(factory()))
-            for name, factory in FAMILIES}
 
 
 # ---------------------------------------------------------------------
@@ -38,11 +28,11 @@ def explicit_counts():
 # ---------------------------------------------------------------------
 
 class TestAndExists:
-    def test_agrees_with_materialised_composition(self):
+    def test_agrees_with_materialised_composition(self, make_net):
         """``and_exists(S, R, cube)`` == ``exists(S AND R, cube)`` on the
         real relation BDDs of every generator family."""
-        for _, factory in FAMILIES:
-            relnet = RelationalNet(ImprovedEncoding(factory()))
+        for name in FAMILIES:
+            relnet = RelationalNet(ImprovedEncoding(make_net(name)))
             bdd = relnet.bdd
             states = relnet.initial
             for transition in relnet.net.transitions:
@@ -185,12 +175,11 @@ class TestPartitions:
 # ---------------------------------------------------------------------
 
 class TestImageEngines:
-    @pytest.mark.parametrize("name,factory", FAMILIES,
-                             ids=[n for n, _ in FAMILIES])
+    @pytest.mark.parametrize("name", FAMILIES)
     @pytest.mark.parametrize("engine", IMAGE_ENGINES)
-    def test_engines_reach_explicit_fixpoint(self, name, factory, engine,
+    def test_engines_reach_explicit_fixpoint(self, name, engine, make_net,
                                              explicit_counts):
-        relnet = RelationalNet(ImprovedEncoding(factory()))
+        relnet = RelationalNet(ImprovedEncoding(make_net(name)))
         result = traverse_relational(relnet, engine=engine, cluster_size=3)
         assert result.marking_count == explicit_counts[name]
         assert result.engine == f"relational/{engine}"
@@ -199,23 +188,24 @@ class TestImageEngines:
                              ids=[s.__name__ for s in SCHEMES])
     @pytest.mark.parametrize("cluster_size", [1, 4])
     def test_engines_agree_across_schemes(self, scheme, cluster_size,
-                                          explicit_counts):
-        for name, factory in [("figure4", figure4_net),
-                              ("slot2", lambda: slotted_ring(2))]:
+                                          make_net, explicit_counts):
+        for name in ("figure4", "slot2"):
             counts = {
-                traverse_relational(RelationalNet(scheme(factory())),
+                traverse_relational(RelationalNet(scheme(make_net(name))),
                                     engine=engine,
                                     cluster_size=cluster_size).marking_count
                 for engine in IMAGE_ENGINES}
             assert counts == {explicit_counts[name]}
 
-    def test_engines_match_functional_traversal(self, explicit_counts):
-        for name, factory in FAMILIES:
-            functional = traverse(SymbolicNet(ImprovedEncoding(factory())),
-                                  use_toggle=True, strategy="chaining",
-                                  chain_order="support")
+    def test_engines_match_functional_traversal(self, make_net,
+                                                explicit_counts):
+        for name in FAMILIES:
+            functional = traverse(
+                SymbolicNet(ImprovedEncoding(make_net(name))),
+                use_toggle=True, strategy="chaining",
+                chain_order="support")
             relational = traverse_relational(
-                RelationalNet(ImprovedEncoding(factory())),
+                RelationalNet(ImprovedEncoding(make_net(name))),
                 engine="chained", cluster_size=2)
             assert functional.marking_count == relational.marking_count \
                 == explicit_counts[name]
@@ -269,14 +259,14 @@ class TestImageEngines:
 # ---------------------------------------------------------------------
 
 class TestAdaptiveTraversal:
-    @pytest.mark.parametrize("name,factory", FAMILIES,
-                             ids=[n for n, _ in FAMILIES])
+    @pytest.mark.parametrize("name", FAMILIES)
     @pytest.mark.parametrize("engine", IMAGE_ENGINES)
-    def test_engines_agree_with_reordering_enabled(self, name, factory,
-                                                   engine, explicit_counts):
+    def test_engines_agree_with_reordering_enabled(self, name, engine,
+                                                   make_net,
+                                                   explicit_counts):
         """Acceptance: identical reachable sets with dynamic reordering
         (pair-grouped sifting + partition refresh) and auto clustering."""
-        relnet = RelationalNet(ImprovedEncoding(factory()),
+        relnet = RelationalNet(ImprovedEncoding(make_net(name)),
                                auto_reorder=True, reorder_threshold=200)
         result = traverse_relational(relnet, engine=engine,
                                      cluster_size="auto",
@@ -425,9 +415,10 @@ class TestFunctionalClusters:
             expected = expected | symnet.image(states, transition)
         assert symnet.image_cluster(states, cluster) == expected
 
-    def test_support_chain_order_reaches_fixpoint(self, explicit_counts):
-        for name, factory in FAMILIES:
-            result = traverse(SymbolicNet(ImprovedEncoding(factory())),
+    def test_support_chain_order_reaches_fixpoint(self, make_net,
+                                                  explicit_counts):
+        for name in FAMILIES:
+            result = traverse(SymbolicNet(ImprovedEncoding(make_net(name))),
                               strategy="chaining", chain_order="support")
             assert result.marking_count == explicit_counts[name]
 

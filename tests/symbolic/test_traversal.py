@@ -4,46 +4,33 @@ import pytest
 
 from repro.encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
 from repro.petri import ReachabilityGraph
-from repro.petri.generators import (dme_spec, figure1_net, figure4_net,
-                                    jj_register, muller, philosophers,
-                                    slotted_ring)
+from repro.petri.generators import figure1_net, figure4_net, slotted_ring
 from repro.symbolic import (RelationalNet, SymbolicNet, traverse,
                             traverse_relational)
 
-FAMILIES = [
-    ("figure1", figure1_net),
-    ("figure4", figure4_net),
-    ("muller3", lambda: muller(3)),
-    ("slot2", lambda: slotted_ring(2)),
-    ("phil3", lambda: philosophers(3)),
-    ("dme2", lambda: dme_spec(2)),
-    ("jjreg-a2", lambda: jj_register("a", bits=2)),
-]
+# Net instances come from the shared fixtures in tests/conftest.py
+# (make_net builds them, explicit_counts is the enumeration oracle).
+FAMILIES = ["figure1", "figure4", "muller3", "slot2", "phil3", "dme2",
+            "jjreg-a2"]
 SCHEMES = [SparseEncoding, DenseEncoding, ImprovedEncoding]
 
 
-@pytest.fixture(scope="module")
-def explicit_counts():
-    return {name: len(ReachabilityGraph(factory(), max_markings=200_000))
-            for name, factory in FAMILIES}
-
-
-@pytest.mark.parametrize("name,factory", FAMILIES,
-                         ids=[n for n, _ in FAMILIES])
+@pytest.mark.parametrize("name", FAMILIES)
 @pytest.mark.parametrize("scheme", SCHEMES,
                          ids=[s.__name__ for s in SCHEMES])
-def test_marking_count_matches_explicit(name, factory, scheme,
+def test_marking_count_matches_explicit(name, scheme, make_net,
                                         explicit_counts):
-    result = traverse(SymbolicNet(scheme(factory())))
+    result = traverse(SymbolicNet(scheme(make_net(name))))
     assert result.marking_count == explicit_counts[name]
 
 
 @pytest.mark.parametrize("scheme", SCHEMES,
                          ids=[s.__name__ for s in SCHEMES])
-def test_toggle_firing_agrees(scheme, explicit_counts):
+def test_toggle_firing_agrees(scheme, make_net, explicit_counts):
     """The Section 5.2 toggle path reaches the same fixpoint."""
-    for name, factory in FAMILIES[:5]:
-        result = traverse(SymbolicNet(scheme(factory())), use_toggle=True)
+    for name in FAMILIES[:5]:
+        result = traverse(SymbolicNet(scheme(make_net(name))),
+                          use_toggle=True)
         assert result.marking_count == explicit_counts[name]
 
 
@@ -111,9 +98,9 @@ def test_traversal_with_dynamic_reordering():
     assert result.reorder_count > 0
 
 
-def test_dense_uses_fewer_variables_everywhere():
-    for name, factory in FAMILIES:
-        net = factory()
+def test_dense_uses_fewer_variables_everywhere(make_net):
+    for name in FAMILIES:
+        net = make_net(name)
         sparse = SparseEncoding(net)
         improved = ImprovedEncoding(net)
         assert improved.num_variables < sparse.num_variables, name

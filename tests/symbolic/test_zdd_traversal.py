@@ -1,11 +1,15 @@
-"""Unit tests for the sparse-ZDD baseline engine (Table 4)."""
+"""Unit tests for the sparse-ZDD engines (Table 4 baseline + relational).
+
+Net instances come from the shared fixtures in ``tests/conftest.py``;
+the cross-engine set-identity matrix lives in ``test_engine_diff.py``.
+"""
 
 import pytest
 
 from repro.petri import Marking, ReachabilityGraph
-from repro.petri.generators import (figure1_net, figure4_net, muller,
-                                    slotted_ring)
-from repro.symbolic import ZddNet, traverse_zdd
+from repro.petri.generators import figure1_net, figure4_net, muller
+from repro.symbolic import (ZDD_IMAGE_ENGINES, ZddNet, ZddRelationalNet,
+                            make_zdd_image_engine, traverse_zdd)
 
 
 class TestZddNet:
@@ -28,9 +32,9 @@ class TestZddNet:
         zddnet = ZddNet(figure1_net())
         assert zddnet.image(zddnet.initial, "t7") == zddnet.zdd.empty()
 
-    def test_image_with_self_loops(self):
+    def test_image_with_self_loops(self, make_net):
         """Read arcs must survive firing (muller uses them heavily)."""
-        net = muller(2)
+        net = make_net("muller3")
         zddnet = ZddNet(net)
         rg = ReachabilityGraph(net)
         for trans, successor in rg.successors(rg.initial):
@@ -47,16 +51,127 @@ class TestZddNet:
             == expected
 
 
+class TestZddRelationalNet:
+    def test_fresh_manager_required(self):
+        from repro.bdd import ZDD
+        zdd = ZDD(var_names=["stale"])
+        with pytest.raises(ValueError):
+            ZddRelationalNet(figure1_net(), zdd=zdd)
+
+    def test_paired_interleaved_elements(self):
+        relnet = ZddRelationalNet(figure1_net())
+        zdd = relnet.zdd
+        assert zdd.num_vars == 2 * len(relnet.net.places)
+        for index, place in enumerate(relnet.net.places):
+            assert zdd.var_index(place) == 2 * index
+            assert zdd.var_index(place + "'") == 2 * index + 1
+
+    def test_initial_family_over_current_elements(self):
+        relnet = ZddRelationalNet(figure1_net())
+        assert relnet.markings_of(relnet.initial) == [Marking(["p1"])]
+
+    def test_sparse_relation_shape(self):
+        """Each sparse relation is the single set ``I ∪ O'`` and its
+        support stays local to the touched places."""
+        relnet = ZddRelationalNet(figure4_net())
+        zdd = relnet.zdd
+        full_width = 2 * len(relnet.net.places)
+        for transition, sparse in relnet.sparse_relations().items():
+            pre = relnet.net.preset(transition)
+            post = relnet.net.postset(transition)
+            sets = zdd.to_name_sets(sparse.relation)
+            assert sets == [frozenset(pre)
+                            | frozenset(p + "'" for p in post)]
+            assert len(sparse.support) < full_width
+            assert sparse.support == relnet.transition_support(transition)
+
+    def test_image_all_matches_classic(self, make_net):
+        """The relational per-transition image equals the classic
+        subset1/change rewrite on the same family."""
+        for name in ("figure1", "muller3", "slot2"):
+            net = make_net(name)
+            classic = ZddNet(net)
+            relational = ZddRelationalNet(make_net(name))
+            reached = classic.initial
+            rel_states = relational.initial
+            for _ in range(3):
+                classic_img = classic.image_all(reached)
+                relational_img = relational.image_all(rel_states)
+                classic_sets = {m.support
+                                for m in classic.markings_of(classic_img)}
+                relational_sets = {
+                    m.support
+                    for m in relational.markings_of(relational_img)}
+                assert classic_sets == relational_sets, name
+                reached = classic.zdd.union(reached, classic_img)
+                rel_states = relational.zdd.union(rel_states,
+                                                  relational_img)
+
+    def test_partition_blocks_cover_all_transitions(self):
+        relnet = ZddRelationalNet(figure4_net())
+        for cluster_size in (1, 2, 5, 100, "auto"):
+            blocks = relnet.partitions(cluster_size)
+            seen = [t for block in blocks for t in block.transitions]
+            assert sorted(seen) == sorted(relnet.net.transitions)
+
+    def test_blocks_are_support_sorted(self, make_net):
+        relnet = ZddRelationalNet(make_net("slot2"))
+        blocks = relnet.partitions(4)
+        tops = [block.top_level for block in blocks]
+        assert tops == sorted(tops)
+
+    def test_partition_cache_by_granularity(self):
+        relnet = ZddRelationalNet(figure4_net())
+        assert relnet.partitions(2) is relnet.partitions(2)
+        assert relnet.partitions(2) is not relnet.partitions(3)
+        assert relnet.partitions("auto") is relnet.partitions("auto")
+
+    def test_invalid_cluster_size_rejected(self):
+        relnet = ZddRelationalNet(figure4_net())
+        for junk in (0, -3, 2.5, "junk", None, True):
+            with pytest.raises(ValueError):
+                relnet.partitions(junk)
+
+    def test_partitioned_image_equals_per_transition_union(self, make_net):
+        relnet = ZddRelationalNet(make_net("muller4"))
+        states = relnet.initial
+        for cluster_size in (2, 8, "auto"):
+            blocks = relnet.partitions(cluster_size)
+            assert relnet.image_partitioned(states, blocks) \
+                == relnet.image_all(states)
+
+    def test_monolithic_block_is_all_transitions(self):
+        relnet = ZddRelationalNet(figure4_net())
+        block = relnet.monolithic_block()
+        assert sorted(block.transitions) == sorted(relnet.net.transitions)
+        assert relnet.image_monolithic(relnet.initial) \
+            == relnet.image_all(relnet.initial)
+
+    def test_rename_maps_are_order_monotone(self):
+        relnet = ZddRelationalNet(figure4_net())
+        for block in relnet.partitions("auto"):
+            pairs = sorted(block.rename.items())
+            targets = [dst for _, dst in pairs]
+            assert targets == sorted(targets)
+            for src, dst in pairs:
+                assert src == dst + 1  # next element right below current
+
+
 class TestTraversal:
-    @pytest.mark.parametrize("factory,expected", [
-        (figure1_net, 8),
-        (figure4_net, 22),
-        (lambda: muller(3), 30),
-        (lambda: slotted_ring(2), 40),
+    @pytest.mark.parametrize("name,expected", [
+        ("figure1", 8),
+        ("figure4", 22),
+        ("muller3", 30),
+        ("slot2", 40),
     ])
-    def test_counts_match_explicit(self, factory, expected):
-        result = traverse_zdd(ZddNet(factory()))
+    @pytest.mark.parametrize("engine", ZDD_IMAGE_ENGINES)
+    def test_counts_match_explicit(self, name, expected, engine, make_net):
+        net = make_net(name)
+        zddnet = ZddNet(net) if engine == "classic" \
+            else ZddRelationalNet(net)
+        result = traverse_zdd(zddnet, engine=engine, cluster_size=2)
         assert result.marking_count == expected
+        assert result.engine == f"zdd/{engine}"
 
     def test_reachable_family_decodes_exactly(self):
         net = figure4_net()
@@ -72,11 +187,70 @@ class TestTraversal:
         assert result.variable_count == 7
         assert result.final_zdd_nodes > 2
         assert result.iterations > 0
+        assert result.engine == "zdd/classic"
         assert "markings=8" in repr(result)
 
-    def test_zdd_smaller_than_place_count_blowup(self):
+    def test_chained_cuts_iterations(self, make_net):
+        bfs = traverse_zdd(ZddRelationalNet(make_net("slot2")),
+                           engine="partitioned")
+        chained = traverse_zdd(ZddRelationalNet(make_net("slot2")),
+                               engine="chained")
+        assert chained.iterations < bfs.iterations
+        assert chained.marking_count == bfs.marking_count
+
+    def test_engine_instance_accepted(self):
+        relnet = ZddRelationalNet(figure4_net())
+        engine = make_zdd_image_engine(relnet, "chained", cluster_size=2)
+        result = traverse_zdd(relnet, engine=engine)
+        assert result.engine == "zdd/chained"
+
+    def test_engine_instance_for_other_net_rejected(self):
+        """An engine built for net B must not run under net A's name —
+        the result's node ids would belong to B's manager."""
+        engine = make_zdd_image_engine(ZddRelationalNet(figure4_net()),
+                                       "chained")
+        other = ZddRelationalNet(figure4_net())
+        with pytest.raises(ValueError, match="different net"):
+            traverse_zdd(other, engine=engine)
+
+    def test_mismatched_net_form_rejected(self, make_net):
+        """Engine and net form must match — a silent bridge would hand
+        back node ids from a manager the caller never sees, making
+        ``markings_of`` on the caller's net decode garbage."""
+        with pytest.raises(TypeError, match="ZddRelationalNet"):
+            traverse_zdd(ZddNet(make_net("figure4")), engine="chained")
+        with pytest.raises(TypeError, match="ZddNet"):
+            traverse_zdd(ZddRelationalNet(make_net("figure4")),
+                         engine="classic")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="classic"):
+            traverse_zdd(ZddNet(figure1_net()), engine="quantum")
+
+    @pytest.mark.parametrize("junk", [0, -3, 2.5, "junk", None, True])
+    def test_bad_cluster_size_rejected_up_front(self, junk):
+        with pytest.raises(ValueError, match="auto"):
+            make_zdd_image_engine(ZddNet(figure1_net()), "chained",
+                                  cluster_size=junk)
+
+    def test_max_iterations_guard(self):
+        with pytest.raises(RuntimeError):
+            traverse_zdd(ZddNet(figure4_net()), max_iterations=1)
+        with pytest.raises(RuntimeError):
+            traverse_zdd(ZddRelationalNet(figure4_net()),
+                         engine="partitioned", max_iterations=1)
+
+    def test_fused_cache_counters_exposed(self, make_net):
+        relnet = ZddRelationalNet(make_net("phil3"))
+        traverse_zdd(relnet, engine="chained", cluster_size="auto")
+        assert relnet.zdd.ae_calls > 0
+        assert relnet.zdd.ae_cache_hits > 0
+
+    def test_zdd_smaller_than_place_count_blowup(self, make_net):
         """ZDD nodes stay near-linear for these structured families —
         the Yoneda effect that motivates Table 4's baseline."""
-        small = traverse_zdd(ZddNet(slotted_ring(2))).final_zdd_nodes
-        large = traverse_zdd(ZddNet(slotted_ring(4))).final_zdd_nodes
+        small = traverse_zdd(
+            ZddNet(make_net("slot2"))).final_zdd_nodes
+        large = traverse_zdd(
+            ZddNet(make_net("slot4"))).final_zdd_nodes
         assert large < small * 8  # mild growth, not explosion
