@@ -14,11 +14,10 @@ Two extensions around the paper's core:
 Run:  python examples/bounded_and_stg.py
 """
 
+from repro.analysis import Analysis, AnalysisSpec
 from repro.encoding import ImprovedEncoding, SparseEncoding
 from repro.petri import PetriNet, ReachabilityGraph, find_smcs
 from repro.petri.stg import c_element, pipeline_stage
-from repro.symbolic import ModelChecker, SymbolicNet, traverse
-from repro.symbolic.kbounded import KBoundedNet, traverse_kbounded
 
 
 def stg_section() -> None:
@@ -42,10 +41,12 @@ def stg_section() -> None:
     print(f"encoding: sparse {sparse.num_variables} vars -> "
           f"dense {dense.num_variables} vars")
 
-    symnet = SymbolicNet(dense)
-    result = traverse(symnet, use_toggle=True, strategy="chaining")
-    checker = ModelChecker(symnet, reachable=result.reachable)
-    print(f"reachable states: {result.marking_count}")
+    analysis = Analysis(net, AnalysisSpec(scheme="improved",
+                                          strategy="chaining"),
+                        encoding_factory=lambda n: dense)
+    result = analysis.run()
+    checker = analysis.checker()
+    print(f"reachable states: {result.markings}")
     print(f"deadlock free: {not checker.find_deadlocks().holds}")
     # The C-element's defining property: c rises only from (a=1, b=1).
     rise_enabled = checker.enabled_predicate("t_c_up")
@@ -56,11 +57,9 @@ def stg_section() -> None:
 
     print("\n=== STG: 4-phase pipeline stage ===")
     stage_net = pipeline_stage().to_petri_net()
-    stage_sym = SymbolicNet(ImprovedEncoding(stage_net))
-    stage_result = traverse(stage_sym, use_toggle=True)
-    stage_checker = ModelChecker(stage_sym, reachable=stage_result.reachable)
-    print(f"states: {stage_result.marking_count}, deadlock free: "
-          f"{not stage_checker.find_deadlocks().holds}")
+    stage = Analysis(stage_net, AnalysisSpec(scheme="improved"))
+    print(f"states: {stage.run().markings}, deadlock free: "
+          f"{not stage.checker().find_deadlocks().holds}")
 
 
 def bounded_section() -> None:
@@ -77,10 +76,11 @@ def bounded_section() -> None:
     print(f"explicit enumeration: {len(explicit)} markings "
           f"(buffer holds up to {explicit.place_bound('buffer')} tokens)")
 
-    knet = KBoundedNet(net, bound=3)
-    result = traverse_kbounded(knet)
+    analysis = Analysis(net, AnalysisSpec(k_bound=3))
+    result = analysis.run()
+    knet = analysis.symbolic_net  # the KBoundedNet, for count queries
     print(f"symbolic (2 bits/place): {result!r}")
-    assert result.marking_count == len(explicit)
+    assert result.markings == len(explicit)
 
     # Queries over token counts.
     full = knet.count_equals("buffer", 3)

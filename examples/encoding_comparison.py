@@ -10,9 +10,9 @@ example.
 Run:  python examples/encoding_comparison.py
 """
 
+from repro.analysis import AnalysisSpec
 from repro.experiments.figure2 import run as figure2_run
-from repro.experiments.runner import (compare_engines, format_table,
-                                      run_dense, run_sparse)
+from repro.experiments.runner import compare_engines, format_table, run
 from repro.petri.generators import muller, philosophers, slotted_ring
 
 
@@ -32,8 +32,10 @@ def main() -> None:
     for name, net in [("muller-5", muller(5)),
                       ("phil-3", philosophers(3)),
                       ("slot-3", slotted_ring(3))]:
-        rows.append(run_sparse(name, net))
-        rows.append(run_dense(name, net))
+        for scheme, label in (("sparse", "sparse"),
+                              ("improved", "dense")):
+            spec = AnalysisSpec(scheme=scheme, strategy="bfs")
+            rows.append(run(name, net, spec, label=label))
     print()
     print(format_table("Sparse vs. dense (miniature Table 3)", rows,
                        engines=("sparse", "dense")))

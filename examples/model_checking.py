@@ -12,15 +12,19 @@ families with the dense encoding:
 Run:  python examples/model_checking.py
 """
 
-from repro.encoding import ImprovedEncoding
+from repro.analysis import Analysis, AnalysisSpec
 from repro.petri.generators import dme_spec, muller, philosophers
-from repro.symbolic import ModelChecker, SymbolicNet
+
+# Every net below runs the same declarative configuration: the dense
+# encoding through the functional BDD backend, reachable set computed
+# once per Analysis session and shared by all of its queries.
+SPEC = AnalysisSpec(scheme="improved")
 
 
 def check_dme() -> None:
     cells = 3
     net = dme_spec(cells)
-    checker = ModelChecker(SymbolicNet(ImprovedEncoding(net)))
+    checker = Analysis(net, SPEC).checker()
     print(f"DME ring with {cells} cells "
           f"({checker.marking_count()} reachable markings)")
 
@@ -41,7 +45,7 @@ def check_dme() -> None:
 
 def check_philosophers() -> None:
     net = philosophers(3)
-    checker = ModelChecker(SymbolicNet(ImprovedEncoding(net)))
+    checker = Analysis(net, SPEC).checker()
     print(f"\ndining philosophers (3) "
           f"({checker.marking_count()} reachable markings)")
 
@@ -60,7 +64,7 @@ def check_philosophers() -> None:
 
 def check_muller() -> None:
     net = muller(4)
-    checker = ModelChecker(SymbolicNet(ImprovedEncoding(net)))
+    checker = Analysis(net, SPEC).checker()
     print(f"\nMuller pipeline (4 stages) "
           f"({checker.marking_count()} reachable markings)")
     print(f"  deadlock free: {not checker.find_deadlocks().holds}")

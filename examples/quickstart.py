@@ -9,6 +9,7 @@ enumeration — touching each layer of the library's public API once.
 Run:  python examples/quickstart.py
 """
 
+from repro.analysis import Analysis, AnalysisSpec
 from repro.bdd import BDD
 from repro.encoding import (DenseEncoding, ImprovedEncoding, SparseEncoding,
                             declare_variables, place_functions)
@@ -17,7 +18,6 @@ from repro.petri.generators import figure1_net
 from repro.petri.incidence import incidence_matrix
 from repro.petri.invariants import (invariant_support,
                                     minimal_semipositive_invariants)
-from repro.symbolic import ModelChecker, SymbolicNet, traverse
 
 
 def main() -> None:
@@ -72,22 +72,24 @@ def main() -> None:
               f"{sorted(places[place].support_names())}")
 
     # ------------------------------------------------------------------
-    # 5. Symbolic traversal (Section 5) and cross-validation.
+    # 5. Symbolic analysis (Section 5) and cross-validation: one spec,
+    #    one call — the Analysis session keeps the reachable set alive
+    #    for the model-checking queries below.
     # ------------------------------------------------------------------
-    symnet = SymbolicNet(ImprovedEncoding(net))
-    result = traverse(symnet, use_toggle=True)
-    print(f"\nsymbolic traversal: {result!r}")
-    assert result.marking_count == len(graph), "engines disagree!"
+    analysis = Analysis(net, AnalysisSpec(scheme="improved"))
+    result = analysis.run()
+    print(f"\nsymbolic analysis: {result!r}")
+    assert result.markings == len(graph), "engines disagree!"
     print("symbolic and explicit marking counts agree.")
 
     # ------------------------------------------------------------------
-    # 6. Model checking.
+    # 6. Model checking over the already-computed reachable set.
     # ------------------------------------------------------------------
-    checker = ModelChecker(symnet, reachable=result.reachable)
+    checker = analysis.checker()
     print(f"\ndeadlocks: {checker.find_deadlocks().detail}")
     report = checker.check_mutual_exclusion(["p2", "p4"])
     print(f"p2/p4 mutual exclusion: {report.holds} ({report.detail})")
-    home = checker.can_always_recover(symnet.initial)
+    home = checker.can_always_recover(analysis.symbolic_net.initial)
     print(f"initial marking is a home marking: {home.holds}")
 
 

@@ -13,9 +13,13 @@ Layer map (see DESIGN.md for the full inventory):
 * :mod:`repro.petri` — nets, markings, invariants, SMCs, generators.
 * :mod:`repro.encoding` — sparse / dense / improved encoding schemes.
 * :mod:`repro.symbolic` — traversal engines and the model checker.
+* :mod:`repro.analysis` — the unified ``analyze(net, spec)`` facade
+  every entry point (CLI, experiments, examples) routes through.
 * :mod:`repro.experiments` — Table 3 / Table 4 / Figure 2 harnesses.
 """
 
+from .analysis import (Analysis, AnalysisResult, AnalysisSpec, SpecError,
+                       SpecWarning, analyze)
 from .bdd import BDD, Function, ZDD
 from .encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
 from .petri import Marking, PetriNet, ReachabilityGraph, find_smcs
@@ -29,5 +33,7 @@ __all__ = [
     "PetriNet", "Marking", "ReachabilityGraph", "find_smcs",
     "SparseEncoding", "DenseEncoding", "ImprovedEncoding",
     "SymbolicNet", "traverse", "ModelChecker", "ZddNet", "traverse_zdd",
+    "AnalysisSpec", "AnalysisResult", "Analysis", "analyze",
+    "SpecError", "SpecWarning",
     "__version__",
 ]

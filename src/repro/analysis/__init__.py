@@ -1,0 +1,48 @@
+"""Unified analysis facade: one spec, one backend protocol, one result.
+
+The one way to run a symbolic analysis::
+
+    from repro.analysis import AnalysisSpec, analyze
+
+    result = analyze(net, AnalysisSpec(scheme="improved"))
+    print(result.markings, result.seconds)
+
+* :class:`AnalysisSpec` — a validated frozen description of the whole
+  configuration (scheme, backend, form, engine, clustering, reordering,
+  frontier handling, ``k_bound``), with structured inapplicable-option
+  warnings instead of ad-hoc prints.
+* :class:`SolverBackend` / :class:`SolverSession` — the protocol the
+  four engine adapters (functional BDD, relational BDD, ZDD, k-bounded)
+  implement, and the seam future backends plug into.
+* :class:`AnalysisResult` — the single result schema every backend
+  fills, JSON round-trippable via ``to_dict``/``from_dict``.
+* :func:`analyze` / :class:`Analysis` — fire-and-forget vs. reusable
+  session (model-checking queries share the computed reachable set).
+
+The legacy entry points (``traverse``, ``traverse_relational``,
+``traverse_zdd``, ``traverse_kbounded``) remain as deprecation shims in
+:mod:`repro.symbolic`; new code should route through :func:`analyze`.
+"""
+
+from .backends import (BACKENDS, BddFunctionalBackend,
+                       BddRelationalBackend, KBoundedBackend,
+                       SolverBackend, SolverSession, ZddBackend,
+                       backend_for)
+from .facade import Analysis, analyze
+from .result import SCHEMA_VERSION, AnalysisResult
+from .spec import (BACKEND_FAMILIES, CHAIN_ORDERS, DEFAULT_CLUSTER_SIZE,
+                   DEFAULT_FORM, DEFAULT_RELATIONAL_ENGINE, FORMS,
+                   RELATIONAL_ENGINES, SCHEMES, STRATEGIES, AnalysisSpec,
+                   SpecError, SpecWarning)
+
+__all__ = [
+    "AnalysisSpec", "SpecError", "SpecWarning",
+    "AnalysisResult", "SCHEMA_VERSION",
+    "SolverBackend", "SolverSession", "backend_for", "BACKENDS",
+    "BddFunctionalBackend", "BddRelationalBackend", "ZddBackend",
+    "KBoundedBackend",
+    "Analysis", "analyze",
+    "SCHEMES", "BACKEND_FAMILIES", "FORMS", "RELATIONAL_ENGINES",
+    "STRATEGIES", "CHAIN_ORDERS", "DEFAULT_FORM",
+    "DEFAULT_RELATIONAL_ENGINE", "DEFAULT_CLUSTER_SIZE",
+]

@@ -1,0 +1,448 @@
+"""Solver backends: the protocol every analysis engine plugs into.
+
+A backend turns ``(net, spec)`` into a :class:`SolverSession` — a
+stateful fixpoint computation that can be advanced one iteration at a
+time (:meth:`SolverSession.step`), inspected mid-flight
+(:meth:`SolverSession.stats`) or driven to completion
+(:meth:`SolverSession.run`), returning the unified
+:class:`~repro.analysis.result.AnalysisResult`.
+
+Four adapters wrap the existing machinery:
+
+* :class:`BddFunctionalBackend` — :class:`~repro.symbolic.transition.
+  SymbolicNet` with the renaming-free functional image (quantify-force
+  or toggle firing, BFS or chaining sweeps).
+* :class:`BddRelationalBackend` — :class:`~repro.symbolic.relational.
+  RelationalNet` through the pluggable relational image engines
+  (monolithic | partitioned | chained).
+* :class:`ZddBackend` — the sparse-ZDD representation, classic
+  per-transition rewriting or the relational-product engines over
+  :class:`~repro.symbolic.zdd_relational.ZddRelationalNet`.
+* :class:`KBoundedBackend` — count-bit encodings for k-bounded nets
+  (:class:`~repro.symbolic.kbounded.KBoundedNet`).
+
+New backends (multiprocess partitions, interval-vector sets, ...)
+implement the same two-method surface and register in :data:`BACKENDS`;
+nothing above this layer changes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
+from ..petri.net import PetriNet
+from ..symbolic.kbounded import KBoundedNet
+from ..symbolic.relational import RelationalNet
+from ..symbolic.transition import SymbolicNet
+from ..symbolic.traversal import make_image_engine
+from ..symbolic.zdd_relational import ZddRelationalNet
+from ..symbolic.zdd_traversal import ZddNet, make_zdd_image_engine
+from .result import AnalysisResult
+from .spec import AnalysisSpec, SpecError
+
+__all__ = [
+    "SolverBackend", "SolverSession", "BACKENDS", "backend_for",
+    "BddFunctionalBackend", "BddRelationalBackend", "ZddBackend",
+    "KBoundedBackend",
+]
+
+EncodingFactory = Callable[[PetriNet], Any]
+
+SCHEME_CLASSES = {
+    "sparse": SparseEncoding,
+    "dense": DenseEncoding,
+    "improved": ImprovedEncoding,
+}
+
+
+class SolverBackend:
+    """Protocol: ``build(net, spec) -> session`` plus a ``name``.
+
+    Stateless — one backend instance serves any number of builds.  The
+    optional ``encoding_factory`` (BDD backends only) overrides the
+    scheme-class lookup, e.g. to pass pre-computed SMCs.
+    """
+
+    name = "abstract"
+
+    def build(self, net: PetriNet, spec: AnalysisSpec,
+              encoding_factory: Optional[EncodingFactory] = None
+              ) -> "SolverSession":
+        raise NotImplementedError
+
+
+class SolverSession:
+    """One in-progress analysis: the fixpoint state plus its clocks.
+
+    Subclasses set ``symbolic_net`` (the wrapped net object — a
+    ``SymbolicNet``, ``RelationalNet``, ``ZddNet``/``ZddRelationalNet``
+    or ``KBoundedNet``) and implement :meth:`_advance` (one fixpoint
+    iteration), :meth:`at_fixpoint` and :meth:`_finish` (the final
+    :class:`AnalysisResult`).  The base class owns the iteration loop,
+    the timing breakdown and the shared ``stats()`` surface.
+    """
+
+    supports_model_checking = False
+
+    def __init__(self, backend_name: str, spec: AnalysisSpec,
+                 build_seconds: float) -> None:
+        self.backend_name = backend_name
+        self.spec = spec
+        self.build_seconds = build_seconds
+        self.fixpoint_seconds = 0.0
+        self.iterations = 0
+        self._result: Optional[AnalysisResult] = None
+
+    # -- the stepping surface ------------------------------------------
+
+    def step(self) -> bool:
+        """Advance the fixpoint by one iteration.
+
+        Returns ``True`` if an iteration ran, ``False`` if the fixpoint
+        had already been reached (the session is then exhausted and
+        :meth:`run` just packages the result).
+        """
+        if self.at_fixpoint():
+            return False
+        start = time.perf_counter()
+        self._advance()
+        self.fixpoint_seconds += time.perf_counter() - start
+        self.iterations += 1
+        return True
+
+    def run(self, max_iterations: Optional[int] = None) -> AnalysisResult:
+        """Drive the fixpoint to completion and return the result.
+
+        ``max_iterations`` (falling back to the spec's) aborts with
+        ``RuntimeError`` beyond that many frontier steps.  The result
+        is cached: repeated calls return the same object, which is what
+        lets a :class:`~repro.analysis.facade.Analysis` session hand the
+        reachable set to several queries without re-traversing.
+        """
+        if self._result is not None:
+            return self._result
+        limit = max_iterations if max_iterations is not None \
+            else self.spec.max_iterations
+        while not self.at_fixpoint():
+            if limit is not None and self.iterations >= limit:
+                raise RuntimeError(
+                    f"traversal exceeded {limit} iterations")
+            self.step()
+        self._result = self._finish()
+        return self._result
+
+    def stats(self) -> Dict[str, Any]:
+        """Mid-flight snapshot: progress and memory, uniformly keyed."""
+        return {
+            "backend": self.backend_name,
+            "engine": self.spec.engine_id,
+            "iterations": self.iterations,
+            "at_fixpoint": self.at_fixpoint(),
+            "peak_nodes": self._peak_nodes(),
+            "build_seconds": self.build_seconds,
+            "fixpoint_seconds": self.fixpoint_seconds,
+        }
+
+    # -- subclass surface ----------------------------------------------
+
+    def at_fixpoint(self) -> bool:
+        raise NotImplementedError
+
+    def _advance(self) -> None:
+        raise NotImplementedError
+
+    def _finish(self) -> AnalysisResult:
+        raise NotImplementedError
+
+    def _peak_nodes(self) -> int:
+        raise NotImplementedError
+
+    # -- shared result assembly ----------------------------------------
+
+    def _base_result(self, markings: int, variables: int, final_nodes: int,
+                     reorder_count: int, reachable,
+                     extras: Dict[str, Any]) -> AnalysisResult:
+        extras = dict(extras)
+        extras["build_seconds"] = self.build_seconds
+        extras["fixpoint_seconds"] = self.fixpoint_seconds
+        return AnalysisResult(
+            spec=self.spec,
+            engine=self.spec.engine_id,
+            markings=markings,
+            iterations=self.iterations,
+            variables=variables,
+            final_nodes=final_nodes,
+            peak_nodes=self._peak_nodes(),
+            seconds=self.build_seconds + self.fixpoint_seconds,
+            reorder_count=reorder_count,
+            reachable=reachable,
+            extras=extras)
+
+
+def _reject_factory(backend: str,
+                    encoding_factory: Optional[EncodingFactory]) -> None:
+    if encoding_factory is not None:
+        raise SpecError(
+            f"encoding_factory only applies to the BDD backends; the "
+            f"{backend} backend builds its own representation")
+
+
+def _build_encoding(net: PetriNet, spec: AnalysisSpec,
+                    encoding_factory: Optional[EncodingFactory]):
+    if encoding_factory is not None:
+        return encoding_factory(net)
+    return SCHEME_CLASSES[spec.scheme](net)
+
+
+# ----------------------------------------------------------------------
+# BDD functional
+# ----------------------------------------------------------------------
+
+class _BddFunctionalSession(SolverSession):
+    supports_model_checking = True
+
+    def __init__(self, net: PetriNet, spec: AnalysisSpec,
+                 encoding_factory: Optional[EncodingFactory]) -> None:
+        start = time.perf_counter()
+        encoding = _build_encoding(net, spec, encoding_factory)
+        self.symbolic_net = SymbolicNet(
+            encoding, auto_reorder=spec.reorder,
+            reorder_threshold=spec.reorder_threshold)
+        symnet = self.symbolic_net
+        self._sweep_order = (symnet.support_sorted_transitions()
+                             if spec.chain_order == "support"
+                             else list(symnet.net.transitions))
+        self.reached = symnet.initial
+        self.frontier = symnet.initial
+        super().__init__(BddFunctionalBackend.name, spec,
+                         time.perf_counter() - start)
+
+    def at_fixpoint(self) -> bool:
+        return self.frontier.is_zero()
+
+    def _advance(self) -> None:
+        spec = self.spec
+        symnet = self.symbolic_net
+        work = self.frontier
+        if spec.simplify_frontier:
+            work = self.frontier.restrict(self.frontier | ~self.reached)
+        if spec.strategy == "chaining":
+            fire = symnet.image_toggle if spec.use_toggle else symnet.image
+            current = work
+            for transition in self._sweep_order:
+                current = current | fire(current, transition)
+            successors = current
+        else:
+            successors = symnet.image_all(work,
+                                          use_toggle=spec.use_toggle)
+        self.frontier = successors - self.reached
+        self.reached = self.reached | successors
+        # Safe point: garbage collection / dynamic reordering, as the
+        # paper applies at each traversal iteration.
+        symnet.bdd.checkpoint()
+
+    def _peak_nodes(self) -> int:
+        return self.symbolic_net.bdd.peak_live_nodes
+
+    def _finish(self) -> AnalysisResult:
+        symnet = self.symbolic_net
+        return self._base_result(
+            markings=symnet.count_markings(self.reached),
+            variables=symnet.encoding.num_variables,
+            final_nodes=self.reached.size(),
+            reorder_count=symnet.bdd.reorder_count,
+            reachable=self.reached,
+            extras={"strategy": self.spec.strategy,
+                    "chain_order": self.spec.chain_order,
+                    "use_toggle": self.spec.use_toggle})
+
+
+class BddFunctionalBackend(SolverBackend):
+    """Functional (renaming-free) image over an encoded safe net."""
+
+    name = "bdd-functional"
+
+    def build(self, net, spec, encoding_factory=None):
+        return _BddFunctionalSession(net, spec, encoding_factory)
+
+
+# ----------------------------------------------------------------------
+# BDD relational
+# ----------------------------------------------------------------------
+
+class _BddRelationalSession(SolverSession):
+    def __init__(self, net: PetriNet, spec: AnalysisSpec,
+                 encoding_factory: Optional[EncodingFactory]) -> None:
+        start = time.perf_counter()
+        encoding = _build_encoding(net, spec, encoding_factory)
+        self.symbolic_net = RelationalNet(
+            encoding, auto_reorder=spec.reorder,
+            reorder_threshold=spec.reorder_threshold)
+        self.image_engine = make_image_engine(
+            self.symbolic_net, spec.resolved_engine,
+            spec.resolved_cluster_size, spec.simplify_frontier)
+        self.reached = self.symbolic_net.initial
+        self.frontier = self.symbolic_net.initial
+        super().__init__(BddRelationalBackend.name, spec,
+                         time.perf_counter() - start)
+
+    def at_fixpoint(self) -> bool:
+        return self.frontier.is_zero()
+
+    def _advance(self) -> None:
+        self.reached, self.frontier = self.image_engine.advance(
+            self.reached, self.frontier)
+        self.symbolic_net.bdd.checkpoint()
+
+    def _peak_nodes(self) -> int:
+        return self.symbolic_net.bdd.peak_live_nodes
+
+    def _finish(self) -> AnalysisResult:
+        relnet = self.symbolic_net
+        bdd = relnet.bdd
+        return self._base_result(
+            markings=relnet.count_markings(self.reached),
+            variables=len(relnet.current),
+            final_nodes=self.reached.size(),
+            reorder_count=bdd.reorder_count,
+            reachable=self.reached,
+            extras={"cluster_size": self.spec.resolved_cluster_size,
+                    "ae_calls": bdd.ae_calls,
+                    "ae_cache_hits": bdd.ae_cache_hits})
+
+
+class BddRelationalBackend(SolverBackend):
+    """Relational-product image over partitioned transition relations."""
+
+    name = "bdd-relational"
+
+    def build(self, net, spec, encoding_factory=None):
+        return _BddRelationalSession(net, spec, encoding_factory)
+
+
+# ----------------------------------------------------------------------
+# ZDD (classic and relational)
+# ----------------------------------------------------------------------
+
+class _ZddSession(SolverSession):
+    def __init__(self, net: PetriNet, spec: AnalysisSpec) -> None:
+        start = time.perf_counter()
+        engine_name = spec.resolved_engine
+        if engine_name == "classic":
+            self.symbolic_net = ZddNet(net)
+            self.image_engine = make_zdd_image_engine(
+                self.symbolic_net, "classic")
+        else:
+            self.symbolic_net = ZddRelationalNet(net)
+            self.image_engine = make_zdd_image_engine(
+                self.symbolic_net, engine_name,
+                spec.resolved_cluster_size)
+        self.zdd = self.symbolic_net.zdd
+        self.reached = self.symbolic_net.initial
+        self.frontier = self.symbolic_net.initial
+        super().__init__(ZddBackend.name, spec,
+                         time.perf_counter() - start)
+
+    def at_fixpoint(self) -> bool:
+        return self.frontier == self.zdd.empty()
+
+    def _advance(self) -> None:
+        self.reached, self.frontier = self.image_engine.advance(
+            self.reached, self.frontier)
+
+    def _peak_nodes(self) -> int:
+        return self.zdd.peak_live_nodes
+
+    def _finish(self) -> AnalysisResult:
+        return self._base_result(
+            markings=self.image_engine.count_markings(self.reached),
+            variables=len(self.symbolic_net.net.places),
+            final_nodes=self.zdd.size(self.reached),
+            reorder_count=0,
+            reachable=self.reached,
+            extras={"total_nodes": self.zdd.total_nodes(),
+                    "ae_calls": self.zdd.ae_calls,
+                    "ae_cache_hits": self.zdd.ae_cache_hits})
+
+
+class ZddBackend(SolverBackend):
+    """Sparse-ZDD representation (Yoneda baseline plus the relational
+    engines)."""
+
+    name = "zdd"
+
+    def build(self, net, spec, encoding_factory=None):
+        _reject_factory(self.name, encoding_factory)
+        return _ZddSession(net, spec)
+
+
+# ----------------------------------------------------------------------
+# k-bounded
+# ----------------------------------------------------------------------
+
+class _KBoundedSession(SolverSession):
+    def __init__(self, net: PetriNet, spec: AnalysisSpec) -> None:
+        start = time.perf_counter()
+        self.symbolic_net = KBoundedNet(net, bound=spec.k_bound)
+        self.reached = self.symbolic_net.initial
+        self.frontier = self.symbolic_net.initial
+        super().__init__(KBoundedBackend.name, spec,
+                         time.perf_counter() - start)
+
+    def at_fixpoint(self) -> bool:
+        return self.frontier.is_zero()
+
+    def _advance(self) -> None:
+        knet = self.symbolic_net
+        successors = knet.image_all(self.frontier)
+        self.frontier = successors - self.reached
+        self.reached = self.reached | successors
+        knet.bdd.checkpoint()
+
+    def _peak_nodes(self) -> int:
+        return self.symbolic_net.bdd.peak_live_nodes
+
+    def _finish(self) -> AnalysisResult:
+        knet = self.symbolic_net
+        return self._base_result(
+            markings=knet.count_markings(self.reached),
+            variables=len(knet.current_vars),
+            final_nodes=self.reached.size(),
+            reorder_count=knet.bdd.reorder_count,
+            reachable=self.reached,
+            extras={"bound": knet.bound, "bits_per_place": knet.bits})
+
+
+class KBoundedBackend(SolverBackend):
+    """Count-bit encodings for k-bounded (non-safe) nets."""
+
+    name = "kbounded"
+
+    def build(self, net, spec, encoding_factory=None):
+        _reject_factory(self.name, encoding_factory)
+        return _KBoundedSession(net, spec)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+BACKENDS = {
+    BddFunctionalBackend.name: BddFunctionalBackend(),
+    BddRelationalBackend.name: BddRelationalBackend(),
+    ZddBackend.name: ZddBackend(),
+    KBoundedBackend.name: KBoundedBackend(),
+}
+
+
+def backend_for(spec: AnalysisSpec) -> SolverBackend:
+    """Select the backend a spec routes to."""
+    if spec.k_bound is not None:
+        return BACKENDS[KBoundedBackend.name]
+    if spec.backend == "zdd":
+        return BACKENDS[ZddBackend.name]
+    if spec.resolved_form == "relational":
+        return BACKENDS[BddRelationalBackend.name]
+    return BACKENDS[BddFunctionalBackend.name]

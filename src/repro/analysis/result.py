@@ -1,0 +1,127 @@
+"""The unified analysis result: one schema for every backend.
+
+:class:`AnalysisResult` supersedes the per-engine result dataclasses
+(``TraversalResult``, ``ZddTraversalResult``, ``KBoundedResult``) with a
+common core every backend fills — marking count, iterations, variable
+count, final and peak decision-diagram nodes, wall-clock seconds,
+reorder count, the engine identifier and an echo of the spec that
+produced it — plus a per-backend ``extras`` dict for everything that
+only one backend can report.  Extras keys are documented per backend in
+``docs/api.md``; every value must be JSON-serializable.
+
+``to_dict()``/``from_dict()`` round-trip the result through plain JSON
+(minus the in-memory ``reachable`` handle), so benchmarks, the CI
+regression gate and table scripts all consume one schema instead of
+three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .spec import AnalysisSpec
+
+__all__ = ["AnalysisResult", "SCHEMA_VERSION"]
+
+# Bumped when the serialized layout changes shape; ``from_dict`` refuses
+# newer payloads instead of silently misreading them.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class AnalysisResult:
+    """Statistics of one symbolic analysis, backend-independent.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`~repro.analysis.spec.AnalysisSpec` that produced
+        this result (echoed so a result is self-describing).
+    engine:
+        Engine identifier, e.g. ``functional``, ``relational/chained``,
+        ``zdd/classic``, ``kbounded/3``.
+    markings:
+        Number of reachable markings.
+    iterations:
+        Fixpoint iterations until the frontier emptied.
+    variables:
+        State variables (encoding variables; places for the ZDD;
+        count bits for the k-bounded engine).
+    final_nodes:
+        Decision-diagram nodes of the reachable set.
+    peak_nodes:
+        Peak live nodes in the manager during the analysis.
+    seconds:
+        Total wall-clock seconds, construction included (the breakdown
+        lives in ``extras["build_seconds"]`` /
+        ``extras["fixpoint_seconds"]``).
+    reorder_count:
+        Dynamic-reordering passes run (0 on the ZDD backend).
+    extras:
+        Per-backend statistics (JSON-serializable values only).
+    reachable:
+        The reachable state set — a :class:`~repro.bdd.Function` on the
+        BDD backends, a ZDD node id on the ZDD backend.  Not
+        serialized; ``None`` after :meth:`from_dict`.
+    """
+
+    spec: AnalysisSpec
+    engine: str
+    markings: int
+    iterations: int
+    variables: int
+    final_nodes: int
+    peak_nodes: int
+    seconds: float
+    reorder_count: int
+    extras: Dict[str, Any] = field(default_factory=dict)
+    reachable: Optional[Any] = None
+
+    def __repr__(self) -> str:
+        return (f"<AnalysisResult engine={self.engine} "
+                f"markings={self.markings} V={self.variables} "
+                f"nodes={self.final_nodes} iters={self.iterations} "
+                f"t={self.seconds:.3f}s>")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dump (drops the ``reachable`` handle)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "spec": self.spec.to_dict(),
+            "engine": self.engine,
+            "markings": self.markings,
+            "iterations": self.iterations,
+            "variables": self.variables,
+            "final_nodes": self.final_nodes,
+            "peak_nodes": self.peak_nodes,
+            "seconds": self.seconds,
+            "reorder_count": self.reorder_count,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The in-memory ``reachable`` handle is gone after a JSON round
+        trip, so it comes back as ``None``; everything else survives
+        bit-exact.
+        """
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported AnalysisResult schema {schema!r} "
+                f"(this build reads version {SCHEMA_VERSION})")
+        return cls(
+            spec=AnalysisSpec.from_dict(data["spec"]),
+            engine=data["engine"],
+            markings=data["markings"],
+            iterations=data["iterations"],
+            variables=data["variables"],
+            final_nodes=data["final_nodes"],
+            peak_nodes=data["peak_nodes"],
+            seconds=data["seconds"],
+            reorder_count=data["reorder_count"],
+            extras=dict(data.get("extras", {})),
+        )

@@ -1,0 +1,369 @@
+"""The declarative analysis specification: one object, every knob.
+
+An :class:`AnalysisSpec` captures everything the solver backends need to
+run a symbolic reachability analysis — encoding scheme, backend family
+(``bdd`` | ``zdd``), image form (``functional`` | ``relational``), the
+image engine, clustering granularity, reordering and frontier options
+and the ``k_bound`` extension — in a single validated frozen dataclass.
+The CLI, the experiment runner and the table scripts all build one of
+these instead of re-wiring keyword arguments per entry point.
+
+Two kinds of misconfiguration are distinguished:
+
+* **Errors** (:class:`SpecError`) — combinations that cannot mean
+  anything: an unknown scheme, a relational engine with the functional
+  form, an explicit ``cluster_size`` when there are no partitions to
+  cluster, ``k_bound`` on the ZDD backend.  Raised at construction.
+* **Warnings** (:class:`SpecWarning`) — options that are merely
+  *inapplicable* to the selected backend (a traversal strategy for a
+  relational engine, a scheme for the ZDD's direct token-set encoding).
+  These are returned as structured objects from :meth:`
+  AnalysisSpec.warnings` — never printed here — so callers decide how
+  to surface them (the CLI writes them to stderr; tests assert on
+  them).  A warning fires only when the option was moved off its
+  default: defaults are always silently correct.
+
+The defaults below are the *single* definition for the whole project —
+the CLI, ``experiments/runner.py`` and the legacy wrappers all resolve
+through them, which is what keeps the engine defaults from skewing
+apart again (``tests/analysis/test_spec.py`` pins this down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..symbolic.transition import validate_cluster_size
+
+__all__ = [
+    "AnalysisSpec", "SpecError", "SpecWarning",
+    "SCHEMES", "BACKEND_FAMILIES", "FORMS", "RELATIONAL_ENGINES",
+    "STRATEGIES",
+    "CHAIN_ORDERS", "DEFAULT_FORM", "DEFAULT_RELATIONAL_ENGINE",
+    "DEFAULT_CLUSTER_SIZE", "DEFAULT_REORDER_THRESHOLD",
+]
+
+ClusterSize = Union[int, str]
+
+SCHEMES = ("sparse", "dense", "improved")
+BACKEND_FAMILIES = ("bdd", "zdd")
+FORMS = ("functional", "relational")
+RELATIONAL_ENGINES = ("monolithic", "partitioned", "chained")
+STRATEGIES = ("bfs", "chaining")
+CHAIN_ORDERS = ("net", "support")
+
+# The one place the project's engine defaults live.  ``bdd`` defaults to
+# the paper's functional toggle path; ``zdd`` to the relational chained
+# engine (measured fastest in BENCH_relprod.json across every instance).
+DEFAULT_FORM: Dict[str, str] = {"bdd": "functional", "zdd": "relational"}
+DEFAULT_RELATIONAL_ENGINE = "chained"
+DEFAULT_CLUSTER_SIZE: ClusterSize = "auto"
+DEFAULT_REORDER_THRESHOLD = 2_000
+
+
+class SpecError(ValueError):
+    """An :class:`AnalysisSpec` field combination that cannot be run."""
+
+
+@dataclass(frozen=True)
+class SpecWarning:
+    """One inapplicable-but-harmless option on a spec.
+
+    ``option`` is the spec field name, ``value`` what it was set to and
+    ``reason`` why the selected backend ignores it.  The CLI renders
+    these to stderr; they replace the old free-text ``print`` blocks.
+    """
+
+    option: str
+    value: Any
+    reason: str
+
+    def render(self) -> str:
+        """Human-readable one-liner (what the CLI prints)."""
+        return f"{self.option}={self.value!r} ignored: {self.reason}"
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """A validated, frozen description of one symbolic analysis.
+
+    Parameters
+    ----------
+    scheme:
+        Marking encoding for the BDD backends: ``sparse`` (one variable
+        per place), ``dense`` (covering-based SMC codes) or ``improved``
+        (default; Section 4.4 codes).  The ZDD backend encodes token
+        sets directly and ignores it.
+    backend:
+        Decision-diagram family: ``bdd`` (default) or ``zdd``.
+    form:
+        Image computation form — ``functional`` (renaming-free
+        operators; the ZDD's per-transition classic rewrite) or
+        ``relational`` (partitioned transition relations).  ``None``
+        resolves per backend through :data:`DEFAULT_FORM`.
+    engine:
+        Relational image engine: ``monolithic``, ``partitioned`` or
+        ``chained``.  ``None`` resolves to
+        :data:`DEFAULT_RELATIONAL_ENGINE` for the relational form; must
+        be ``None`` with the functional form.
+    cluster_size:
+        Partition granularity for the partitioned/chained engines — a
+        positive integer or ``"auto"``.  ``None`` (default) resolves to
+        :data:`DEFAULT_CLUSTER_SIZE`; setting it with the functional
+        form is a :class:`SpecError`.
+    strategy, chain_order, use_toggle:
+        Functional-BDD traversal knobs (see
+        :func:`repro.symbolic.traversal.traverse`); inapplicable
+        elsewhere (structured warning when moved off the default).
+    reorder, reorder_threshold:
+        Dynamic variable reordering at traversal safe points (BDD
+        backends only; the ZDD manager keeps a fixed element order).
+    simplify_frontier:
+        Coudert-Madre frontier restriction before images (BDD only).
+    k_bound:
+        When set (``k >= 1``), analyse the net as ``k``-bounded with
+        count-bit encodings (the paper's unsafe-net extension) through
+        :class:`~repro.analysis.backends.KBoundedBackend`.  The engine
+        keeps a fixed interleaved count-bit order; besides
+        ``max_iterations``, every other option is inapplicable.
+    max_iterations:
+        Abort the fixpoint (``RuntimeError``) beyond this many steps.
+    """
+
+    scheme: str = "improved"
+    backend: str = "bdd"
+    form: Optional[str] = None
+    engine: Optional[str] = None
+    cluster_size: Optional[ClusterSize] = None
+    strategy: str = "chaining"
+    chain_order: str = "support"
+    use_toggle: bool = True
+    reorder: bool = True
+    reorder_threshold: int = DEFAULT_REORDER_THRESHOLD
+    simplify_frontier: bool = False
+    k_bound: Optional[int] = None
+    max_iterations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    @property
+    def resolved_form(self) -> str:
+        """The image form, with the per-backend default applied."""
+        if self.k_bound is not None:
+            return "relational"
+        return self.form if self.form is not None \
+            else DEFAULT_FORM[self.backend]
+
+    @property
+    def resolved_engine(self) -> str:
+        """The image engine actually run.
+
+        ``functional`` for the functional BDD path, ``classic`` for the
+        functional ZDD path, one of :data:`RELATIONAL_ENGINES` for the
+        relational form, ``kbounded`` under a ``k_bound``.
+        """
+        if self.k_bound is not None:
+            return "kbounded"
+        if self.resolved_form == "functional":
+            return "classic" if self.backend == "zdd" else "functional"
+        return self.engine if self.engine is not None \
+            else DEFAULT_RELATIONAL_ENGINE
+
+    @property
+    def resolved_cluster_size(self) -> ClusterSize:
+        """The clustering granularity, defaulted when unset."""
+        return self.cluster_size if self.cluster_size is not None \
+            else DEFAULT_CLUSTER_SIZE
+
+    @property
+    def engine_id(self) -> str:
+        """The result's engine identifier, e.g. ``relational/chained``."""
+        if self.k_bound is not None:
+            return f"kbounded/{self.k_bound}"
+        if self.backend == "zdd":
+            return f"zdd/{self.resolved_engine}"
+        if self.resolved_form == "functional":
+            return "functional"
+        return f"relational/{self.resolved_engine}"
+
+    # ------------------------------------------------------------------
+    # Validation (errors) and applicability (warnings)
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        def require(value, allowed, label):
+            if value not in allowed:
+                raise SpecError(f"unknown {label} {value!r}; expected one "
+                                f"of {allowed}")
+
+        require(self.scheme, SCHEMES, "scheme")
+        require(self.backend, BACKEND_FAMILIES, "backend")
+        if self.form is not None:
+            require(self.form, FORMS, "form")
+        require(self.strategy, STRATEGIES, "strategy")
+        require(self.chain_order, CHAIN_ORDERS, "chain_order")
+        if self.engine is not None:
+            require(self.engine, RELATIONAL_ENGINES, "engine")
+            if self.resolved_form == "functional":
+                raise SpecError(
+                    f"engine={self.engine!r} is a relational image "
+                    f"engine; it requires form='relational' (got "
+                    f"form={self.form!r})")
+        if self.cluster_size is not None:
+            try:
+                validate_cluster_size(self.cluster_size)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
+            if self.k_bound is not None \
+                    or self.resolved_form == "functional":
+                raise SpecError(
+                    "cluster_size only applies to the partitioned/"
+                    "chained relational engines; this configuration "
+                    "has no partitions to cluster")
+        if self.reorder_threshold < 1:
+            raise SpecError(
+                f"reorder_threshold must be positive, got "
+                f"{self.reorder_threshold}")
+        if self.k_bound is not None:
+            if self.k_bound < 1:
+                raise SpecError(
+                    f"k_bound must be at least one, got {self.k_bound}")
+            if self.backend == "zdd":
+                raise SpecError(
+                    "k_bound is only supported on the BDD backend; the "
+                    "sparse-ZDD representation is tied to safe nets "
+                    "(one element per place)")
+            if self.form is not None or self.engine is not None:
+                raise SpecError(
+                    "k_bound selects its own count-bit relational "
+                    "engine; leave form and engine unset")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise SpecError(
+                f"max_iterations must be positive, got "
+                f"{self.max_iterations}")
+
+    def warnings(self) -> Tuple[SpecWarning, ...]:
+        """Structured inapplicable-option warnings for this spec.
+
+        Only options moved off their defaults warn; a default spec is
+        silent on every backend.
+        """
+        collected = []
+
+        def warn(option: str, reason: str) -> None:
+            collected.append(SpecWarning(option, getattr(self, option),
+                                         reason))
+
+        functional_bdd = (self.backend == "bdd" and self.k_bound is None
+                          and self.resolved_form == "functional")
+        if not functional_bdd:
+            target = (f"k_bound={self.k_bound}" if self.k_bound is not None
+                      else self.engine_id)
+            if self.strategy != "chaining":
+                warn("strategy", f"the {target} engine uses its own "
+                                 f"sweep order")
+            if self.chain_order != "support":
+                warn("chain_order", f"the {target} engine uses its own "
+                                    f"sweep order")
+            if not self.use_toggle:
+                warn("use_toggle", f"toggle firing only applies to the "
+                                   f"functional BDD image, not "
+                                   f"{target}")
+        if self.backend == "zdd":
+            if self.scheme != "improved":
+                warn("scheme", "the ZDD backend encodes token sets "
+                               "directly (one element per place); "
+                               "encoding schemes do not apply")
+            if not self.reorder:
+                warn("reorder", "the ZDD manager keeps a fixed element "
+                                "order; there is no reordering to "
+                                "disable")
+            if self.simplify_frontier:
+                warn("simplify_frontier", "the ZDD engines sweep raw "
+                                          "frontiers; Coudert-Madre "
+                                          "restriction is a BDD "
+                                          "operation")
+        if self.k_bound is not None:
+            if self.scheme != "improved":
+                warn("scheme", "the k-bounded engine uses count-bit "
+                               "encodings, not the safe-net schemes")
+            if self.simplify_frontier:
+                warn("simplify_frontier", "the k-bounded engine sweeps "
+                                          "raw frontiers")
+            if not self.reorder:
+                warn("reorder", "the k-bounded engine keeps the fixed "
+                                "interleaved count-bit order; there is "
+                                "no reordering to disable")
+        if (self.resolved_form == "relational"
+                and self.resolved_engine == "monolithic"
+                and self.cluster_size is not None):
+            warn("cluster_size", "the monolithic engine folds every "
+                                 "transition into one relation; there "
+                                 "are no partitions to cluster")
+        return tuple(collected)
+
+    # ------------------------------------------------------------------
+    # Construction / serialization
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_args(cls, args) -> "AnalysisSpec":
+        """Build a spec from a CLI ``argparse`` namespace.
+
+        Recognized attributes (all optional — absent ones keep the spec
+        default): ``scheme``, ``engine`` (the backend family flag),
+        ``image`` (``functional`` or a relational engine name; ``None``
+        resolves per backend), ``cluster_size``, ``strategy``,
+        ``chain_order``, ``no_reorder``, ``simplify_frontier``,
+        ``k_bound``.
+        """
+        values: Dict[str, Any] = {}
+        if getattr(args, "scheme", None) is not None:
+            values["scheme"] = args.scheme
+        if getattr(args, "engine", None) is not None:
+            values["backend"] = args.engine
+        image = getattr(args, "image", None)
+        if image == "functional":
+            values["form"] = "functional"
+        elif image is not None:
+            values["form"] = "relational"
+            values["engine"] = image
+        if getattr(args, "cluster_size", None) is not None:
+            values["cluster_size"] = args.cluster_size
+        if getattr(args, "strategy", None) is not None:
+            values["strategy"] = args.strategy
+        if getattr(args, "chain_order", None) is not None:
+            values["chain_order"] = args.chain_order
+        if getattr(args, "no_reorder", False):
+            values["reorder"] = False
+        if getattr(args, "simplify_frontier", False):
+            values["simplify_frontier"] = True
+        if getattr(args, "k_bound", None) is not None:
+            values["k_bound"] = args.k_bound
+        return cls(**values)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable field dump (round-trips via
+        :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def replace(self, **changes) -> "AnalysisSpec":
+        """A copy with the given fields changed (re-validated)."""
+        values = self.to_dict()
+        values.update(changes)
+        return type(self)(**values)

@@ -135,6 +135,18 @@ class ZDD:
         """Total nodes ever created (plus the 2 terminals)."""
         return len(self._var)
 
+    @property
+    def peak_live_nodes(self) -> int:
+        """Peak live node count, mirroring ``BDD.peak_live_nodes``.
+
+        The ZDD manager never frees nodes (no reference counting or
+        garbage collection), so every node ever created is still live
+        and the peak equals :meth:`total_nodes`.  Exposed under the
+        BDD's name so the unified result schema reports one memory
+        column for both managers (the paper's Table 4).
+        """
+        return self.total_nodes()
+
     # ------------------------------------------------------------------
     # Family construction
     # ------------------------------------------------------------------

@@ -34,6 +34,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .analysis import (RELATIONAL_ENGINES, Analysis, AnalysisSpec,
+                       SpecError)
 from .encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
 from .encoding.improved import encoding_variable_summary
 from .petri import find_smcs
@@ -44,9 +46,6 @@ from .petri.invariants import (invariant_support,
                                minimal_semipositive_invariants,
                                minimal_semipositive_t_invariants)
 from .petri.parser import dumps, load
-from .symbolic import (IMAGE_ENGINES, RelationalNet, SymbolicNet, ZddNet,
-                       ZddRelationalNet, traverse, traverse_relational,
-                       traverse_zdd)
 
 FAMILIES = {
     "muller": muller,
@@ -111,20 +110,27 @@ def _build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--engine", default="bdd", choices=["bdd", "zdd"])
     ana.add_argument("--strategy", default="chaining",
                      choices=["bfs", "chaining"])
-    ana.add_argument("--image", default="functional",
-                     choices=["functional"] + list(IMAGE_ENGINES),
+    ana.add_argument("--image", default=None,
+                     choices=["functional"] + list(RELATIONAL_ENGINES),
                      help="image computation: the renaming-free functional "
-                          "operators (default) or a relational product "
-                          "engine over partitioned transition relations "
-                          "(with --engine zdd, 'functional' selects the "
-                          "classic per-transition rewrite and the "
-                          "relational names select the sparse ZDD "
-                          "relational engines)")
-    ana.add_argument("--cluster-size", type=_cluster_size, default=4,
+                          "operators or a relational product engine over "
+                          "partitioned transition relations (with "
+                          "--engine zdd, 'functional' selects the classic "
+                          "per-transition rewrite and the relational "
+                          "names select the sparse ZDD relational "
+                          "engines); when omitted, each backend's default "
+                          "from AnalysisSpec applies (functional for bdd, "
+                          "chained for zdd)")
+    ana.add_argument("--cluster-size", type=_cluster_size, default=None,
                      help="transitions per partition block for the "
                           "partitioned/chained image engines (a positive "
                           "integer, or 'auto' for adaptive support-overlap "
-                          "clustering)")
+                          "clustering, the default)")
+    ana.add_argument("--k-bound", type=int, default=None, metavar="K",
+                     help="analyze the net as k-bounded with "
+                          "ceil(log2(k+1)) count bits per place (the "
+                          "paper's unsafe-net extension; BDD backend "
+                          "only)")
     ana.add_argument("--chain-order", default="support",
                      choices=["net", "support"],
                      help="sweep order for the chaining strategy")
@@ -201,70 +207,34 @@ def _cmd_encode(args) -> int:
 
 def _cmd_analyze(args) -> int:
     net = load(args.net)
-    if args.engine == "zdd":
-        if args.deadlocks:
-            print("deadlocks: only supported with --engine bdd "
-                  "--image functional", file=sys.stderr)
-            return 2
-        ignored = [flag for flag, is_set in (
-            ("--scheme", args.scheme != "improved"),
-            ("--strategy", args.strategy != "chaining"),
-            ("--chain-order", args.chain_order != "support"),
-            ("--no-reorder", args.no_reorder),
-            ("--simplify-frontier", args.simplify_frontier)) if is_set]
-        if ignored:
-            print(f"warning: {', '.join(ignored)} ignored with "
-                  f"--engine zdd (the ZDD engines use the token-set "
-                  f"encoding directly, a fixed element order and raw "
-                  f"frontiers)", file=sys.stderr)
-        if args.image == "functional":
-            result = traverse_zdd(ZddNet(net))
-        else:
-            result = traverse_zdd(ZddRelationalNet(net), engine=args.image,
-                                  cluster_size=args.cluster_size)
-        print(f"engine=zdd image={result.engine} "
-              f"variables={result.variable_count} "
-              f"markings={result.marking_count} "
-              f"nodes={result.final_zdd_nodes} "
-              f"iterations={result.iterations} "
-              f"time={result.seconds:.2f}s")
-        return 0
-    encoding = SCHEMES[args.scheme](net)
-    if args.image != "functional":
-        if args.deadlocks:
-            print("deadlocks: only supported with --image functional",
-                  file=sys.stderr)
-            return 2
-        ignored = [flag for flag, is_set in (
-            ("--strategy", args.strategy != "chaining"),
-            ("--chain-order", args.chain_order != "support")) if is_set]
-        if ignored:
-            print(f"warning: {', '.join(ignored)} ignored with "
-                  f"--image {args.image} (relational engines use their "
-                  f"own sweep order)", file=sys.stderr)
-        relnet = RelationalNet(encoding,
-                               auto_reorder=not args.no_reorder,
-                               reorder_threshold=2_000)
-        result = traverse_relational(relnet, engine=args.image,
-                                     cluster_size=args.cluster_size,
-                                     simplify_frontier=args.simplify_frontier)
-        symnet = None
-    else:
-        symnet = SymbolicNet(encoding, auto_reorder=not args.no_reorder,
-                             reorder_threshold=2_000)
-        result = traverse(symnet, use_toggle=True, strategy=args.strategy,
-                          chain_order=args.chain_order,
-                          simplify_frontier=args.simplify_frontier)
-    print(f"engine=bdd scheme={args.scheme} image={result.engine} "
-          f"variables={result.variable_count} "
-          f"markings={result.marking_count} "
-          f"nodes={result.final_bdd_nodes} "
+    try:
+        spec = AnalysisSpec.from_args(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.deadlocks and spec.engine_id != "functional":
+        print("deadlocks: only supported with --engine bdd "
+              "--image functional", file=sys.stderr)
+        return 2
+    # Inapplicable options come back as structured SpecWarning objects;
+    # rendering them is the CLI's job, not the spec's.
+    for warning in spec.warnings():
+        print(f"warning: {warning.render()}", file=sys.stderr)
+    analysis = Analysis(net, spec)
+    result = analysis.run()
+    # Every BDD run applies the scheme (the relational engines encode
+    # with it too); only zdd and k-bounded build their own encoding.
+    scheme = f"scheme={spec.scheme} " \
+        if spec.backend == "bdd" and spec.k_bound is None else ""
+    print(f"engine={spec.backend} {scheme}image={result.engine} "
+          f"variables={result.variables} "
+          f"markings={result.markings} "
+          f"nodes={result.final_nodes} "
+          f"peak={result.peak_nodes} "
           f"iterations={result.iterations} "
           f"time={result.seconds:.2f}s")
     if args.deadlocks:
-        from .symbolic import ModelChecker
-        checker = ModelChecker(symnet, reachable=result.reachable)
-        report = checker.find_deadlocks()
+        report = analysis.checker().find_deadlocks()
         if report.holds:
             print(f"deadlocks: {report.detail}; witness "
                   f"{sorted(report.witness.support)}")

@@ -9,10 +9,12 @@ Each module has a ``main()`` entry point (``python -m ...``) and pure
 ``run()`` functions used by the pytest benchmarks.
 """
 
-from .runner import (ExperimentRow, compare_engines, format_table,
-                     full_scale, run_dense, run_sparse, run_zdd)
+from .runner import (ExperimentRow, compare_engines, engine_label,
+                     format_table, full_scale, run, run_dense,
+                     run_relational, run_sparse, run_zdd)
 
 __all__ = [
-    "ExperimentRow", "run_sparse", "run_dense", "run_zdd",
+    "ExperimentRow", "run", "engine_label",
+    "run_sparse", "run_dense", "run_relational", "run_zdd",
     "format_table", "compare_engines", "full_scale",
 ]

@@ -16,15 +16,13 @@ Run with ``python -m repro.experiments.ablation``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
+from ..analysis import AnalysisSpec, analyze
 from ..encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
 from ..petri.generators import figure4_net, muller, slotted_ring
 from ..petri.smc import find_smcs
-from ..symbolic import (RelationalNet, SymbolicNet, traverse,
-                        traverse_relational)
 
 INSTANCES: List[Tuple[str, Callable[[], object]]] = [
     ("figure4", figure4_net),
@@ -80,6 +78,39 @@ def gray_code_ablation() -> List[AblationRow]:
     return rows
 
 
+# Each configuration of ablation question 3 as a declarative spec — the
+# whole grid routes through ``analyze()`` with one builder per row.
+IMAGE_CONFIGURATIONS: List[Tuple[str, AnalysisSpec]] = [
+    ("image=quantify-force",
+     AnalysisSpec(strategy="bfs", use_toggle=False, reorder=False)),
+    ("image=toggle",
+     AnalysisSpec(strategy="bfs", use_toggle=True, reorder=False)),
+    ("image=relational",
+     AnalysisSpec(form="relational", engine="partitioned",
+                  cluster_size=1, reorder=False)),
+    ("image=rel-monolithic",
+     AnalysisSpec(form="relational", engine="monolithic",
+                  reorder=False)),
+    ("image=rel-clustered(4)",
+     AnalysisSpec(form="relational", engine="partitioned",
+                  cluster_size=4, reorder=False)),
+    ("image=rel-chained(4)",
+     AnalysisSpec(form="relational", engine="chained", cluster_size=4,
+                  reorder=False)),
+    ("image=rel-chained(auto)",
+     AnalysisSpec(form="relational", engine="chained",
+                  cluster_size="auto", reorder=False)),
+    ("image=rel-chained(auto)+restrict",
+     AnalysisSpec(form="relational", engine="chained",
+                  cluster_size="auto", simplify_frontier=True,
+                  reorder=False)),
+    ("image=rel-chained(auto)+reorder",
+     AnalysisSpec(form="relational", engine="chained",
+                  cluster_size="auto", reorder=True,
+                  reorder_threshold=1_000)),
+]
+
+
 def image_implementation_ablation() -> List[AblationRow]:
     """Traversal seconds: quantify-force vs. toggle vs. relational."""
     rows = []
@@ -87,49 +118,12 @@ def image_implementation_ablation() -> List[AblationRow]:
         net = factory()
         components = find_smcs(net)
 
-        def timed(run: Callable[[], object]) -> float:
-            start = time.perf_counter()
-            run()
-            return time.perf_counter() - start
+        def build(n, components=components):
+            return ImprovedEncoding(n, components=components)
 
-        rows.append(AblationRow(name, "image=quantify-force", timed(
-            lambda: traverse(SymbolicNet(
-                ImprovedEncoding(net, components=components)))), "s"))
-        rows.append(AblationRow(name, "image=toggle", timed(
-            lambda: traverse(SymbolicNet(
-                ImprovedEncoding(net, components=components)),
-                use_toggle=True)), "s"))
-        rows.append(AblationRow(name, "image=relational", timed(
-            lambda: traverse_relational(RelationalNet(
-                ImprovedEncoding(net, components=components)))), "s"))
-        rows.append(AblationRow(name, "image=rel-monolithic", timed(
-            lambda: traverse_relational(RelationalNet(
-                ImprovedEncoding(net, components=components)),
-                monolithic=True)), "s"))
-        rows.append(AblationRow(name, "image=rel-clustered(4)", timed(
-            lambda: traverse_relational(RelationalNet(
-                ImprovedEncoding(net, components=components)),
-                engine="partitioned", cluster_size=4)), "s"))
-        rows.append(AblationRow(name, "image=rel-chained(4)", timed(
-            lambda: traverse_relational(RelationalNet(
-                ImprovedEncoding(net, components=components)),
-                engine="chained", cluster_size=4)), "s"))
-        rows.append(AblationRow(name, "image=rel-chained(auto)", timed(
-            lambda: traverse_relational(RelationalNet(
-                ImprovedEncoding(net, components=components)),
-                engine="chained", cluster_size="auto")), "s"))
-        rows.append(AblationRow(name, "image=rel-chained(auto)+restrict",
-                                timed(
-            lambda: traverse_relational(RelationalNet(
-                ImprovedEncoding(net, components=components)),
-                engine="chained", cluster_size="auto",
-                simplify_frontier=True)), "s"))
-        rows.append(AblationRow(name, "image=rel-chained(auto)+reorder",
-                                timed(
-            lambda: traverse_relational(RelationalNet(
-                ImprovedEncoding(net, components=components),
-                auto_reorder=True, reorder_threshold=1_000),
-                engine="chained", cluster_size="auto")), "s"))
+        for label, spec in IMAGE_CONFIGURATIONS:
+            result = analyze(net, spec, encoding_factory=build)
+            rows.append(AblationRow(name, label, result.seconds, "s"))
     return rows
 
 
@@ -140,12 +134,14 @@ def reordering_ablation() -> List[AblationRow]:
         net = factory()
         components = find_smcs(net)
         for label, reorder in (("reorder=on", True), ("reorder=off", False)):
-            symnet = SymbolicNet(
-                ImprovedEncoding(net, components=components),
-                auto_reorder=reorder, reorder_threshold=1_000)
-            result = traverse(symnet, use_toggle=True)
+            result = analyze(
+                net,
+                AnalysisSpec(strategy="bfs", reorder=reorder,
+                             reorder_threshold=1_000),
+                encoding_factory=lambda n, c=components: ImprovedEncoding(
+                    n, components=c))
             rows.append(AblationRow(name, label,
-                                    result.final_bdd_nodes, "BDD nodes"))
+                                    result.final_nodes, "BDD nodes"))
     return rows
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..analysis import AnalysisSpec, analyze
 from ..encoding import DenseEncoding, SparseEncoding
 from ..encoding.optimal import (greedy_gray_marking_encoding,
                                 optimal_variable_count,
@@ -38,6 +39,14 @@ def run() -> List[SchemeSummary]:
     net = figure1_net()
     graph = ReachabilityGraph(net)
     edges = len(graph.edges)
+
+    # Cross-check the explicit enumeration against the symbolic facade:
+    # the 8-marking count every density below divides by.
+    symbolic = analyze(net, AnalysisSpec())
+    if symbolic.markings != len(graph):
+        raise RuntimeError(
+            f"symbolic facade disagrees with explicit enumeration: "
+            f"{symbolic.markings} != {len(graph)}")
 
     sparse = SparseEncoding(net)
     sparse_toggles = sum(

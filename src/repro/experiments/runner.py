@@ -1,27 +1,31 @@
 """Shared experiment machinery for the Section 6 reproductions.
 
-Runs one benchmark instance under a chosen engine and collects the
-columns the paper's tables report: number of boolean variables, reachable
-marking count, final decision-diagram size and CPU seconds.  Both BDD
-schemes run with dynamic variable reordering enabled, as in the paper
-("no special initial order has been used, while dynamic reordering has
-been applied at each iteration for both encoding schemes").
+Runs one benchmark instance under a declarative
+:class:`~repro.analysis.spec.AnalysisSpec` and collects the columns the
+paper's tables report: number of boolean variables, reachable marking
+count, final decision-diagram size, peak live nodes and CPU seconds.
+Everything routes through :func:`repro.analysis.analyze` — the
+spec-driven :func:`run` is the one entry point; ``run_sparse`` /
+``run_dense`` / ``run_relational`` / ``run_zdd`` survive as thin
+spec-building wrappers for existing callers.
+
+Both BDD schemes run with dynamic variable reordering enabled, as in
+the paper ("no special initial order has been used, while dynamic
+reordering has been applied at each iteration for both encoding
+schemes").
 """
 
 from __future__ import annotations
 
 import math
 import os
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..encoding import ImprovedEncoding, SparseEncoding
+from ..analysis import AnalysisSpec, analyze
+from ..encoding import ImprovedEncoding
 from ..petri.net import PetriNet
 from ..petri.smc import find_smcs
-from ..symbolic import (RelationalNet, SymbolicNet, ZddNet,
-                        ZddRelationalNet, traverse, traverse_relational,
-                        traverse_zdd)
 
 
 @dataclass
@@ -34,6 +38,7 @@ class ExperimentRow:
     variables: int
     nodes: int
     seconds: float
+    peak_nodes: int = 0
 
     def density(self) -> float:
         """Optimal bits over used variables (Section 3)."""
@@ -47,18 +52,61 @@ def full_scale() -> bool:
     return bool(os.environ.get("REPRO_FULL"))
 
 
+def engine_label(spec: AnalysisSpec) -> str:
+    """The table-column label a spec reports under.
+
+    ``sparse`` / ``covering`` / ``dense`` for the functional BDD
+    schemes (``dense`` is the improved Section 4.4 encoding, the
+    paper's table name for it; ``covering`` the intermediate
+    covering-based one — they must not share a label or
+    :func:`format_table` would silently overwrite one row with the
+    other), ``rel-<engine>`` for the relational BDD engines, ``zdd`` /
+    ``zdd-<engine>`` for the sparse-ZDD baseline and its relational
+    form, ``k<bound>`` for the k-bounded extension.
+    """
+    if spec.k_bound is not None:
+        return f"k{spec.k_bound}"
+    if spec.backend == "zdd":
+        if spec.resolved_engine == "classic":
+            return "zdd"
+        return f"zdd-{spec.resolved_engine}"
+    if spec.resolved_form == "relational":
+        return f"rel-{spec.resolved_engine}"
+    return {"sparse": "sparse", "dense": "covering",
+            "improved": "dense"}[spec.scheme]
+
+
+def run(name: str, net: PetriNet, spec: AnalysisSpec,
+        label: Optional[str] = None,
+        encoding_factory: Optional[Callable] = None) -> ExperimentRow:
+    """Measure one instance under one spec — the single entry point.
+
+    Construction time (encoding, SMC discovery, relation building) is
+    included in the reported seconds, as in the paper (where it is ~1 %
+    of total); the breakdown lives in the underlying
+    :class:`~repro.analysis.result.AnalysisResult` extras.  ``label``
+    overrides the :func:`engine_label` column name;
+    ``encoding_factory`` (``net -> Encoding``) the BDD backends' scheme
+    lookup.
+    """
+    result = analyze(net, spec, encoding_factory=encoding_factory)
+    return ExperimentRow(instance=name,
+                         engine=label or engine_label(spec),
+                         markings=result.markings,
+                         variables=result.variables,
+                         nodes=result.final_nodes,
+                         seconds=result.seconds,
+                         peak_nodes=result.peak_nodes)
+
+
 def run_sparse(name: str, net: PetriNet, reorder: bool = True,
                reorder_threshold: int = 2_000,
                use_toggle: bool = True) -> ExperimentRow:
-    """Sparse (one-variable-per-place) BDD traversal."""
-    symnet = SymbolicNet(SparseEncoding(net), auto_reorder=reorder,
-                         reorder_threshold=reorder_threshold)
-    result = traverse(symnet, use_toggle=use_toggle)
-    return ExperimentRow(instance=name, engine="sparse",
-                         markings=result.marking_count,
-                         variables=result.variable_count,
-                         nodes=result.final_bdd_nodes,
-                         seconds=result.seconds)
+    """Sparse (one-variable-per-place) BDD traversal (wrapper)."""
+    spec = AnalysisSpec(scheme="sparse", reorder=reorder,
+                        reorder_threshold=reorder_threshold,
+                        use_toggle=use_toggle, strategy="bfs")
+    return run(name, net, spec, label="sparse")
 
 
 def run_dense(name: str, net: PetriNet, reorder: bool = True,
@@ -66,26 +114,24 @@ def run_dense(name: str, net: PetriNet, reorder: bool = True,
               use_toggle: bool = True,
               smc_strategy: str = "auto",
               encoding_factory: Optional[Callable] = None) -> ExperimentRow:
-    """Dense (improved SMC-based) BDD traversal.
+    """Dense (improved SMC-based) BDD traversal (wrapper).
 
-    The encoding time — SMC discovery plus code assignment — is included
-    in the reported seconds, as in the paper (where it is ~1 % of total).
+    ``encoding_factory``, when given, is called as
+    ``factory(net, components)`` with the discovered SMCs — the legacy
+    two-argument shape, adapted onto the facade's single-argument one.
     """
-    start = time.perf_counter()
-    components = find_smcs(net, strategy=smc_strategy)
     if encoding_factory is None:
-        encoding = ImprovedEncoding(net, components=components)
+        def build(n):
+            return ImprovedEncoding(
+                n, components=find_smcs(n, strategy=smc_strategy))
     else:
-        encoding = encoding_factory(net, components)
-    encode_seconds = time.perf_counter() - start
-    symnet = SymbolicNet(encoding, auto_reorder=reorder,
-                         reorder_threshold=reorder_threshold)
-    result = traverse(symnet, use_toggle=use_toggle)
-    return ExperimentRow(instance=name, engine="dense",
-                         markings=result.marking_count,
-                         variables=result.variable_count,
-                         nodes=result.final_bdd_nodes,
-                         seconds=result.seconds + encode_seconds)
+        def build(n):
+            return encoding_factory(
+                n, find_smcs(n, strategy=smc_strategy))
+    spec = AnalysisSpec(scheme="improved", reorder=reorder,
+                        reorder_threshold=reorder_threshold,
+                        use_toggle=use_toggle, strategy="bfs")
+    return run(name, net, spec, label="dense", encoding_factory=build)
 
 
 def run_relational(name: str, net: PetriNet, engine: str = "partitioned",
@@ -95,69 +141,43 @@ def run_relational(name: str, net: PetriNet, engine: str = "partitioned",
                    reorder_threshold: int = 2_000,
                    encoding_factory: Optional[Callable] = None
                    ) -> ExperimentRow:
-    """Relation-based BDD traversal through a chosen image engine.
+    """Relation-based BDD traversal through a chosen image engine
+    (wrapper); the reported engine column is ``rel-<engine>``."""
+    spec = AnalysisSpec(form="relational", engine=engine,
+                        cluster_size=cluster_size,
+                        simplify_frontier=simplify_frontier,
+                        reorder=reorder,
+                        reorder_threshold=reorder_threshold)
+    return run(name, net, spec, encoding_factory=encoding_factory)
 
-    ``engine`` is one of ``monolithic | partitioned | chained`` (see
-    :func:`repro.symbolic.traversal.make_image_engine`); the reported
-    engine column is ``rel-<engine>``.  ``cluster_size`` is a positive
-    integer or ``"auto"`` (adaptive support-overlap clustering, the
-    default).  ``reorder`` enables pair-grouped sifting at the traversal
-    safe points and ``simplify_frontier`` the Coudert-Madre frontier
-    restriction.  Construction of the relational net is included in the
-    reported seconds, mirroring :func:`run_dense`'s treatment of
-    encoding time.
+
+def run_zdd(name: str, net: PetriNet, engine: Optional[str] = None,
+            cluster_size=None) -> ExperimentRow:
+    """Sparse ZDD traversal (the Table 4 baseline; wrapper).
+
+    ``engine`` selects the image computation: ``"classic"`` (the
+    per-transition subset1/change rewrite, reported as ``zdd``) or one
+    of ``monolithic | partitioned | chained`` (reported as
+    ``zdd-<engine>``).  ``None`` takes the project-wide default from
+    :class:`~repro.analysis.spec.AnalysisSpec` — the same engine the
+    CLI's ``--engine zdd`` runs, so the defaults cannot skew apart.
     """
-    start = time.perf_counter()
-    if encoding_factory is None:
-        encoding = ImprovedEncoding(net)
-    else:
-        encoding = encoding_factory(net)
-    relnet = RelationalNet(encoding, auto_reorder=reorder,
-                           reorder_threshold=reorder_threshold)
-    build_seconds = time.perf_counter() - start
-    result = traverse_relational(relnet, engine=engine,
-                                 cluster_size=cluster_size,
-                                 simplify_frontier=simplify_frontier)
-    return ExperimentRow(instance=name, engine=f"rel-{engine}",
-                         markings=result.marking_count,
-                         variables=result.variable_count,
-                         nodes=result.final_bdd_nodes,
-                         seconds=result.seconds + build_seconds)
-
-
-def run_zdd(name: str, net: PetriNet, engine: str = "classic",
-            cluster_size="auto") -> ExperimentRow:
-    """Sparse ZDD traversal (the Yoneda baseline of Table 4).
-
-    ``engine`` selects the image computation: ``"classic"`` (default,
-    the per-transition subset1/change rewrite, reported as ``zdd``) or
-    one of ``monolithic | partitioned | chained`` through the
-    relational-product form over paired current/next elements (reported
-    as ``zdd-<engine>``).  ``cluster_size`` is a positive integer or
-    ``"auto"`` and only affects the relational engines.  Construction of
-    the relational net is included in the reported seconds, mirroring
-    :func:`run_relational`.
-    """
-    start = time.perf_counter()
     if engine == "classic":
-        zddnet = ZddNet(net)
-        label = "zdd"
+        spec = AnalysisSpec(backend="zdd", form="functional")
     else:
-        zddnet = ZddRelationalNet(net)
-        label = f"zdd-{engine}"
-    build_seconds = time.perf_counter() - start
-    result = traverse_zdd(zddnet, engine=engine,
-                          cluster_size=cluster_size)
-    return ExperimentRow(instance=name, engine=label,
-                         markings=result.marking_count,
-                         variables=result.variable_count,
-                         nodes=result.final_zdd_nodes,
-                         seconds=result.seconds + build_seconds)
+        spec = AnalysisSpec(backend="zdd", form="relational",
+                            engine=engine, cluster_size=cluster_size)
+    return run(name, net, spec)
 
 
 def format_table(title: str, rows: Sequence[ExperimentRow],
-                 engines: Sequence[str]) -> str:
-    """Render rows grouped by instance, paper-table style."""
+                 engines: Sequence[str],
+                 include_peak: bool = False) -> str:
+    """Render rows grouped by instance, paper-table style.
+
+    ``include_peak`` adds a per-engine peak-live-nodes column (the
+    paper's Table 4 memory column).
+    """
     by_instance: Dict[str, Dict[str, ExperimentRow]] = {}
     order: List[str] = []
     for row in rows:
@@ -170,6 +190,8 @@ def format_table(title: str, rows: Sequence[ExperimentRow],
     for engine in engines:
         header += f"{engine + ' V':>10}{engine + ' nodes':>13}" \
                   f"{engine + ' CPU':>12}"
+        if include_peak:
+            header += f"{engine + ' peak':>13}"
     lines = [title, "=" * len(header), header, "-" * len(header)]
     for instance in order:
         cells = by_instance[instance]
@@ -179,9 +201,13 @@ def format_table(title: str, rows: Sequence[ExperimentRow],
             row = cells.get(engine)
             if row is None:
                 line += f"{'-':>10}{'-':>13}{'-':>12}"
+                if include_peak:
+                    line += f"{'-':>13}"
             else:
                 line += (f"{row.variables:>10}{row.nodes:>13}"
                          f"{row.seconds:>11.2f}s")
+                if include_peak:
+                    line += f"{row.peak_nodes:>13}"
         lines.append(line)
     lines.append("-" * len(header))
     return "\n".join(lines)

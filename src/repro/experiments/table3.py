@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from ..analysis import AnalysisSpec
+from . import runner
 from ..petri.generators import muller, philosophers, slotted_ring
-from .runner import (ExperimentRow, format_table, full_scale, run_dense,
-                     run_sparse)
+from .runner import ExperimentRow, format_table, full_scale
 
 HARNESS_SIZES: Dict[str, Sequence[int]] = {
     "muller": (4, 6, 8),
@@ -65,11 +66,14 @@ def instances(sizes: Dict[str, Sequence[int]] = None
 
 def run(sizes: Dict[str, Sequence[int]] = None,
         reorder: bool = True) -> List[ExperimentRow]:
-    """Measure every instance under both encodings."""
+    """Measure every instance under both encodings via ``analyze()``."""
     rows: List[ExperimentRow] = []
     for name, net in instances(sizes):
-        rows.append(run_sparse(name, net, reorder=reorder))
-        rows.append(run_dense(name, net, reorder=reorder))
+        for scheme, label in (("sparse", "sparse"),
+                              ("improved", "dense")):
+            spec = AnalysisSpec(scheme=scheme, strategy="bfs",
+                                reorder=reorder)
+            rows.append(runner.run(name, net, spec, label=label))
     return rows
 
 

@@ -8,6 +8,11 @@
 * :class:`ModelChecker` — deadlock, mutual exclusion, EF/AG queries.
 * :class:`ZddNet` / :func:`traverse_zdd` — the Yoneda sparse-ZDD
   baseline of Table 4.
+
+The ``traverse*`` entry points and per-engine result dataclasses are
+legacy shims: :mod:`repro.analysis` (``analyze(net, AnalysisSpec())``)
+is the unified facade new code should use; the engines and net classes
+here remain its building blocks.
 """
 
 from .checker import CheckReport, ModelChecker

@@ -33,7 +33,13 @@ IMAGE_ENGINES = ("monolithic", "partitioned", "chained")
 
 @dataclass
 class TraversalResult:
-    """Statistics of one symbolic reachability computation."""
+    """Statistics of one symbolic reachability computation.
+
+    .. deprecated::
+        Superseded by :class:`repro.analysis.result.AnalysisResult`;
+        new code should run :func:`repro.analysis.analyze` and consume
+        the unified schema.
+    """
 
     reachable: Function
     marking_count: int
@@ -258,6 +264,12 @@ def traverse_relational(relnet: RelationalNet, monolithic: bool = False,
                         max_iterations: Optional[int] = None
                         ) -> TraversalResult:
     """Reachability fixpoint through a :class:`RelationalNet`.
+
+    .. deprecated::
+        Thin legacy shim kept for existing callers and tests; new code
+        should run ``repro.analysis.analyze(net,
+        AnalysisSpec(form="relational", ...))``, which wraps the same
+        engines behind the unified spec/result schema.
 
     Parameters
     ----------

@@ -39,7 +39,18 @@ ZDD_IMAGE_ENGINES = ("classic", "monolithic", "partitioned", "chained")
 
 @dataclass
 class ZddTraversalResult:
-    """Statistics of a sparse-ZDD reachability computation."""
+    """Statistics of a sparse-ZDD reachability computation.
+
+    .. deprecated::
+        Superseded by :class:`repro.analysis.result.AnalysisResult`;
+        new code should run :func:`repro.analysis.analyze` and consume
+        the unified schema.
+
+    ``peak_live_nodes`` mirrors the BDD result's memory column: the
+    ZDD manager never frees nodes, so it equals the total ever created.
+    ``reorder_count`` is always 0 (fixed element order) and exists so
+    the two result shapes stay field-compatible.
+    """
 
     zdd: ZDD
     reachable: int
@@ -49,6 +60,8 @@ class ZddTraversalResult:
     final_zdd_nodes: int
     seconds: float
     engine: str = "zdd/classic"
+    peak_live_nodes: int = 0
+    reorder_count: int = 0
 
     def __repr__(self) -> str:
         return (f"<ZddTraversalResult markings={self.marking_count} "
@@ -233,6 +246,12 @@ def traverse_zdd(zddnet: "Union[ZddNet, ZddRelationalNet]",
                  ) -> ZddTraversalResult:
     """BFS frontier fixpoint over the sparse-ZDD representation.
 
+    .. deprecated::
+        Thin legacy shim kept for existing callers and tests; new code
+        should run ``repro.analysis.analyze(net,
+        AnalysisSpec(backend="zdd", ...))``, which wraps the same
+        engines behind the unified spec/result schema.
+
     Parameters
     ----------
     zddnet:
@@ -280,4 +299,6 @@ def traverse_zdd(zddnet: "Union[ZddNet, ZddRelationalNet]",
         variable_count=len(image_engine.net.places),
         final_zdd_nodes=zdd.size(reached),
         seconds=seconds,
-        engine=f"zdd/{image_engine.name}")
+        engine=f"zdd/{image_engine.name}",
+        peak_live_nodes=zdd.peak_live_nodes,
+        reorder_count=0)

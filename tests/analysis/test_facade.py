@@ -1,0 +1,209 @@
+"""analyze()/Analysis: cross-backend agreement with the legacy entry
+points, session reuse, and the backend protocol surface."""
+
+import pytest
+
+from repro.analysis import (Analysis, AnalysisSpec, KBoundedBackend,
+                            SpecError, ZddBackend, analyze, backend_for)
+from repro.encoding import ImprovedEncoding
+from repro.symbolic import (RelationalNet, SymbolicNet, ZddNet,
+                            ZddRelationalNet, traverse,
+                            traverse_relational, traverse_zdd)
+
+NETS = ("figure1", "phil4")
+
+SPECS = {
+    "functional": AnalysisSpec(),
+    "functional-sparse-bfs": AnalysisSpec(scheme="sparse",
+                                          strategy="bfs"),
+    "rel-monolithic": AnalysisSpec(form="relational",
+                                   engine="monolithic"),
+    "rel-partitioned": AnalysisSpec(form="relational",
+                                    engine="partitioned",
+                                    cluster_size=2),
+    "rel-chained-auto": AnalysisSpec(form="relational", engine="chained",
+                                     cluster_size="auto",
+                                     simplify_frontier=True),
+    "zdd-classic": AnalysisSpec(backend="zdd", form="functional"),
+    "zdd-chained": AnalysisSpec(backend="zdd"),
+    "kbounded": AnalysisSpec(k_bound=1),
+}
+
+
+def marking_sets(symbolic_net, reachable):
+    return {frozenset(m.support) for m in
+            symbolic_net.markings_of(reachable)}
+
+
+class TestCrossBackend:
+    @pytest.mark.parametrize("net_name", NETS)
+    @pytest.mark.parametrize("label", sorted(SPECS))
+    def test_analyze_matches_explicit_oracle(self, make_net,
+                                             explicit_counts, net_name,
+                                             label):
+        result = analyze(make_net(net_name), SPECS[label])
+        assert result.markings == explicit_counts[net_name]
+        assert result.engine == SPECS[label].engine_id
+
+    @pytest.mark.parametrize("net_name", NETS)
+    def test_matches_legacy_functional(self, make_net, net_name):
+        net = make_net(net_name)
+        legacy_net = SymbolicNet(ImprovedEncoding(net))
+        legacy = traverse(legacy_net, use_toggle=True,
+                          strategy="chaining", chain_order="support")
+        analysis = Analysis(net, AnalysisSpec(reorder=False))
+        result = analysis.run()
+        assert result.markings == legacy.marking_count
+        assert marking_sets(analysis.symbolic_net, result.reachable) \
+            == marking_sets(legacy_net, legacy.reachable)
+
+    @pytest.mark.parametrize("net_name", NETS)
+    def test_matches_legacy_relational(self, make_net, net_name):
+        net = make_net(net_name)
+        legacy_net = RelationalNet(ImprovedEncoding(net))
+        legacy = traverse_relational(legacy_net, engine="chained",
+                                     cluster_size="auto")
+        analysis = Analysis(net, AnalysisSpec(form="relational",
+                                              engine="chained",
+                                              cluster_size="auto",
+                                              reorder=False))
+        result = analysis.run()
+        # RelationalNet exposes no marking decoder; count equality here,
+        # set-level equality across engines is pinned by the
+        # differential harness (tests/symbolic/test_engine_diff.py).
+        assert result.markings == legacy.marking_count
+        assert result.variables == legacy.variable_count
+        assert result.engine == legacy.engine
+
+    @pytest.mark.parametrize("net_name", NETS)
+    @pytest.mark.parametrize("engine", ["classic", "chained"])
+    def test_matches_legacy_zdd(self, make_net, net_name, engine):
+        net = make_net(net_name)
+        if engine == "classic":
+            legacy_net = ZddNet(net)
+            spec = AnalysisSpec(backend="zdd", form="functional")
+        else:
+            legacy_net = ZddRelationalNet(net)
+            spec = AnalysisSpec(backend="zdd", engine=engine,
+                                cluster_size="auto")
+        legacy = traverse_zdd(legacy_net, engine=engine,
+                              cluster_size="auto"
+                              if engine != "classic" else 1)
+        analysis = Analysis(net, spec)
+        result = analysis.run()
+        assert result.markings == legacy.marking_count
+        assert marking_sets(analysis.symbolic_net, result.reachable) \
+            == marking_sets(legacy_net, legacy.reachable)
+        assert result.peak_nodes > 0
+        assert legacy.peak_live_nodes > 0
+
+
+class TestSession:
+    def test_manual_stepping_reaches_the_same_fixpoint(self, make_net,
+                                                       explicit_counts):
+        analysis = Analysis(make_net("figure1"), AnalysisSpec())
+        steps = 0
+        while analysis.step():
+            steps += 1
+        assert analysis.stats()["at_fixpoint"]
+        result = analysis.run()
+        assert result.iterations == steps
+        assert result.markings == explicit_counts["figure1"]
+
+    def test_run_is_cached(self, make_net):
+        analysis = Analysis(make_net("figure1"), AnalysisSpec())
+        assert analysis.run() is analysis.run()
+        assert analysis.result is analysis.run()
+
+    def test_stats_shape(self, make_net):
+        analysis = Analysis(make_net("figure1"),
+                            AnalysisSpec(backend="zdd"))
+        stats = analysis.stats()
+        for key in ("backend", "engine", "iterations", "at_fixpoint",
+                    "peak_nodes", "build_seconds", "fixpoint_seconds"):
+            assert key in stats
+        assert stats["engine"] == "zdd/chained"
+        assert stats["iterations"] == 0
+
+    def test_checker_reuses_the_computed_reachable_set(self, make_net):
+        analysis = Analysis(make_net("phil3"), AnalysisSpec())
+        result = analysis.run()
+        checker = analysis.checker()
+        assert checker.reachable is result.reachable
+        assert checker.find_deadlocks().holds  # philosophers deadlock
+
+    @pytest.mark.parametrize("spec", [
+        AnalysisSpec(form="relational"),
+        AnalysisSpec(backend="zdd"),
+        AnalysisSpec(k_bound=2),
+    ])
+    def test_checker_requires_functional_bdd(self, make_net, spec):
+        analysis = Analysis(make_net("figure1"), spec)
+        with pytest.raises(SpecError, match="functional BDD"):
+            analysis.checker()
+
+    def test_keyword_overrides_build_a_spec(self, make_net,
+                                            explicit_counts):
+        result = analyze(make_net("figure1"), scheme="sparse",
+                         reorder=False)
+        assert result.spec == AnalysisSpec(scheme="sparse",
+                                           reorder=False)
+        assert result.markings == explicit_counts["figure1"]
+
+    def test_max_iterations_aborts(self, make_net):
+        with pytest.raises(RuntimeError, match="exceeded 1 iteration"):
+            analyze(make_net("phil3"), AnalysisSpec(strategy="bfs"),
+                    max_iterations=1)
+
+    def test_encoding_factory_rejected_off_the_bdd_backends(self,
+                                                            make_net):
+        net = make_net("figure1")
+        with pytest.raises(SpecError, match="encoding_factory"):
+            Analysis(net, AnalysisSpec(backend="zdd"),
+                     encoding_factory=ImprovedEncoding)
+        with pytest.raises(SpecError, match="encoding_factory"):
+            Analysis(net, AnalysisSpec(k_bound=2),
+                     encoding_factory=ImprovedEncoding)
+
+
+class TestBackendRouting:
+    def test_backend_for(self):
+        assert backend_for(AnalysisSpec()).name == "bdd-functional"
+        assert backend_for(
+            AnalysisSpec(form="relational")).name == "bdd-relational"
+        assert isinstance(backend_for(AnalysisSpec(backend="zdd")),
+                          ZddBackend)
+        assert isinstance(backend_for(AnalysisSpec(k_bound=2)),
+                          KBoundedBackend)
+
+    def test_sessions_expose_the_wrapped_net(self, make_net):
+        net = make_net("figure1")
+        assert isinstance(Analysis(net, AnalysisSpec()).symbolic_net,
+                          SymbolicNet)
+        assert isinstance(
+            Analysis(net, AnalysisSpec(form="relational")).symbolic_net,
+            RelationalNet)
+        assert isinstance(
+            Analysis(net, AnalysisSpec(backend="zdd",
+                                       form="functional")).symbolic_net,
+            ZddNet)
+
+
+class TestRunnerIntegration:
+    def test_run_reports_peak_nodes_and_labels(self, make_net,
+                                               explicit_counts):
+        from repro.experiments.runner import engine_label, run
+        net = make_net("figure1")
+        for spec, label in [
+                (AnalysisSpec(scheme="sparse"), "sparse"),
+                (AnalysisSpec(scheme="dense"), "covering"),
+                (AnalysisSpec(), "dense"),
+                (AnalysisSpec(form="relational"), "rel-chained"),
+                (AnalysisSpec(backend="zdd", form="functional"), "zdd"),
+                (AnalysisSpec(backend="zdd"), "zdd-chained"),
+                (AnalysisSpec(k_bound=2), "k2")]:
+            assert engine_label(spec) == label
+            row = run("fig1", net, spec)
+            assert row.engine == label
+            assert row.markings == explicit_counts["figure1"]
+            assert row.peak_nodes > 0

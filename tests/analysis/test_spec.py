@@ -1,0 +1,185 @@
+"""AnalysisSpec: validation, defaults, warnings, serialization."""
+
+import pytest
+
+from repro.analysis import (DEFAULT_CLUSTER_SIZE,
+                            DEFAULT_RELATIONAL_ENGINE, AnalysisSpec,
+                            SpecError, SpecWarning)
+from repro.cli import _build_parser
+
+
+class TestDefaults:
+    def test_bdd_defaults_to_functional(self):
+        spec = AnalysisSpec()
+        assert spec.resolved_form == "functional"
+        assert spec.resolved_engine == "functional"
+        assert spec.engine_id == "functional"
+        assert spec.scheme == "improved"
+        assert spec.reorder is True
+
+    def test_zdd_defaults_to_chained_relational(self):
+        spec = AnalysisSpec(backend="zdd")
+        assert spec.resolved_form == "relational"
+        assert spec.resolved_engine == DEFAULT_RELATIONAL_ENGINE
+        assert spec.engine_id == "zdd/chained"
+
+    def test_relational_engine_default_is_shared(self):
+        # One default, defined once: both backends resolve the same
+        # relational engine when none is named.
+        bdd = AnalysisSpec(form="relational")
+        zdd = AnalysisSpec(backend="zdd", form="relational")
+        assert bdd.resolved_engine == zdd.resolved_engine == "chained"
+        assert bdd.resolved_cluster_size == zdd.resolved_cluster_size \
+            == DEFAULT_CLUSTER_SIZE
+
+    def test_runner_default_matches_spec_default(self):
+        # The historical skew: runner.run_zdd defaulted to classic
+        # while the CLI favored the chained path.  Both now resolve
+        # through AnalysisSpec.
+        from repro.experiments.runner import engine_label, run_zdd
+        from repro.petri.generators import figure1_net
+        row = run_zdd("fig1", figure1_net())
+        assert row.engine == engine_label(AnalysisSpec(backend="zdd"))
+
+    def test_cli_default_matches_spec_default(self):
+        args = _build_parser().parse_args(["analyze", "x.pnet"])
+        assert AnalysisSpec.from_args(args) == AnalysisSpec()
+        args = _build_parser().parse_args(
+            ["analyze", "x.pnet", "--engine", "zdd"])
+        assert AnalysisSpec.from_args(args) == AnalysisSpec(backend="zdd")
+
+    def test_k_bound_resolution(self):
+        spec = AnalysisSpec(k_bound=3)
+        assert spec.resolved_engine == "kbounded"
+        assert spec.engine_id == "kbounded/3"
+
+
+class TestValidationErrors:
+    @pytest.mark.parametrize("kwargs", [
+        {"scheme": "huffman"},
+        {"backend": "mdd"},
+        {"form": "algebraic"},
+        {"engine": "quantum"},
+        {"strategy": "dfs"},
+        {"chain_order": "random"},
+        {"engine": "chained"},                       # functional form
+        {"form": "functional", "engine": "chained"},
+        {"cluster_size": 4},                         # functional form
+        {"cluster_size": 0, "form": "relational"},
+        {"cluster_size": -2, "form": "relational"},
+        {"cluster_size": "big", "form": "relational"},
+        {"backend": "zdd", "k_bound": 2},
+        {"k_bound": 0},
+        {"k_bound": 2, "form": "relational"},
+        {"k_bound": 2, "cluster_size": 4},
+        {"reorder_threshold": 0},
+        {"max_iterations": 0},
+    ])
+    def test_bad_combinations_raise(self, kwargs):
+        with pytest.raises(SpecError):
+            AnalysisSpec(**kwargs)
+
+    def test_error_message_names_the_fix(self):
+        with pytest.raises(SpecError, match="form='relational'"):
+            AnalysisSpec(engine="partitioned")
+        with pytest.raises(SpecError, match="no partitions to cluster"):
+            AnalysisSpec(cluster_size=8)
+
+
+class TestWarnings:
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"form": "relational"},
+        {"backend": "zdd"},
+        {"backend": "zdd", "form": "functional"},
+        {"k_bound": 2},
+    ])
+    def test_default_specs_are_silent(self, kwargs):
+        assert AnalysisSpec(**kwargs).warnings() == ()
+
+    def test_warnings_are_structured_not_printed(self, capsys):
+        spec = AnalysisSpec(backend="zdd", scheme="sparse",
+                            reorder=False, simplify_frontier=True)
+        warnings = spec.warnings()
+        assert capsys.readouterr() == ("", "")
+        assert all(isinstance(w, SpecWarning) for w in warnings)
+        assert {w.option for w in warnings} == {
+            "scheme", "reorder", "simplify_frontier"}
+        sparse = next(w for w in warnings if w.option == "scheme")
+        assert sparse.value == "sparse"
+        assert "element per place" in sparse.reason
+        assert "scheme='sparse' ignored" in sparse.render()
+
+    def test_strategy_warns_off_the_functional_path(self):
+        spec = AnalysisSpec(form="relational", strategy="bfs",
+                            chain_order="net")
+        assert {w.option for w in spec.warnings()} == {"strategy",
+                                                       "chain_order"}
+        assert AnalysisSpec(strategy="bfs").warnings() == ()
+
+    def test_monolithic_cluster_size_warns(self):
+        spec = AnalysisSpec(form="relational", engine="monolithic",
+                            cluster_size=4)
+        assert [w.option for w in spec.warnings()] == ["cluster_size"]
+
+    def test_k_bound_warns_on_inapplicable_options(self):
+        spec = AnalysisSpec(k_bound=2, scheme="sparse", reorder=False,
+                            simplify_frontier=True, strategy="bfs")
+        assert {w.option for w in spec.warnings()} == {
+            "scheme", "reorder", "simplify_frontier", "strategy"}
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("spec", [
+        AnalysisSpec(),
+        AnalysisSpec(backend="zdd"),
+        AnalysisSpec(form="relational", engine="partitioned",
+                     cluster_size=2, simplify_frontier=True,
+                     reorder=False),
+        AnalysisSpec(k_bound=3, max_iterations=50),
+    ])
+    def test_round_trip(self, spec):
+        import json
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert AnalysisSpec.from_dict(payload) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SpecError, match="unknown spec fields"):
+            AnalysisSpec.from_dict({"scheme": "improved", "speed": 11})
+
+    def test_replace_revalidates(self):
+        spec = AnalysisSpec(form="relational", cluster_size=2)
+        assert spec.replace(cluster_size=8).cluster_size == 8
+        with pytest.raises(SpecError):
+            spec.replace(form="functional")
+
+
+class TestFromArgs:
+    def test_full_relational_namespace(self):
+        args = _build_parser().parse_args(
+            ["analyze", "x.pnet", "--scheme", "dense", "--image",
+             "partitioned", "--cluster-size", "auto", "--no-reorder",
+             "--simplify-frontier"])
+        spec = AnalysisSpec.from_args(args)
+        assert spec == AnalysisSpec(scheme="dense", form="relational",
+                                    engine="partitioned",
+                                    cluster_size="auto", reorder=False,
+                                    simplify_frontier=True)
+
+    def test_explicit_functional_image(self):
+        args = _build_parser().parse_args(
+            ["analyze", "x.pnet", "--engine", "zdd", "--image",
+             "functional"])
+        spec = AnalysisSpec.from_args(args)
+        assert spec.engine_id == "zdd/classic"
+
+    def test_k_bound_flag(self):
+        args = _build_parser().parse_args(
+            ["analyze", "x.pnet", "--k-bound", "4"])
+        assert AnalysisSpec.from_args(args).k_bound == 4
+
+    def test_invalid_combination_surfaces_as_spec_error(self):
+        args = _build_parser().parse_args(
+            ["analyze", "x.pnet", "--cluster-size", "4"])
+        with pytest.raises(SpecError):
+            AnalysisSpec.from_args(args)

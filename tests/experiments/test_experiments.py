@@ -27,11 +27,24 @@ class TestRunner:
         assert row.markings == 8
         assert row.variables == 4
 
-    def test_run_zdd_row(self):
+    def test_run_zdd_row_default_is_project_default(self):
+        # The default ZDD engine comes from AnalysisSpec (chained), the
+        # same default the CLI's --engine zdd resolves to — the old
+        # classic-vs-chained skew between runner and CLI is gone.
+        from repro.analysis import AnalysisSpec
         row = run_zdd("fig1", figure1_net())
+        default = AnalysisSpec(backend="zdd")
+        assert row.engine == f"zdd-{default.resolved_engine}"
+        assert row.engine == "zdd-chained"
+        assert row.markings == 8
+        assert row.variables == 7
+
+    def test_run_zdd_row_classic_baseline(self):
+        row = run_zdd("fig1", figure1_net(), engine="classic")
         assert row.engine == "zdd"
         assert row.markings == 8
         assert row.variables == 7
+        assert row.peak_nodes > 0
 
     def test_density(self):
         row = ExperimentRow("x", "dense", markings=22, variables=10,

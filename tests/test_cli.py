@@ -109,3 +109,31 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "markings=22" in out
         assert "deadlocked" in out
+
+    def test_k_bound_analysis(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file), "--k-bound", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "markings=30" in out
+        assert "image=kbounded/2" in out
+
+    def test_structured_warnings_go_to_stderr(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file), "--engine", "zdd",
+                     "--scheme", "sparse", "--no-reorder"]) == 0
+        err = capsys.readouterr().err
+        assert "warning: scheme='sparse' ignored" in err
+        assert "warning: reorder=False ignored" in err
+
+    def test_default_configurations_warn_nothing(self, muller_file,
+                                                 capsys):
+        for extra in ([], ["--engine", "zdd"], ["--image", "chained"]):
+            assert main(["analyze", str(muller_file)] + extra) == 0
+            assert capsys.readouterr().err == ""
+
+    def test_invalid_spec_combination_exits_2(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file), "--image", "functional",
+                     "--cluster-size", "4"]) == 2
+        assert "no partitions to cluster" in capsys.readouterr().err
+        assert main(["analyze", str(muller_file), "--engine", "zdd",
+                     "--k-bound", "2"]) == 2
+        assert "only supported on the BDD backend" \
+            in capsys.readouterr().err
