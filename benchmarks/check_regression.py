@@ -1,23 +1,24 @@
-"""CI gate: fail if the chained engine's image time regresses > 25 %.
+"""CI gate: fail if a chained engine's image time regresses > 25 %.
 
-Runs the benchmark in quick mode (the two smallest instances) and
-compares the chained engine's image-fixpoint time against the committed
-``BENCH_relprod.json`` baseline.  Engine rows are read through
-:func:`image_seconds`, which understands both the native benchmark row
-shape and the serialized ``repro.analysis.AnalysisResult`` schema.  Raw wall-clock is meaningless across
-machines, so times are normalised by the materialised-monolithic
-baseline measured in the same process — the ratio is a property of the
-algorithms, not the host::
+Runs the benchmarks in quick mode (the two smallest instances each) and
+compares the chained engines' image-fixpoint times against the
+committed ``BENCH_relprod.json`` baseline — the BDD rows *and* the ZDD
+rows.  Engine rows are read through :func:`image_seconds`, which
+understands both the native benchmark row shape and the serialized
+``repro.analysis.AnalysisResult`` schema.  Raw wall-clock is
+meaningless across machines, so times are normalised by a baseline
+measured in the same process — the materialised-monolithic engine on
+the BDD side, the classic per-transition loop on the ZDD side::
 
-    normalised = chained_image_seconds / materialised_image_seconds
+    normalised = chained_image_seconds / baseline_image_seconds
 
 The gate fails when a fresh normalised time exceeds the committed one by
 more than ``TOLERANCE`` on any shared instance.  Two noise guards keep
 it from crying wolf: instances whose committed chained fixpoint ran
-under ``MIN_SECONDS`` are skipped (tens-of-milliseconds timings jitter
-far beyond any real regression), and a failing instance is re-measured
-up to ``ATTEMPTS`` times — only a reproducible slowdown fails the gate.
-Run from the repository root::
+under the noise floor are skipped (``MIN_SECONDS`` for BDD rows,
+``MIN_SECONDS_ZDD`` for the much faster ZDD rows), and a failing
+instance is re-measured up to ``ATTEMPTS`` times — only a reproducible
+slowdown fails the gate.  Run from the repository root::
 
     PYTHONPATH=src python benchmarks/check_regression.py
 """
@@ -33,9 +34,11 @@ os.environ.setdefault("REPRO_QUICK", "1")
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_relprod  # noqa: E402  (needs REPRO_QUICK set first)
+import bench_zdd_relprod  # noqa: E402
 
 TOLERANCE = 0.25
 MIN_SECONDS = 0.1
+MIN_SECONDS_ZDD = 0.02
 ATTEMPTS = 3
 
 
@@ -68,6 +71,59 @@ def normalised_chained(engines: dict) -> float:
     if materialised <= 0:
         return float("inf")
     return chained / materialised
+
+
+def normalised_zdd_chained(rows: dict) -> float:
+    """Best chained row over the classic loop, both from one process."""
+    classic = image_seconds(rows[bench_zdd_relprod.OLD_ENGINE])
+    chained = min(image_seconds(rows[label])
+                  for label in bench_zdd_relprod.CHAINED_ROWS
+                  if label in rows)
+    if classic <= 0:
+        return float("inf")
+    return chained / classic
+
+
+def check_zdd(baseline: dict) -> "tuple[list, int, int]":
+    """Gate the ZDD chained rows: fresh vs committed classic-normalised
+    ratio, same tolerance/attempt policy as the BDD gate."""
+    failures = []
+    checked = 0
+    shared = 0
+    section = baseline.get("zdd") or {}
+    instances = section.get("instances", {})
+    for name, factory in bench_zdd_relprod.CONFIGS:
+        committed = instances.get(name)
+        if committed is None:
+            print(f"zdd/{name}: not in committed baseline, skipped")
+            continue
+        shared += 1
+        committed_seconds = min(
+            image_seconds(committed[label])
+            for label in bench_zdd_relprod.CHAINED_ROWS
+            if label in committed)
+        if committed_seconds < MIN_SECONDS_ZDD:
+            print(f"zdd/{name}: committed chained fixpoint took "
+                  f"{committed_seconds:.3f}s (< {MIN_SECONDS_ZDD}s noise "
+                  f"floor), skipped")
+            continue
+        old_ratio = normalised_zdd_chained(committed)
+        bound = old_ratio * (1 + TOLERANCE)
+        new_ratio = float("inf")
+        for attempt in range(1, ATTEMPTS + 1):
+            fresh = bench_zdd_relprod.measure_engines(factory)
+            new_ratio = min(new_ratio, normalised_zdd_chained(fresh))
+            if new_ratio <= bound:
+                break
+        change = (new_ratio - old_ratio) / old_ratio if old_ratio else 0.0
+        verdict = "OK" if new_ratio <= bound else "REGRESSION"
+        print(f"zdd/{name}: chained/classic time ratio "
+              f"{old_ratio:.3f} -> {new_ratio:.3f} "
+              f"({change:+.1%}, {attempt} attempt(s)) {verdict}")
+        checked += 1
+        if verdict == "REGRESSION":
+            failures.append(f"zdd/{name}")
+    return failures, checked, shared
 
 
 def main() -> int:
@@ -111,6 +167,11 @@ def main() -> int:
         checked += 1
         if verdict == "REGRESSION":
             failures.append(name)
+
+    zdd_failures, zdd_checked, zdd_shared = check_zdd(baseline)
+    failures += zdd_failures
+    checked += zdd_checked
+    shared += zdd_shared
 
     if not shared:
         print("no instances shared between quick mode and the baseline; "

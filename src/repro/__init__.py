@@ -9,6 +9,9 @@ and model checking, and the paper's benchmark families.
 
 Layer map (see DESIGN.md for the full inventory):
 
+* :mod:`repro.dd` — the shared decision-diagram kernel (node tables,
+  reference counting/GC, level swaps, sifting, reorder hooks) both
+  managers are built on.
 * :mod:`repro.bdd` — decision diagrams (BDD manager, sifting, ZDDs).
 * :mod:`repro.petri` — nets, markings, invariants, SMCs, generators.
 * :mod:`repro.encoding` — sparse / dense / improved encoding schemes.

@@ -331,17 +331,24 @@ class _ZddSession(SolverSession):
         start = time.perf_counter()
         engine_name = spec.resolved_engine
         if engine_name == "classic":
-            self.symbolic_net = ZddNet(net)
+            self.symbolic_net = ZddNet(
+                net, auto_reorder=spec.reorder,
+                reorder_threshold=spec.reorder_threshold)
             self.image_engine = make_zdd_image_engine(
                 self.symbolic_net, "classic")
         else:
-            self.symbolic_net = ZddRelationalNet(net)
+            self.symbolic_net = ZddRelationalNet(
+                net, auto_reorder=spec.reorder,
+                reorder_threshold=spec.reorder_threshold)
             self.image_engine = make_zdd_image_engine(
                 self.symbolic_net, engine_name,
                 spec.resolved_cluster_size)
         self.zdd = self.symbolic_net.zdd
-        self.reached = self.symbolic_net.initial
-        self.frontier = self.symbolic_net.initial
+        # The fixpoint roots stay referenced for the session's lifetime:
+        # the per-iteration safe point may garbage collect (the shared
+        # DDManager kernel gave the ZDD manager GC and sifting).
+        self.reached = self.zdd.ref(self.symbolic_net.initial)
+        self.frontier = self.zdd.ref(self.symbolic_net.initial)
         super().__init__(ZddBackend.name, spec,
                          time.perf_counter() - start)
 
@@ -349,10 +356,20 @@ class _ZddSession(SolverSession):
         return self.frontier == self.zdd.empty()
 
     def _advance(self) -> None:
-        self.reached, self.frontier = self.image_engine.advance(
+        zdd = self.zdd
+        reached, frontier = self.image_engine.advance(
             self.reached, self.frontier)
+        zdd.ref(reached)
+        zdd.ref(frontier)
+        zdd.deref(self.reached)
+        zdd.deref(self.frontier)
+        self.reached, self.frontier = reached, frontier
+        # Safe point: garbage collection / dynamic reordering, exactly
+        # as the BDD sessions checkpoint each iteration.
+        zdd.checkpoint()
 
     def _peak_nodes(self) -> int:
+        self.zdd.live_nodes()  # fold the current occupancy into the peak
         return self.zdd.peak_live_nodes
 
     def _finish(self) -> AnalysisResult:
@@ -360,7 +377,7 @@ class _ZddSession(SolverSession):
             markings=self.image_engine.count_markings(self.reached),
             variables=len(self.symbolic_net.net.places),
             final_nodes=self.zdd.size(self.reached),
-            reorder_count=0,
+            reorder_count=self.zdd.reorder_count,
             reachable=self.reached,
             extras={"total_nodes": self.zdd.total_nodes(),
                     "ae_calls": self.zdd.ae_calls,

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional, Tuple, Union
 
-from ..symbolic.transition import validate_cluster_size
+from ..symbolic.partition import validate_cluster_size
 
 __all__ = [
     "AnalysisSpec", "SpecError", "SpecWarning",
@@ -117,10 +117,14 @@ class AnalysisSpec:
         :func:`repro.symbolic.traversal.traverse`); inapplicable
         elsewhere (structured warning when moved off the default).
     reorder, reorder_threshold:
-        Dynamic variable reordering at traversal safe points (BDD
-        backends only; the ZDD manager keeps a fixed element order).
+        Dynamic variable reordering at traversal safe points.  Applies
+        to the BDD backends *and*, since the managers share the
+        ``repro.dd`` kernel, to the ZDD backend (pair-grouped sifting
+        for the relational engines, per-element sifting for classic).
     simplify_frontier:
-        Coudert-Madre frontier restriction before images (BDD only).
+        Coudert-Madre frontier restriction before images (BDD only; the
+        ZDD chained sweep narrows working sets by set difference
+        unconditionally).
     k_bound:
         When set (``k >= 1``), analyse the net as ``k``-bounded with
         count-bit encodings (the paper's unsafe-net extension) through
@@ -280,15 +284,12 @@ class AnalysisSpec:
                 warn("scheme", "the ZDD backend encodes token sets "
                                "directly (one element per place); "
                                "encoding schemes do not apply")
-            if not self.reorder:
-                warn("reorder", "the ZDD manager keeps a fixed element "
-                                "order; there is no reordering to "
-                                "disable")
             if self.simplify_frontier:
-                warn("simplify_frontier", "the ZDD engines sweep raw "
-                                          "frontiers; Coudert-Madre "
-                                          "restriction is a BDD "
-                                          "operation")
+                warn("simplify_frontier", "the ZDD chained sweep "
+                                          "narrows working sets with "
+                                          "set difference by default; "
+                                          "Coudert-Madre restriction "
+                                          "is a BDD operation")
         if self.k_bound is not None:
             if self.scheme != "improved":
                 warn("scheme", "the k-bounded engine uses count-bit "

@@ -20,132 +20,86 @@ memoized in its own operation cache with call/cache-hit counters.  These
 are what :class:`repro.symbolic.zdd_relational.ZddRelationalNet` builds
 its partitioned transition relations on.
 
-This manager is deliberately simpler than :class:`repro.bdd.manager.BDD`:
-no reference counting, garbage collection or reordering — the sparse-ZDD
-baseline in the paper uses a fixed variable order (one level per place).
+The manager shares the :class:`repro.dd.manager.DDManager` kernel with
+the BDD manager, which gives it the full lifecycle machinery the old
+fixed-order ZDD lacked: exact reference counting with cascading frees
+(``ref``/``deref``), garbage collection, element/level indirection,
+Rudell adjacent-level swaps, dynamic (group) sifting and reorder hooks.
+Every family operation therefore compares *levels*, never raw element
+indices — element indices stay stable across reordering exactly as BDD
+variable indices do.  Raw-node-id callers that must survive a garbage
+collection protect their roots with :meth:`DDManager.ref`.
 """
 
 from __future__ import annotations
 
 from typing import (Dict, FrozenSet, Iterable, Iterator, List, Mapping,
-                    Optional, Tuple)
+                    Tuple)
+
+from ..dd.manager import DDError, DDManager
 
 EMPTY = 0
 BASE = 1
 
 
-class ZDDError(Exception):
+class ZDDError(DDError):
     """Raised for invalid ZDD operations."""
 
 
-class ZDD:
-    """A ZDD manager over a fixed universe of elements."""
+class ZDD(DDManager):
+    """A ZDD manager over a universe of elements.
 
-    _TERMINAL_VAR = -1
+    Parameters
+    ----------
+    var_names:
+        Optional initial list of element names; the initial element
+        order is the list order.
+    auto_reorder:
+        If true, sifting is triggered automatically when the number of
+        live nodes crosses a growing threshold (checked only at safe
+        points, i.e. :meth:`DDManager.checkpoint`).
+    reorder_threshold:
+        Live-node threshold for the automatic sifting trigger.
+    """
 
-    def __init__(self, var_names: Optional[Iterable[str]] = None) -> None:
-        self._var: List[int] = [self._TERMINAL_VAR, self._TERMINAL_VAR]
-        self._low: List[int] = [EMPTY, BASE]
-        self._high: List[int] = [EMPTY, BASE]
-        self._unique: List[Dict[Tuple[int, int], int]] = []
-        self._names: List[str] = []
-        self._name2var: Dict[str, int] = {}
-        self._cache: Dict[tuple, int] = {}
-        # Fused relational product: dedicated cache plus counters,
-        # mirroring BDD.and_exists.
-        self._ae_cache: Dict[Tuple[int, int, FrozenSet[int]], int] = {}
-        self.ae_calls = 0
-        self.ae_recursions = 0
-        self.ae_cache_hits = 0
-        if var_names is not None:
-            for name in var_names:
-                self.add_var(name)
+    _error_class = ZDDError
+    _var_prefix = "e"
 
     # ------------------------------------------------------------------
-    # Variables
-    # ------------------------------------------------------------------
-
-    @property
-    def num_vars(self) -> int:
-        """Number of declared elements."""
-        return len(self._names)
-
-    def add_var(self, name: Optional[str] = None) -> int:
-        """Declare a new element below all existing ones; returns its index.
-
-        The element index is also its level: element 0 is at the top.
-        """
-        var = len(self._names)
-        if name is None:
-            name = f"e{var}"
-        if name in self._name2var:
-            raise ZDDError(f"duplicate element name: {name!r}")
-        self._names.append(name)
-        self._name2var[name] = var
-        self._unique.append({})
-        return var
-
-    def var_index(self, var) -> int:
-        """Normalize an element reference (index or name) to an index."""
-        if isinstance(var, str):
-            try:
-                return self._name2var[var]
-            except KeyError:
-                raise ZDDError(f"unknown element name: {var!r}") from None
-        index = int(var)
-        if not 0 <= index < self.num_vars:
-            raise ZDDError(f"element index out of range: {index}")
-        return index
-
-    def var_name(self, var: int) -> str:
-        """Name of element ``var``."""
-        return self._names[self.var_index(var)]
-
-    def _level(self, u: int) -> int:
-        var = self._var[u]
-        if var < 0:
-            return len(self._names)
-        return var
-
-    # ------------------------------------------------------------------
-    # Node construction
+    # Kernel hooks: the zero-suppression rule
     # ------------------------------------------------------------------
 
     def _mk(self, var: int, low: int, high: int) -> int:
         if high == EMPTY:
             return low
-        table = self._unique[var]
-        key = (low, high)
-        node = table.get(key)
-        if node is not None:
-            return node
-        node = len(self._var)
-        self._var.append(var)
-        self._low.append(low)
-        self._high.append(high)
-        table[key] = node
-        return node
+        return self._node(var, low, high)
+
+    def _is_reduced(self, low: int, high: int) -> bool:
+        return high != EMPTY
+
+    def _swap_cofactors(self, child: int, lower: int) -> Tuple[int, int]:
+        if self._var[child] == lower:
+            return self._low[child], self._high[child]
+        # Zero-suppression: a skipped element is absent from every set.
+        return child, EMPTY
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
 
     def clear_cache(self) -> None:
-        """Drop the operation caches (nodes are never freed)."""
-        self._cache.clear()
-        self._ae_cache.clear()
+        """Historical alias for :meth:`DDManager.clear_caches`."""
+        self.clear_caches()
 
     def total_nodes(self) -> int:
-        """Total nodes ever created (plus the 2 terminals)."""
-        return len(self._var)
+        """High-water node-slot count (plus the 2 terminals).
 
-    @property
-    def peak_live_nodes(self) -> int:
-        """Peak live node count, mirroring ``BDD.peak_live_nodes``.
-
-        The ZDD manager never frees nodes (no reference counting or
-        garbage collection), so every node ever created is still live
-        and the peak equals :meth:`total_nodes`.  Exposed under the
-        BDD's name so the unified result schema reports one memory
-        column for both managers (the paper's Table 4).
+        Before the shared kernel this equaled "nodes ever created"; with
+        garbage collection, freed slots are recycled, so this is the
+        peak simultaneous allocation — still the memory-column metric
+        the benchmarks report for a manager that never collected.
         """
-        return self.total_nodes()
+        return len(self._var)
 
     # ------------------------------------------------------------------
     # Family construction
@@ -161,7 +115,8 @@ class ZDD:
 
     def singleton(self, elements: Iterable) -> int:
         """The family containing exactly one set with the given elements."""
-        members = sorted({self.var_index(e) for e in elements}, reverse=True)
+        members = sorted({self.var_index(e) for e in elements},
+                         key=lambda var: self._var2level[var], reverse=True)
         node = BASE
         for var in members:
             node = self._mk(var, EMPTY, node)
@@ -284,10 +239,10 @@ class ZDD:
     def subset1(self, u: int, var) -> int:
         """Sets containing ``var``, with ``var`` removed from each."""
         target = self.var_index(var)
-        return self._subset1(u, target)
+        return self._subset1(u, target, self._var2level[target])
 
-    def _subset1(self, u: int, target: int) -> int:
-        if u <= BASE or self._level(u) > target:
+    def _subset1(self, u: int, target: int, tlevel: int) -> int:
+        if u <= BASE or self._level(u) > tlevel:
             return EMPTY
         if self._var[u] == target:
             return self._high[u]
@@ -296,18 +251,18 @@ class ZDD:
         if cached is not None:
             return cached
         result = self._mk(self._var[u],
-                          self._subset1(self._low[u], target),
-                          self._subset1(self._high[u], target))
+                          self._subset1(self._low[u], target, tlevel),
+                          self._subset1(self._high[u], target, tlevel))
         self._cache[key] = result
         return result
 
     def subset0(self, u: int, var) -> int:
         """Sets not containing ``var``."""
         target = self.var_index(var)
-        return self._subset0(u, target)
+        return self._subset0(u, target, self._var2level[target])
 
-    def _subset0(self, u: int, target: int) -> int:
-        if u <= BASE or self._level(u) > target:
+    def _subset0(self, u: int, target: int, tlevel: int) -> int:
+        if u <= BASE or self._level(u) > tlevel:
             return u
         if self._var[u] == target:
             return self._low[u]
@@ -316,21 +271,20 @@ class ZDD:
         if cached is not None:
             return cached
         result = self._mk(self._var[u],
-                          self._subset0(self._low[u], target),
-                          self._subset0(self._high[u], target))
+                          self._subset0(self._low[u], target, tlevel),
+                          self._subset0(self._high[u], target, tlevel))
         self._cache[key] = result
         return result
 
     def change(self, u: int, var) -> int:
         """Toggle membership of ``var`` in every set of the family."""
         target = self.var_index(var)
-        return self._change(u, target)
+        return self._change(u, target, self._var2level[target])
 
-    def _change(self, u: int, target: int) -> int:
+    def _change(self, u: int, target: int, tlevel: int) -> int:
         if u == EMPTY:
             return EMPTY
-        level = self._level(u)
-        if level > target:
+        if self._level(u) > tlevel:
             return self._mk(target, EMPTY, u)
         if self._var[u] == target:
             return self._mk(target, self._high[u], self._low[u])
@@ -339,17 +293,14 @@ class ZDD:
         if cached is not None:
             return cached
         result = self._mk(self._var[u],
-                          self._change(self._low[u], target),
-                          self._change(self._high[u], target))
+                          self._change(self._low[u], target, tlevel),
+                          self._change(self._high[u], target, tlevel))
         self._cache[key] = result
         return result
 
     # ------------------------------------------------------------------
     # Relational core (the ZddRelationalNet primitives)
     # ------------------------------------------------------------------
-
-    def _intern_vars(self, variables: Iterable) -> FrozenSet[int]:
-        return frozenset(self.var_index(v) for v in variables)
 
     def product(self, u: int, v: int) -> int:
         """Minato's set join: ``{a | b : a in u, b in v}``.
@@ -399,10 +350,11 @@ class ZDD:
         targets = self._intern_vars(variables)
         if not targets:
             return u
-        return self._exists(u, targets, max(targets))
+        bottom = max(self._var2level[t] for t in targets)
+        return self._exists(u, targets, bottom)
 
     def _exists(self, u: int, targets: FrozenSet[int], bottom: int) -> int:
-        if u <= BASE or self._var[u] > bottom:
+        if u <= BASE or self._level(u) > bottom:
             # Below the deepest quantified element nothing changes.
             return u
         key = ("ex", u, targets)
@@ -452,14 +404,15 @@ class ZDD:
         This is the enabling test of the relational image: markings that
         hold all of a transition's input tokens.
         """
-        want = tuple(sorted(self._intern_vars(variables)))
+        want = tuple(sorted(self._intern_vars(variables),
+                            key=lambda var: self._var2level[var]))
         return self._supset(u, want, 0)
 
     def _supset(self, u: int, want: Tuple[int, ...], idx: int) -> int:
         if idx == len(want):
             return u
         target = want[idx]
-        if u <= BASE or self._var[u] > target:
+        if u <= BASE or self._level(u) > self._var2level[target]:
             return EMPTY
         key = ("sup", u, want, idx)
         cached = self._cache.get(key)
@@ -481,21 +434,23 @@ class ZDD:
 
         ``mapping`` sends source elements (indices or names) to target
         elements; elements outside its domain keep their label.  The map
-        must be strictly increasing along the element order (raises
-        :class:`ZDDError` otherwise) so the diagram can be rebuilt in one
-        bottom-up pass.  A set that ends up with a renamed element on an
-        untouched element's label collapses by plain set semantics (the
-        label appears once).
+        must be strictly increasing along the element *order* — the
+        current levels, not the raw indices — (raises :class:`ZDDError`
+        otherwise) so the diagram can be rebuilt in one bottom-up pass.
+        A set that ends up with a renamed element on an untouched
+        element's label collapses by plain set semantics (the label
+        appears once).
         """
         pairs = tuple(sorted(
-            (self.var_index(src), self.var_index(dst))
-            for src, dst in mapping.items()))
+            ((self.var_index(src), self.var_index(dst))
+             for src, dst in mapping.items()),
+            key=lambda pair: self._var2level[pair[0]]))
         previous = -1
         for _, dst in pairs:
-            if dst <= previous:
+            if self._var2level[dst] <= previous:
                 raise ZDDError(
                     f"rename map is not order-monotone: {pairs}")
-            previous = dst
+            previous = self._var2level[dst]
         if not pairs:
             return u
         return self._rename(u, pairs, dict(pairs))
@@ -509,10 +464,11 @@ class ZDD:
         if cached is not None:
             return cached
         var = lookup.get(self._var[u], self._var[u])
+        vlevel = self._var2level[var]
         low = self._rename(self._low[u], pairs, lookup)
         high = self._rename(self._high[u], pairs, lookup)
-        if (low <= BASE or var < self._var[low]) \
-                and (high <= BASE or var < self._var[high]):
+        if (low <= BASE or vlevel < self._level(low)) \
+                and (high <= BASE or vlevel < self._level(high)):
             result = self._mk(var, low, high)
         else:
             # A renamed element crossed an untouched one inside this
@@ -540,7 +496,8 @@ class ZDD:
         self.ae_calls += 1
         if not qvars:
             return self.product(u, v)
-        return self._and_exists(u, v, qvars, max(qvars))
+        qbottom = max(self._var2level[var] for var in qvars)
+        return self._and_exists(u, v, qvars, qbottom)
 
     def _and_exists(self, u: int, v: int, qvars: FrozenSet[int],
                     qbottom: int) -> int:
@@ -600,26 +557,14 @@ class ZDD:
 
         return rec(u)
 
-    def size(self, u: int) -> int:
-        """Number of nodes in the DAG rooted at ``u`` (incl. terminals)."""
-        seen = set()
-        stack = [u]
-        while stack:
-            node = stack.pop()
-            if node in seen:
-                continue
-            seen.add(node)
-            if node > BASE:
-                stack.append(self._low[node])
-                stack.append(self._high[node])
-        return len(seen)
-
     def contains(self, u: int, members: Iterable) -> bool:
         """Membership test for one set."""
-        want = sorted({self.var_index(e) for e in members})
+        want = sorted({self.var_index(e) for e in members},
+                      key=lambda var: self._var2level[var])
         node = u
         for var in want:
-            while node > BASE and self._var[node] < var:
+            tlevel = self._var2level[var]
+            while node > BASE and self._level(node) < tlevel:
                 node = self._low[node]
             if node <= BASE or self._var[node] != var:
                 return False
@@ -629,4 +574,5 @@ class ZDD:
         return node == BASE
 
     def __repr__(self) -> str:
-        return f"<ZDD elements={self.num_vars} nodes={self.total_nodes()}>"
+        return (f"<ZDD elements={self.num_vars} "
+                f"live_nodes={self.live_nodes()}>")

@@ -135,13 +135,17 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=["net", "support"],
                      help="sweep order for the chaining strategy")
     ana.add_argument("--no-reorder", action="store_true",
-                     help="disable dynamic variable reordering (functional "
-                          "and relational engines both sift at safe points "
-                          "by default)")
+                     help="disable dynamic variable reordering (the BDD "
+                          "and ZDD managers share one sifting kernel and "
+                          "both sift at traversal safe points by default; "
+                          "ZDD relational engines sift in current/next "
+                          "pair groups)")
     ana.add_argument("--simplify-frontier", action="store_true",
                      help="simplify the frontier by its Coudert-Madre "
                           "restriction against frontier | ~reached before "
-                          "each image computation")
+                          "each image computation (BDD engines; applied "
+                          "once per step and only to frontiers large "
+                          "enough to profit)")
     ana.add_argument("--deadlocks", action="store_true",
                      help="also report reachable deadlocks")
     return parser

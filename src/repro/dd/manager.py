@@ -1,0 +1,548 @@
+"""The decision-diagram manager base: nodes, tables, GC, reordering.
+
+Every diagram flavour in this project stores nodes the same way — a
+record ``(var, low, high)`` in parallel arrays addressed by an integer
+id, hash-consed through a per-variable unique table, with slots ``0``
+and ``1`` reserved for the two terminals — and shares the same
+lifecycle machinery:
+
+* exact internal reference counting with cascading frees
+  (:meth:`DDManager.ref` / :meth:`DDManager.deref` /
+  :meth:`DDManager.collect_garbage`),
+* an operation-cache registry cleared at every safe point,
+* variable/level indirection (``var2level`` / ``level2var``) so the
+  order can change while node ids stay stable,
+* Rudell's in-place adjacent-level swap (:meth:`DDManager.swap_levels`)
+  and :meth:`DDManager.set_order`,
+* reorder hooks with deferred (batched) notification, and the
+  threshold-triggered :meth:`DDManager.checkpoint` that drives garbage
+  collection and dynamic sifting at traversal safe points.
+
+What a node *means* — and therefore the reduction rule applied by
+:meth:`DDManager._mk` and the cofactor expansion used when two adjacent
+levels are exchanged (:meth:`DDManager._swap_cofactors`) — is the
+subclass's business:
+
+========================  =========================  =====================
+hook                      BDD (boolean functions)    ZDD (set families)
+========================  =========================  =====================
+``_mk`` reduction         ``low == high -> low``     ``high == 0 -> low``
+``_swap_cofactors`` else  ``(child, child)``         ``(child, EMPTY)``
+terminals                 ``ZERO`` / ``ONE``         ``EMPTY`` / ``BASE``
+========================  =========================  =====================
+
+A node's fields may be mutated in place by variable reordering, but the
+function/family represented by a node id never changes; external code
+can hold ids across reordering as long as it keeps a reference
+(:class:`repro.bdd.function.Function` does this automatically; raw-id
+callers use :meth:`ref` / :meth:`deref`).
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Tuple)
+
+# Recursions descend one level per call; deep orders need deep stacks.
+_MIN_RECURSION_LIMIT = 100_000
+if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+    sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
+class DDError(Exception):
+    """Base error for invalid decision-diagram manager operations."""
+
+
+class DDManager:
+    """Shared manager core: variable order, unique tables, GC, reorder.
+
+    Parameters
+    ----------
+    var_names:
+        Optional initial list of variable names; the initial variable
+        order is the list order.
+    auto_reorder:
+        If true, sifting is triggered automatically when the number of
+        live nodes crosses a growing threshold (checked only at safe
+        points, i.e. :meth:`checkpoint`).
+    reorder_threshold:
+        Live-node threshold for the automatic sifting trigger.
+    """
+
+    _TERMINAL_VAR = -1
+    #: Error class raised by shared machinery; subclasses narrow it.
+    _error_class = DDError
+    #: Prefix for auto-generated variable names (``x0`` / ``e0`` ...).
+    _var_prefix = "x"
+
+    def __init__(self, var_names: Optional[Iterable[str]] = None,
+                 auto_reorder: bool = False,
+                 reorder_threshold: int = 50_000) -> None:
+        # Parallel node arrays; slots 0/1 are the terminals.
+        self._var: List[int] = [self._TERMINAL_VAR, self._TERMINAL_VAR]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._ref: List[int] = [1, 1]
+        self._free: List[int] = []
+
+        # unique[var] maps (low, high) -> node id
+        self._unique: List[Dict[Tuple[int, int], int]] = []
+        self._var2level: List[int] = []
+        self._level2var: List[int] = []
+        self._names: List[str] = []
+        self._name2var: Dict[str, int] = {}
+
+        # Operation caches.  ``_cache`` serves the general ops; the
+        # fused relational product (``and_exists``) is the traversal hot
+        # path on both managers and gets its own cache so general ops
+        # never evict its entries mid-image (and vice versa).  Both are
+        # registered so every safe point clears the full set; subclasses
+        # with additional caches call :meth:`register_cache`.
+        self._cache: Dict[tuple, int] = {}
+        self._ae_cache: Dict[tuple, int] = {}
+        self._op_caches: List[Dict] = [self._cache, self._ae_cache]
+        self._interned_sets: Dict[FrozenSet[int], FrozenSet[int]] = {}
+
+        # Relational-product instrumentation (read by benchmarks).
+        self.ae_calls = 0
+        self.ae_recursions = 0
+        self.ae_cache_hits = 0
+
+        self.auto_reorder = auto_reorder
+        self.reorder_threshold = reorder_threshold
+        self.reorder_count = 0
+        self.gc_count = 0
+        self.peak_live_nodes = 0
+        # Callbacks invoked whenever the variable order changes — after
+        # an explicit :meth:`swap_levels` or :meth:`set_order` and after
+        # each sifting pass (batched: one notification per pass, not one
+        # per internal swap).  Subscribers refresh any order-derived
+        # metadata they cache (see PartitionedNet.refresh_partitions).
+        self.reorder_hooks: List[Callable[["DDManager"], None]] = []
+        self._reorder_notify_depth = 0
+        self._reorder_pending = False
+        # Variable groups that must stay adjacent during sifting (e.g.
+        # interleaved current/next pairs of a transition relation, which
+        # keep rename mappings order-monotone).  ``None`` sifts
+        # variables individually.
+        self.sift_groups: Optional[Sequence[Tuple[int, ...]]] = None
+
+        if var_names is not None:
+            for name in var_names:
+                self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Find-or-create with the subclass's reduction rule applied."""
+        raise NotImplementedError
+
+    def _swap_cofactors(self, child: int, lower: int) -> Tuple[int, int]:
+        """Cofactors of ``child`` w.r.t. ``lower`` during a level swap.
+
+        Returns ``(without, with)`` — the child's decomposition against
+        the lower variable.  For a child labeled ``lower`` both managers
+        return its ``(low, high)``; for an unlabeled child the BDD
+        duplicates it (independence) while the ZDD pairs it with
+        ``EMPTY`` (zero-suppression: the element is absent).
+        """
+        raise NotImplementedError
+
+    def _is_reduced(self, low: int, high: int) -> bool:
+        """Whether a node with these children survives the reduction
+        rule (BDD: ``low != high``; ZDD: ``high != EMPTY``)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Variables and order
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._var2level)
+
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Declare a new variable at the bottom of the order.
+
+        Returns the variable index (stable across reordering).
+        """
+        var = len(self._var2level)
+        if name is None:
+            name = f"{self._var_prefix}{var}"
+        if name in self._name2var:
+            raise self._error_class(f"duplicate variable name: {name!r}")
+        self._var2level.append(len(self._level2var))
+        self._level2var.append(var)
+        self._unique.append({})
+        self._names.append(name)
+        self._name2var[name] = var
+        return var
+
+    def add_vars(self, names: Iterable[str]) -> List[int]:
+        """Declare several variables; returns their indices."""
+        return [self.add_var(name) for name in names]
+
+    def var_index(self, var) -> int:
+        """Normalize a variable reference (index or name) to an index."""
+        if isinstance(var, str):
+            try:
+                return self._name2var[var]
+            except KeyError:
+                raise self._error_class(
+                    f"unknown variable name: {var!r}") from None
+        index = int(var)
+        if not 0 <= index < self.num_vars:
+            raise self._error_class(
+                f"variable index out of range: {index}")
+        return index
+
+    def var_name(self, var: int) -> str:
+        """Name of variable ``var``."""
+        return self._names[self.var_index(var)]
+
+    def level_of_var(self, var) -> int:
+        """Current level (0 = top) of a variable."""
+        return self._var2level[self.var_index(var)]
+
+    def var_at_level(self, level: int) -> int:
+        """Variable currently placed at ``level``."""
+        return self._level2var[level]
+
+    def order(self) -> List[str]:
+        """Variable names from top level to bottom level."""
+        return [self._names[v] for v in self._level2var]
+
+    def _level(self, u: int) -> int:
+        """Level of node ``u`` (terminals sit below every variable)."""
+        var = self._var[u]
+        if var < 0:
+            return len(self._var2level)
+        return self._var2level[var]
+
+    def _intern_vars(self, variables: Iterable) -> FrozenSet[int]:
+        fset = frozenset(self.var_index(v) for v in variables)
+        return self._interned_sets.setdefault(fset, fset)
+
+    # ------------------------------------------------------------------
+    # Node construction and reference counting
+    # ------------------------------------------------------------------
+
+    def _node(self, var: int, low: int, high: int) -> int:
+        """Find-or-create the (already reduced) node ``(var, low, high)``."""
+        table = self._unique[var]
+        key = (low, high)
+        node = table.get(key)
+        if node is not None:
+            return node
+        if self._free:
+            node = self._free.pop()
+            self._var[node] = var
+            self._low[node] = low
+            self._high[node] = high
+            self._ref[node] = 0
+        else:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._ref.append(0)
+        table[key] = node
+        self._ref[low] += 1
+        self._ref[high] += 1
+        return node
+
+    def ref(self, u: int) -> int:
+        """Take an external reference on ``u``; returns ``u``."""
+        self._ref[u] += 1
+        return u
+
+    def deref(self, u: int) -> None:
+        """Release an external reference on ``u`` (no immediate free)."""
+        if self._ref[u] <= 0:
+            raise self._error_class(f"reference underflow on node {u}")
+        self._ref[u] -= 1
+
+    def _deref_cascade(self, u: int) -> None:
+        """Drop a reference and eagerly free the node if it died."""
+        self._ref[u] -= 1
+        if self._ref[u] == 0 and u > 1:
+            self._free_node(u)
+
+    def _free_node(self, u: int) -> None:
+        var, low, high = self._var[u], self._low[u], self._high[u]
+        del self._unique[var][(low, high)]
+        self._var[u] = self._TERMINAL_VAR
+        self._low[u] = -1
+        self._high[u] = -1
+        self._free.append(u)
+        self._deref_cascade(low)
+        self._deref_cascade(high)
+
+    def live_nodes(self) -> int:
+        """Number of nodes currently stored in the unique tables (plus 2).
+
+        Also advances :attr:`peak_live_nodes`, so every safe point and
+        every sifting step feeds the peak-memory statistic.
+        """
+        live = 2 + sum(len(table) for table in self._unique)
+        if live > self.peak_live_nodes:
+            self.peak_live_nodes = live
+        return live
+
+    def register_cache(self, cache: Dict) -> Dict:
+        """Register an extra operation cache for safe-point clearing."""
+        self._op_caches.append(cache)
+        return cache
+
+    def clear_caches(self) -> None:
+        """Drop every memoized operation result (safe points only).
+
+        Benchmarks call this between timed measurements so one image
+        computation cannot warm the caches for the next.
+        """
+        for cache in self._op_caches:
+            cache.clear()
+
+    def collect_garbage(self) -> int:
+        """Free every node not reachable from a referenced node.
+
+        Must only be called at a safe point (never while an operation is
+        in progress).  Clears the operation caches.  Returns the number
+        of nodes freed.
+        """
+        self.clear_caches()
+        before = len(self._free)
+        # Cascading frees make this a single scan: any node whose
+        # references all come from dead ancestors is freed when the last
+        # ancestor is.
+        dead = [u for u in range(2, len(self._var))
+                if self._ref[u] == 0 and self._var[u] >= 0]
+        for u in dead:
+            if self._ref[u] == 0 and self._var[u] >= 0:
+                self._free_node(u)
+        self.gc_count += 1
+        return len(self._free) - before
+
+    def configure_reorder(self, auto_reorder: bool,
+                          reorder_threshold: int) -> None:
+        """Honor a net's reordering request on this manager.
+
+        Enables threshold-triggered sifting when ``auto_reorder`` is
+        set — including on a caller-supplied manager, so a net
+        constructor's request always wins.  With ``auto_reorder``
+        false this is a no-op: the manager's own settings (whatever the
+        caller configured it with) are left untouched, and the
+        ``reorder_threshold`` argument is deliberately ignored.
+        """
+        if auto_reorder:
+            self.auto_reorder = True
+            self.reorder_threshold = reorder_threshold
+
+    def checkpoint(self) -> None:
+        """Safe point hook: garbage collect and maybe reorder."""
+        live = self.live_nodes()
+        if self.auto_reorder and live > self.reorder_threshold:
+            self.collect_garbage()
+            from .reorder import sift
+            sift(self, groups=self.sift_groups)
+            self.reorder_threshold = max(self.reorder_threshold,
+                                         2 * self.live_nodes())
+            self.reorder_count += 1
+
+    # ------------------------------------------------------------------
+    # Reorder notification
+    # ------------------------------------------------------------------
+
+    def add_reorder_hook(self, hook: Callable[["DDManager"], None]) -> None:
+        """Register ``hook(manager)`` to run after every order change."""
+        self.reorder_hooks.append(hook)
+
+    def remove_reorder_hook(self,
+                            hook: Callable[["DDManager"], None]) -> None:
+        """Unregister a previously added reorder hook."""
+        self.reorder_hooks.remove(hook)
+
+    @contextmanager
+    def deferred_reorder_notifications(self):
+        """Batch reorder notifications over a block of swaps.
+
+        Sifting performs thousands of :meth:`swap_levels`; firing the
+        hooks per swap would be quadratic.  Inside this context the
+        notification is only recorded; on exit the hooks fire once if
+        any swap happened.
+        """
+        self._reorder_notify_depth += 1
+        try:
+            yield self
+        finally:
+            self._reorder_notify_depth -= 1
+            if self._reorder_notify_depth == 0 and self._reorder_pending:
+                self._fire_reorder_hooks()
+
+    def _notify_reorder(self) -> None:
+        self._reorder_pending = True
+        if self._reorder_notify_depth == 0:
+            self._fire_reorder_hooks()
+
+    def _fire_reorder_hooks(self) -> None:
+        self._reorder_pending = False
+        for hook in self.reorder_hooks:
+            hook(self)
+
+    # ------------------------------------------------------------------
+    # Reordering (Rudell's adjacent-variable swap)
+    # ------------------------------------------------------------------
+
+    def swap_levels(self, level: int) -> None:
+        """Exchange the variables at ``level`` and ``level + 1`` in place.
+
+        Every node labeled with the upper variable that references the
+        lower variable is rewritten in place, preserving node ids (and
+        therefore external references).  The cofactor expansion against
+        the lower variable — the only place the BDD and ZDD semantics
+        differ — is delegated to :meth:`_swap_cofactors`.  Must be
+        called at a safe point; the operation caches are cleared.
+        """
+        if not 0 <= level < len(self._level2var) - 1:
+            raise self._error_class(f"cannot swap level {level}")
+        self.clear_caches()
+        upper = self._level2var[level]
+        lower = self._level2var[level + 1]
+        upper_table = self._unique[upper]
+
+        for (f0, f1), node in list(upper_table.items()):
+            if self._var[f0] != lower and self._var[f1] != lower:
+                continue
+            f00, f01 = self._swap_cofactors(f0, lower)
+            f10, f11 = self._swap_cofactors(f1, lower)
+            new_low = self._mk(upper, f00, f10)
+            new_high = self._mk(upper, f01, f11)
+            self._ref[new_low] += 1
+            self._ref[new_high] += 1
+            del upper_table[(f0, f1)]
+            if not self._is_reduced(new_low, new_high):
+                raise self._error_class(
+                    "reduction violation during swap")
+            self._var[node] = lower
+            self._low[node] = new_low
+            self._high[node] = new_high
+            existing = self._unique[lower].get((new_low, new_high))
+            if existing is not None:
+                raise self._error_class("canonicity violation during swap")
+            self._unique[lower][(new_low, new_high)] = node
+            self._deref_cascade(f0)
+            self._deref_cascade(f1)
+
+        self._level2var[level] = lower
+        self._level2var[level + 1] = upper
+        self._var2level[lower] = level
+        self._var2level[upper] = level + 1
+        self._notify_reorder()
+
+    def set_order(self, names_or_vars: Iterable) -> None:
+        """Reorder variables to the given top-to-bottom sequence."""
+        target = [self.var_index(v) for v in names_or_vars]
+        if sorted(target) != list(range(self.num_vars)):
+            raise self._error_class(
+                "set_order requires a permutation of all variables")
+        self.collect_garbage()
+        # Selection-sort by repeated adjacent swaps (bubble the right
+        # variable up to each level in turn); hooks fire once at the end.
+        with self.deferred_reorder_notifications():
+            for level, var in enumerate(target):
+                current = self._var2level[var]
+                while current > level:
+                    self.swap_levels(current - 1)
+                    current -= 1
+
+    # ------------------------------------------------------------------
+    # Structural inspection (reduction-rule independent)
+    # ------------------------------------------------------------------
+
+    def support(self, u: int) -> FrozenSet[int]:
+        """Set of variables appearing in the DAG rooted at ``u``."""
+        seen = set()
+        variables = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            variables.add(self._var[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return frozenset(variables)
+
+    def size(self, u: int) -> int:
+        """Number of nodes in the DAG rooted at ``u`` (incl. terminals)."""
+        seen = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node > 1:
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        return len(seen)
+
+    def size_many(self, roots: Iterable[int]) -> int:
+        """Number of distinct nodes in the DAG spanned by several roots."""
+        seen = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node > 1:
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Consistency checking (for tests)
+    # ------------------------------------------------------------------
+
+    def assert_consistent(self) -> None:
+        """Validate internal invariants (for tests); raises on violation."""
+        for var, table in enumerate(self._unique):
+            for (low, high), node in table.items():
+                if self._var[node] != var:
+                    raise self._error_class(f"node {node} var mismatch")
+                if self._low[node] != low or self._high[node] != high:
+                    raise self._error_class(f"node {node} key mismatch")
+                if not self._is_reduced(low, high):
+                    raise self._error_class(f"node {node} is redundant")
+                for child in (low, high):
+                    if child > 1 and self._var[child] < 0:
+                        raise self._error_class(
+                            f"node {node} references freed child")
+                    if child > 1 and (self._var2level[self._var[child]]
+                                      <= self._var2level[var]):
+                        raise self._error_class(
+                            f"node {node} violates ordering")
+        # Reference counts: recompute from tables.
+        counts = [0] * len(self._var)
+        for table in self._unique:
+            for (low, high) in table:
+                counts[low] += 1
+                counts[high] += 1
+        for u in range(2, len(self._var)):
+            if self._var[u] < 0:
+                continue
+            if counts[u] > self._ref[u]:
+                raise self._error_class(
+                    f"node {u} undercounted refs "
+                    f"({counts[u]} > {self._ref[u]})")
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} vars={self.num_vars} "
+                f"live_nodes={self.live_nodes()} order={self.order()!r}>")

@@ -2,12 +2,16 @@
 
 * :class:`SymbolicNet` — encoded net + BDD manager, image/preimage.
 * :func:`traverse` — BFS reachability fixpoint with statistics.
-* :class:`RelationalNet` / :func:`traverse_relational` — Eq. 3
-  transition-relation traversal with pluggable image engines
-  (monolithic | partitioned | chained) over disjunctive partitions.
+* :mod:`repro.symbolic.partition` — the *generic* relational layer:
+  support clustering, disjunctive partitions, reorder-aware
+  reclustering, the chained sweep with diff-based narrowing and the
+  pluggable image engines (monolithic | partitioned | chained), written
+  once over the shared ``repro.dd`` kernel.
+* :class:`RelationalNet` / :func:`traverse_relational` — the BDD
+  encoding shim over that layer (Eq. 3 transition-relation traversal).
+* :class:`ZddRelationalNet` / :func:`traverse_zdd` — the sparse-ZDD
+  shim over the same layer, plus the Yoneda classic engine of Table 4.
 * :class:`ModelChecker` — deadlock, mutual exclusion, EF/AG queries.
-* :class:`ZddNet` / :func:`traverse_zdd` — the Yoneda sparse-ZDD
-  baseline of Table 4.
 
 The ``traverse*`` entry points and per-engine result dataclasses are
 legacy shims: :mod:`repro.analysis` (``analyze(net, AnalysisSpec())``)
@@ -17,14 +21,15 @@ here remain its building blocks.
 
 from .checker import CheckReport, ModelChecker
 from .kbounded import KBoundedNet, KBoundedResult, traverse_kbounded
-from .relational import RelationPartition, RelationalNet
+from .partition import PartitionedNet, RelationPartition
+from .relational import RelationalNet
 from .transition import SymbolicNet, cluster_by_support
 from .traversal import (IMAGE_ENGINES, ChainedImageEngine, ImageEngine,
                         MonolithicImageEngine, PartitionedImageEngine,
                         TraversalResult, make_image_engine, reachable_set,
                         traverse, traverse_relational)
 from .zdd_relational import (ZddRelationPartition, ZddRelationalNet,
-                             ZddSparseRelation)
+                             ZddSparseRelation, ZddStateOps)
 from .zdd_traversal import (ZDD_IMAGE_ENGINES, ChainedZddEngine,
                             ClassicZddEngine, MonolithicZddEngine,
                             PartitionedZddEngine, ZddImageEngine, ZddNet,
@@ -32,7 +37,7 @@ from .zdd_traversal import (ZDD_IMAGE_ENGINES, ChainedZddEngine,
                             traverse_zdd)
 
 __all__ = [
-    "SymbolicNet", "RelationalNet", "RelationPartition",
+    "SymbolicNet", "RelationalNet", "RelationPartition", "PartitionedNet",
     "cluster_by_support",
     "traverse", "traverse_relational", "reachable_set", "TraversalResult",
     "IMAGE_ENGINES", "ImageEngine", "make_image_engine",
@@ -40,6 +45,7 @@ __all__ = [
     "ModelChecker", "CheckReport",
     "ZddNet", "ZddTraversalResult", "traverse_zdd",
     "ZddRelationalNet", "ZddRelationPartition", "ZddSparseRelation",
+    "ZddStateOps",
     "ZDD_IMAGE_ENGINES", "ZddImageEngine", "make_zdd_image_engine",
     "ClassicZddEngine", "MonolithicZddEngine", "PartitionedZddEngine",
     "ChainedZddEngine",

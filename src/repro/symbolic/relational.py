@@ -7,8 +7,13 @@ current/next variables, images by fused relational product
 (:meth:`~repro.bdd.manager.BDD.and_exists`) and a monotone rename back to
 current variables.
 
-Three relation granularities are provided, feeding the pluggable image
-engines in :mod:`repro.symbolic.traversal`:
+All clustering, partition caching, reorder refresh and sweep algorithms
+live in the shared generic layer
+(:class:`~repro.symbolic.partition.PartitionedNet`); this module
+supplies only the boolean-encoding specifics — how a sparse relation
+BDD is built, how a block's image is computed, and the Coudert-Madre
+frontier restriction.  Three relation granularities feed the pluggable
+image engines of :mod:`repro.symbolic.partition`:
 
 * **monolithic** — one relation ``R = OR_t R_t`` (the textbook baseline;
   the relation BDD itself is often huge),
@@ -22,56 +27,33 @@ engines in :mod:`repro.symbolic.traversal`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..bdd import BDD, Function, cube, false, true, variable
 from ..encoding.characteristic import initial_function
 from ..encoding.scheme import Encoding
-from .transition import (AUTO_MAX_CLUSTER, AUTO_MIN_OVERLAP,
-                         AUTO_NODE_BUDGET, cluster_by_support,
-                         cluster_greedily, validate_cluster_size)
+from .partition import (AUTO_MAX_CLUSTER, AUTO_MIN_OVERLAP,
+                        AUTO_NODE_BUDGET, ClusterSize, PartitionedNet,
+                        RelationPartition)
 
 __all__ = ["RelationPartition", "RelationalNet", "AUTO_MIN_OVERLAP",
-           "AUTO_NODE_BUDGET", "AUTO_MAX_CLUSTER"]
+           "AUTO_NODE_BUDGET", "AUTO_MAX_CLUSTER",
+           "SIMPLIFY_MIN_FRONTIER_NODES"]
 
-ClusterSize = Union[int, str]
-
-
-@dataclass(frozen=True, eq=False)
-class RelationPartition:
-    """One block of a disjunctively partitioned transition relation.
-
-    Partition relations are *sparse*: they constrain only the variables
-    their transitions actually touch — the enabling support plus the
-    changed variables' next-state literals — with identity clauses added
-    only for variables changed by a sibling transition in the same
-    cluster.  Untouched variables pass through the relational product
-    untouched, which keeps each block's support (and therefore the
-    quantification depth of ``and_exists``) local instead of spanning
-    the entire variable order the way the monolithic relation does.
-    """
-
-    label: str
-    transitions: Tuple[str, ...]
-    relation: Function
-    quantify: Tuple[str, ...]
-    rename: Dict[str, str]
-    support: FrozenSet[int]
-    top_level: int
-
-    def __repr__(self) -> str:
-        return (f"<RelationPartition {self.label!r} "
-                f"transitions={len(self.transitions)} "
-                f"quantify={len(self.quantify)} "
-                f"nodes={self.relation.size()}>")
+# Frontier-size gate for the Coudert-Madre restriction
+# (``simplify_frontier``): per BENCH_relprod.json the restriction only
+# pays off once frontier BDDs are big enough that sibling substitution
+# can actually remove structure — on tiny frontiers the restrict walk
+# plus the extra ``frontier | ~reached`` care set cost more than they
+# save.  Frontiers below this node count are passed through unchanged.
+SIMPLIFY_MIN_FRONTIER_NODES = 128
 
 
 def _next_name(name: str) -> str:
     return name + "'"
 
 
-class RelationalNet:
+class RelationalNet(PartitionedNet):
     """Partitioned transition relations over interleaved variables.
 
     Parameters
@@ -84,9 +66,10 @@ class RelationalNet:
         Enable threshold-triggered sifting at traversal safe points,
         exactly as :class:`~repro.symbolic.transition.SymbolicNet` does.
         Sifting on a relational manager is *grouped*: each current/next
-        variable pair moves as one block (``BDD.sift_groups``), which
-        keeps the partition rename maps order-monotone; cached partition
-        metadata is refreshed through a reorder hook after every pass.
+        variable pair moves as one block (``sift_groups``), which keeps
+        the partition rename maps order-monotone; cached partition
+        metadata is refreshed (and ``"auto"`` partitions reclustered)
+        through a reorder hook after every pass.
     reorder_threshold:
         Live-node threshold for the automatic sifting trigger.
     """
@@ -99,15 +82,11 @@ class RelationalNet:
                       reorder_threshold=reorder_threshold)
         if bdd.num_vars:
             raise ValueError("RelationalNet needs a fresh BDD manager")
-        if auto_reorder:
-            # Honor the request on a caller-supplied manager too; with
-            # the default auto_reorder=False the manager's own settings
-            # are left untouched.
-            bdd.auto_reorder = True
-            bdd.reorder_threshold = reorder_threshold
+        bdd.configure_reorder(auto_reorder, reorder_threshold)
         self.encoding = encoding
         self.net = encoding.net
         self.bdd = bdd
+        self.manager = bdd
         # Interleave current and next variables so that renaming either
         # way is order-monotone.
         for name in encoding.variables:
@@ -123,7 +102,8 @@ class RelationalNet:
         bdd.sift_groups = [
             (bdd.var_index(name), bdd.var_index(self._to_next[name]))
             for name in self.current]
-        bdd.add_reorder_hook(self._on_reorder)
+        self._init_partition_layer()
+        self._subscribe_reorder()
 
         # Rebuild place/enabling functions over this manager.
         self.places: Dict[str, Function] = {}
@@ -150,8 +130,8 @@ class RelationalNet:
 
         self.initial: Function = initial_function(encoding, bdd)
         self._relations: Optional[Dict[str, Function]] = None
-        self._partitions: Dict[ClusterSize, List[RelationPartition]] = {}
         self._identities: Dict[str, Function] = {}
+        self._monolithic: Optional[Function] = None
         # Sparse relations and their supports are order-independent
         # (supports are variable-index sets); they are built once and
         # reused by every partitions() call, so ablation sweeps that
@@ -203,11 +183,14 @@ class RelationalNet:
         return result
 
     def monolithic_relation(self) -> Function:
-        """The single relation ``R = OR_t R_t`` (ablation baseline)."""
-        result = false(self.bdd)
-        for transition in self.net.transitions:
-            result = result | self.relations[transition]
-        return result
+        """The single relation ``R = OR_t R_t`` (ablation baseline),
+        built once and cached."""
+        if self._monolithic is None:
+            result = false(self.bdd)
+            for transition in self.net.transitions:
+                result = result | self.relations[transition]
+            self._monolithic = result
+        return self._monolithic
 
     def image_monolithic(self, states: Function,
                          relation: Optional[Function] = None) -> Function:
@@ -218,7 +201,7 @@ class RelationalNet:
         return next_states.rename(self._to_current)
 
     # ------------------------------------------------------------------
-    # Disjunctive partitioning
+    # Sparse relations (the partition layer's raw material)
     # ------------------------------------------------------------------
 
     def _sparse_relation(self, transition: str) -> Tuple[Function,
@@ -265,53 +248,15 @@ class RelationalNet:
             self._supports[transition] = cached
         return cached
 
-    def partitions(self, cluster_size: ClusterSize = 1
-                   ) -> List[RelationPartition]:
-        """The disjunctive partition at a given clustering granularity.
+    # ------------------------------------------------------------------
+    # Partition-layer hooks (see PartitionedNet)
+    # ------------------------------------------------------------------
 
-        ``cluster_size = 1`` keeps one sparse relation per transition;
-        larger values OR together up to ``cluster_size`` support-adjacent
-        relations per block (fewer relational products per image, slightly
-        larger relation BDDs).  ``cluster_size = "auto"`` sizes clusters
-        greedily instead: walking the support-sorted order, a transition
-        joins the open cluster while it shares at least
-        ``AUTO_MIN_OVERLAP`` of the smaller support set, the estimated
-        merged relation stays under ``AUTO_NODE_BUDGET`` nodes, and the
-        cluster holds fewer than ``AUTO_MAX_CLUSTER`` members — so tight
-        families (philosophers rings) get wide blocks while loosely
-        coupled ones fall back towards per-transition blocks.
+    def _relation_size(self, transition: str) -> int:
+        return self.sparse_relations()[transition][0].size()
 
-        Within a cluster every member is padded with identity clauses for
-        the variables its siblings change, so the block's image is exactly
-        the union of its members' images.  Partitions are returned
-        support-sorted (top of the variable order first) and cached per
-        granularity; cached metadata is refreshed by the manager's
-        reorder hook whenever the variable order changes.
-        """
-        key: ClusterSize = validate_cluster_size(cluster_size)
-        cached = self._partitions.get(key)
-        if cached is not None:
-            return cached
-        if key == "auto":
-            groups = self._auto_clusters()
-        else:
-            groups = cluster_by_support(self.net.transitions,
-                                        self.transition_support,
-                                        self.bdd.level_of_var, key)
-        partitions = [self._build_partition(group) for group in groups]
-        partitions.sort(key=lambda p: p.top_level)
-        self._partitions[key] = partitions
-        return partitions
-
-    def _auto_clusters(self) -> List[List[str]]:
-        """Greedy support-overlap clustering over the sorted order."""
-        sparse = self.sparse_relations()
-        return cluster_greedily(
-            self.net.transitions, self.transition_support,
-            self.bdd.level_of_var,
-            lambda transition: sparse[transition][0].size())
-
-    def _build_partition(self, group: Sequence[str]) -> RelationPartition:
+    def _make_block(self, group: Tuple[str, ...],
+                    label: str) -> RelationPartition:
         """Pad, merge and annotate one cluster of sparse relations."""
         sparse = self.sparse_relations()
         changed: set = set()
@@ -328,38 +273,13 @@ class RelationalNet:
         support = relation.support()
         top = min((self.bdd.level_of_var(v) for v in support),
                   default=self.bdd.num_vars)
-        label = group[0] if len(group) == 1 \
-            else f"{group[0]}..{group[-1]}"
         return RelationPartition(
-            label=label, transitions=tuple(group), relation=relation,
+            label=label, transitions=group, relation=relation,
             quantify=quantify,
             rename={self._to_next[name]: name for name in quantify},
             support=support, top_level=top)
 
-    # ------------------------------------------------------------------
-    # Reorder subscription
-    # ------------------------------------------------------------------
-
-    def _on_reorder(self, bdd: BDD) -> None:
-        self.refresh_partitions()
-
-    def refresh_partitions(self) -> None:
-        """Recompute the order-derived metadata of every cached partition.
-
-        Relations themselves are :class:`Function` handles and survive
-        reordering untouched; what goes stale is the metadata derived
-        from variable *levels* — each block's ``top_level``, the
-        level-sorted ``quantify`` tuple and the support-sorted order of
-        the block list.  Called from the manager's reorder hook after
-        every sifting pass, ``swap_levels`` or ``set_order``.
-        """
-        for key, blocks in self._partitions.items():
-            refreshed = [self._refresh_metadata(block) for block in blocks]
-            refreshed.sort(key=lambda p: p.top_level)
-            self._partitions[key] = refreshed
-
-    def _refresh_metadata(self, block: RelationPartition
-                          ) -> RelationPartition:
+    def _refresh_block(self, block: RelationPartition) -> RelationPartition:
         quantify = tuple(sorted(
             block.quantify, key=lambda name: self.bdd.level_of_var(name)))
         top = min((self.bdd.level_of_var(v) for v in block.support),
@@ -384,42 +304,36 @@ class RelationalNet:
                                         partition.quantify)
         return next_states.rename(partition.rename)
 
-    def image_partitioned(self, states: Function,
-                          partitions: Sequence[RelationPartition]
-                          ) -> Function:
-        """Image as the union of per-block relational products (Eq. 3)."""
-        result = false(self.bdd)
-        for partition in partitions:
-            result = result | self.image_partition(states, partition)
-        return result
+    # -- state-set algebra over Function handles -----------------------
 
-    def image_chained(self, states: Function,
-                      partitions: Sequence[RelationPartition],
-                      reached: Optional[Function] = None) -> Function:
-        """One chained sweep: apply blocks in support-sorted order,
-        feeding each block the states accumulated so far.
+    def state_empty(self) -> Function:
+        return false(self.bdd)
 
-        Returns ``states`` together with every state discovered during the
-        sweep — a superset of the one-step image, still contained in the
-        reachable closure, which is what makes chained fixpoints converge
-        in (often far) fewer iterations.
+    def state_union(self, a: Function, b: Function) -> Function:
+        return a | b
 
-        When ``reached`` is given, each block's input is first simplified
-        by the Coudert-Madre restriction against the care set
-        ``accumulated | ~reached`` (everything outside it is already
-        reached and not in the working set).  The simplified set may pick
-        up already-reached states — their successors are reachable, so
-        the sweep stays inside the closure — while its BDD is usually
-        much smaller than the accumulated frontier's.
+    def state_diff(self, a: Function, b: Function) -> Function:
+        return a - b
+
+    def state_is_empty(self, states: Function) -> bool:
+        return states.is_zero()
+
+    def narrow_frontier(self, frontier: Function,
+                        reached: Function) -> Function:
+        """Size-gated Coudert-Madre restriction of the frontier.
+
+        Restricts once per step against the care set ``frontier |
+        ~reached`` (everything else is already reached and not in the
+        working set).  The simplified set may pick up already-reached
+        states — their successors are reachable, so traversal stays
+        inside the closure — while its BDD is usually much smaller.
+        Frontiers below :data:`SIMPLIFY_MIN_FRONTIER_NODES` nodes are
+        returned unchanged: on tiny frontiers the restriction costs more
+        than it saves (see ``BENCH_relprod.json``).
         """
-        current = states
-        not_reached = None if reached is None else ~reached
-        for partition in partitions:
-            work = current
-            if not_reached is not None:
-                work = current.restrict(current | not_reached)
-            current = current | self.image_partition(work, partition)
-        return current
+        if frontier.size() < SIMPLIFY_MIN_FRONTIER_NODES:
+            return frontier
+        return frontier.restrict(frontier | ~reached)
 
     def count_markings(self, states: Function) -> int:
         """Number of markings represented (over current variables)."""

@@ -26,108 +26,12 @@ from ..encoding.characteristic import (declare_variables,
                                        place_functions)
 from ..encoding.scheme import Encoding, TransitionSpec
 from ..petri.marking import Marking
-
-
-def cluster_by_support(items: Sequence[str],
-                       support_of: Callable[[str], FrozenSet[int]],
-                       level_of: Callable[[int], int],
-                       cluster_size: int) -> List[List[str]]:
-    """Group ``items`` into support-sorted clusters of bounded size.
-
-    Items are ordered by the top (smallest) level of their support — the
-    standard heuristic for disjunctively partitioned relations: partitions
-    whose support sits high in the variable order are applied first, so a
-    chained sweep pushes information down the order.  Consecutive items in
-    that order (which therefore have nearby support) are merged until a
-    cluster holds ``cluster_size`` items.  ``cluster_size <= 1`` yields the
-    per-item partition.
-    """
-
-    bottom = 1 << 60  # below every real level; supportless items sort last
-
-    def top_level(item: str) -> int:
-        support = support_of(item)
-        if not support:
-            return bottom
-        return min(level_of(var) for var in support)
-
-    order = sorted(items, key=lambda item: (top_level(item), item))
-    if cluster_size <= 1:
-        return [[item] for item in order]
-    return [list(order[i:i + cluster_size])
-            for i in range(0, len(order), cluster_size)]
-
-
-def validate_cluster_size(cluster_size) -> "int | str":
-    """Validate a clustering granularity: a positive int or ``"auto"``.
-
-    The single source of truth for every engine factory and
-    ``partitions()`` implementation (BDD and ZDD alike), so
-    misconfigurations fail fast with one consistent message.  Returns
-    the value unchanged on success.
-    """
-    if cluster_size == "auto":
-        return "auto"
-    if (not isinstance(cluster_size, int) or isinstance(cluster_size, bool)
-            or cluster_size < 1):
-        raise ValueError(
-            f"invalid cluster_size {cluster_size!r}: expected a positive "
-            f"integer or 'auto'")
-    return cluster_size
-
-
-# Greedy auto-clustering knobs (``cluster_size="auto"``): a candidate is
-# merged into the open cluster while it shares at least this fraction of
-# the smaller support, the merged relation estimate stays under the node
-# budget, and the cluster stays below the hard member cap.  Shared by
-# the BDD and ZDD relational nets.
-AUTO_MIN_OVERLAP = 0.5
-AUTO_NODE_BUDGET = 600
-AUTO_MAX_CLUSTER = 16
-
-
-def cluster_greedily(items: Sequence[str],
-                     support_of: Callable[[str], FrozenSet[int]],
-                     level_of: Callable[[int], int],
-                     size_of: Callable[[str], int]) -> List[List[str]]:
-    """Greedy support-overlap clustering over the support-sorted order.
-
-    The adaptive alternative to a fixed ``cluster_size``: walking the
-    :func:`cluster_by_support` order, an item joins the open cluster
-    while it shares at least ``AUTO_MIN_OVERLAP`` of the smaller support
-    set, the summed relation size estimate (``size_of``, e.g. decision-
-    diagram nodes) stays under ``AUTO_NODE_BUDGET``, and the cluster
-    holds fewer than ``AUTO_MAX_CLUSTER`` members — so tight families
-    (philosophers rings) get wide blocks while loosely coupled ones fall
-    back towards per-item blocks.
-    """
-    order = [item for group in
-             cluster_by_support(items, support_of, level_of, 1)
-             for item in group]
-    groups: List[List[str]] = []
-    open_group: List[str] = []
-    open_support: set = set()
-    open_size = 0
-    for item in order:
-        support = support_of(item)
-        size = size_of(item)
-        if open_group:
-            smaller = min(len(support), len(open_support)) or 1
-            overlap = len(open_support & support) / smaller
-            if (overlap >= AUTO_MIN_OVERLAP
-                    and open_size + size <= AUTO_NODE_BUDGET
-                    and len(open_group) < AUTO_MAX_CLUSTER):
-                open_group.append(item)
-                open_support |= support
-                open_size += size
-                continue
-            groups.append(open_group)
-        open_group = [item]
-        open_support = set(support)
-        open_size = size
-    if open_group:
-        groups.append(open_group)
-    return groups
+# Clustering policies live in the shared generic relational layer;
+# re-exported here because this module is their historical home (the
+# functional path's support-sorted chaining uses them too).
+from .partition import (AUTO_MAX_CLUSTER, AUTO_MIN_OVERLAP,  # noqa: F401
+                        AUTO_NODE_BUDGET, cluster_by_support,
+                        cluster_greedily, validate_cluster_size)
 
 
 class SymbolicNet:

@@ -5,13 +5,16 @@ frontier (new-states-only) strategy, collecting the statistics the
 paper's tables report: variable count, final BDD size, peak live nodes
 and wall-clock time.
 
-Relation-based traversal goes through a pluggable :class:`ImageEngine`:
+Relation-based traversal goes through the pluggable image engines of
+the shared relational layer (:mod:`repro.symbolic.partition` — the same
+classes drive the ZDD relational nets):
 
 * ``monolithic`` — one relational product against ``R = OR_t R_t``,
 * ``partitioned`` — one product per support-sorted partition block,
 * ``chained`` — blocks applied in support-sorted order with frontier
-  accumulation, typically reaching the fixpoint in far fewer (and
-  individually cheaper) iterations.
+  accumulation and ``diff``-based working-set narrowing, typically
+  reaching the fixpoint in far fewer (and individually cheaper)
+  iterations.
 
 All three compute the same reachable set; see
 :func:`repro.symbolic.traversal.traverse_relational` and
@@ -22,13 +25,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 from ..bdd import Function
+from .partition import (IMAGE_ENGINES, ChainedImageEngine,  # noqa: F401
+                        ImageEngine, MonolithicImageEngine,
+                        PartitionedImageEngine, make_image_engine)
 from .relational import RelationalNet
-from .transition import SymbolicNet, validate_cluster_size
-
-IMAGE_ENGINES = ("monolithic", "partitioned", "chained")
+from .transition import SymbolicNet
 
 
 @dataclass
@@ -55,116 +59,6 @@ class TraversalResult:
         return (f"<TraversalResult markings={self.marking_count} "
                 f"V={self.variable_count} BDD={self.final_bdd_nodes} "
                 f"iters={self.iterations} t={self.seconds:.3f}s>")
-
-
-class ImageEngine:
-    """Strategy object advancing a reachability fixpoint by one step.
-
-    Subclasses implement :meth:`advance`, mapping ``(reached, frontier)``
-    to the next ``(reached, frontier)`` pair; the fixpoint is hit when the
-    returned frontier is empty.  Engines own whatever relation form they
-    need (a monolithic relation, a partition list, ...), built lazily on
-    first use so constructing an engine is cheap.
-
-    ``simplify_frontier`` enables the Coudert-Madre restriction: the
-    frontier is replaced by ``frontier.restrict(frontier | ~reached)``
-    before images are taken (per sweep block in the chained engine).
-    The simplified set may include already-reached states — harmless,
-    their successors are reachable — but its BDD is usually smaller.
-    """
-
-    name = "abstract"
-
-    def __init__(self, relnet: RelationalNet,
-                 simplify_frontier: bool = False) -> None:
-        self.relnet = relnet
-        self.simplify_frontier = simplify_frontier
-
-    def advance(self, reached: Function,
-                frontier: Function) -> Tuple[Function, Function]:
-        raise NotImplementedError
-
-    def _absorb(self, reached: Function,
-                successors: Function) -> Tuple[Function, Function]:
-        return reached | successors, successors - reached
-
-    def _simplify(self, reached: Function, frontier: Function) -> Function:
-        if not self.simplify_frontier:
-            return frontier
-        return frontier.restrict(frontier | ~reached)
-
-
-class MonolithicImageEngine(ImageEngine):
-    """Single relational product against ``R = OR_t R_t`` per step."""
-
-    name = "monolithic"
-
-    def __init__(self, relnet: RelationalNet,
-                 simplify_frontier: bool = False) -> None:
-        super().__init__(relnet, simplify_frontier)
-        self._relation: Optional[Function] = None
-
-    def advance(self, reached, frontier):
-        if self._relation is None:
-            self._relation = self.relnet.monolithic_relation()
-        work = self._simplify(reached, frontier)
-        successors = self.relnet.image_monolithic(work, self._relation)
-        return self._absorb(reached, successors)
-
-
-class PartitionedImageEngine(ImageEngine):
-    """Union of per-block relational products (Eq. 3) per step."""
-
-    name = "partitioned"
-
-    def __init__(self, relnet: RelationalNet,
-                 cluster_size: "int | str" = 1,
-                 simplify_frontier: bool = False) -> None:
-        super().__init__(relnet, simplify_frontier)
-        self.cluster_size = cluster_size
-
-    @property
-    def partitions(self):
-        return self.relnet.partitions(self.cluster_size)
-
-    def advance(self, reached, frontier):
-        work = self._simplify(reached, frontier)
-        successors = self.relnet.image_partitioned(work, self.partitions)
-        return self._absorb(reached, successors)
-
-
-class ChainedImageEngine(PartitionedImageEngine):
-    """Support-sorted sweep with frontier accumulation per step."""
-
-    name = "chained"
-
-    def advance(self, reached, frontier):
-        swept = self.relnet.image_chained(
-            frontier, self.partitions,
-            reached=reached if self.simplify_frontier else None)
-        return reached | swept, swept - reached
-
-
-def make_image_engine(relnet: RelationalNet, engine: str = "partitioned",
-                      cluster_size: "int | str" = 1,
-                      simplify_frontier: bool = False) -> ImageEngine:
-    """Factory for the relational image engines by name.
-
-    ``cluster_size`` must be a positive integer or ``"auto"`` (adaptive
-    support-overlap clustering); ``engine`` one of :data:`IMAGE_ENGINES`.
-    Both are validated here so misconfigurations fail fast with a clear
-    message instead of deep inside ``RelationalNet.partitions``.
-    """
-    validate_cluster_size(cluster_size)
-    if engine == "monolithic":
-        return MonolithicImageEngine(relnet, simplify_frontier)
-    if engine == "partitioned":
-        return PartitionedImageEngine(relnet, cluster_size,
-                                      simplify_frontier)
-    if engine == "chained":
-        return ChainedImageEngine(relnet, cluster_size, simplify_frontier)
-    raise ValueError(f"unknown image engine {engine!r}; "
-                     f"expected one of {IMAGE_ENGINES}")
 
 
 def traverse(symnet: SymbolicNet, use_toggle: bool = False,
@@ -282,16 +176,18 @@ def traverse_relational(relnet: RelationalNet, monolithic: bool = False,
         Backwards-compatible alias for ``engine="monolithic"``.
     engine:
         ``"monolithic"``, ``"partitioned"`` (default) or ``"chained"`` —
-        see :func:`make_image_engine`.  An :class:`ImageEngine` instance
-        is also accepted (in which case ``cluster_size`` and
-        ``simplify_frontier`` are ignored — configure the instance).
+        see :func:`repro.symbolic.partition.make_image_engine`.  An
+        :class:`ImageEngine` instance is also accepted (in which case
+        ``cluster_size`` and ``simplify_frontier`` are ignored —
+        configure the instance).
     cluster_size:
         Partition clustering granularity for the partitioned and chained
         engines: a positive integer (1 = one relation per transition) or
         ``"auto"`` for adaptive support-overlap clustering.
     simplify_frontier:
-        Apply the Coudert-Madre restriction against ``frontier |
-        ~reached`` before each image (per block in the chained sweep).
+        Apply the size-gated Coudert-Madre restriction against
+        ``frontier | ~reached`` before each image (once per chained
+        sweep).
 
     Returns a :class:`TraversalResult` (peak statistics refer to the
     relational manager, which also stores the relations themselves).

@@ -8,6 +8,12 @@ module ports that machinery to the token-set encoding of
 *set of marked places* and firing is set algebra instead of boolean
 algebra.
 
+It is deliberately a *thin shim*: every piece of clustering, partition
+caching, reorder refresh/reclustering and sweep logic lives once in
+:class:`~repro.symbolic.partition.PartitionedNet` (shared with the BDD
+side); this file contributes only the token-set encoding specifics —
+what a sparse relation *is* and how one block's image is computed.
+
 The element universe interleaves current and next elements — place ``p``
 at index ``2i``, its primed copy ``p'`` at ``2i + 1`` — so that renaming
 next elements back to current ones is order-monotone.  A transition's
@@ -24,24 +30,26 @@ is the fused three-step pipeline
 
 Untouched places flow through every step unchanged — the implicit
 identity that keeps the relations sparse, exactly as in
-:class:`~repro.symbolic.relational.RelationalNet`.  Blocks are clustered
-by support (``cluster_size`` a positive integer or ``"auto"`` for greedy
-support-overlap growth) and feed the pluggable image engines in
-:mod:`repro.symbolic.zdd_traversal`.
+:class:`~repro.symbolic.relational.RelationalNet`.  With the shared
+:class:`~repro.dd.manager.DDManager` kernel the ZDD manager now
+reference-counts, garbage-collects and dynamically reorders; the net
+pins its long-lived families (initial marking, sparse relations) with
+``ref`` and sifts in current/next pair groups so rename maps stay
+order-monotone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..bdd.zdd import EMPTY, ZDD
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
-from .transition import (cluster_by_support, cluster_greedily,
-                         validate_cluster_size)
+from .partition import ClusterSize, PartitionedNet, cluster_by_support
 
-ClusterSize = Union[int, str]
+__all__ = ["ZddSparseRelation", "ZddRelationPartition", "ZddStateOps",
+           "ZddRelationalNet", "ClusterSize"]
 
 
 def _next_name(name: str) -> str:
@@ -93,7 +101,36 @@ class ZddRelationPartition:
                 f"rename={len(self.rename)}>")
 
 
-class ZddRelationalNet:
+class ZddStateOps:
+    """State-set algebra over raw ZDD node ids (the ``state_*`` hooks
+    of the generic layer), shared by :class:`ZddRelationalNet` and the
+    classic :class:`~repro.symbolic.zdd_traversal.ZddNet`."""
+
+    zdd: ZDD
+
+    def state_empty(self) -> int:
+        return EMPTY
+
+    def state_union(self, a: int, b: int) -> int:
+        return self.zdd.union(a, b)
+
+    def state_diff(self, a: int, b: int) -> int:
+        return self.zdd.diff(a, b)
+
+    def state_is_empty(self, states: int) -> bool:
+        return states == EMPTY
+
+    def count_markings(self, states: int) -> int:
+        """Number of markings in a family over current elements."""
+        return self.zdd.count(states)
+
+    def markings_of(self, states: int) -> List[Marking]:
+        """Decode a family over current elements into markings."""
+        return [Marking(sorted(members))
+                for members in self.zdd.iter_name_sets(states)]
+
+
+class ZddRelationalNet(ZddStateOps, PartitionedNet):
     """A safe net bound to a paired-element ZDD manager.
 
     Parameters
@@ -104,15 +141,30 @@ class ZddRelationalNet:
         An empty ZDD manager to use; created fresh when omitted.  The
         manager is populated with ``2 |P|`` elements — place ``p`` at an
         even index, its next-state copy ``p'`` right below it.
+    auto_reorder:
+        Enable threshold-triggered sifting at traversal safe points —
+        the same dynamic reordering the BDD relational net has had since
+        PR 2, now served by the shared kernel.  Sifting is *grouped*:
+        each current/next element pair moves as one block
+        (``sift_groups``), which keeps the block rename maps
+        order-monotone; cached partitions are refreshed (and ``"auto"``
+        partitions reclustered) through the shared reorder hook.
+    reorder_threshold:
+        Live-node threshold for the automatic sifting trigger.
     """
 
-    def __init__(self, net: PetriNet, zdd: Optional[ZDD] = None) -> None:
+    def __init__(self, net: PetriNet, zdd: Optional[ZDD] = None,
+                 auto_reorder: bool = False,
+                 reorder_threshold: int = 50_000) -> None:
         if zdd is None:
-            zdd = ZDD()
+            zdd = ZDD(auto_reorder=auto_reorder,
+                      reorder_threshold=reorder_threshold)
         if zdd.num_vars:
             raise ValueError("ZddRelationalNet needs a fresh ZDD manager")
+        zdd.configure_reorder(auto_reorder, reorder_threshold)
         self.net = net
         self.zdd = zdd
+        self.manager = zdd
         for place in net.places:
             zdd.add_var(place)
             zdd.add_var(_next_name(place))
@@ -120,10 +172,17 @@ class ZddRelationalNet:
         self._cur_index = {p: zdd.var_index(p) for p in net.places}
         self._next_index = {p: zdd.var_index(_next_name(p))
                             for p in net.places}
-        self.initial = zdd.singleton(net.initial_marking.support)
+        # Reordering must keep each (current, next) pair adjacent so the
+        # block renames stay monotone.
+        zdd.sift_groups = [(self._cur_index[p], self._next_index[p])
+                           for p in net.places]
+        self._init_partition_layer()
+        self._subscribe_reorder()
+        # Long-lived families are pinned against garbage collection: the
+        # net owns them for its whole lifetime.
+        self.initial = zdd.ref(zdd.singleton(net.initial_marking.support))
         self._sparse: Dict[str, ZddSparseRelation] = {
             t: self._build_sparse(t) for t in net.transitions}
-        self._partitions: Dict[ClusterSize, List[ZddRelationPartition]] = {}
         self._monolithic: Optional[ZddRelationPartition] = None
 
     def _build_sparse(self, transition: str) -> ZddSparseRelation:
@@ -131,8 +190,8 @@ class ZddRelationalNet:
         pre = self.net.preset(transition)
         post = self.net.postset(transition)
         consume = tuple(sorted(self._cur_index[p] for p in pre))
-        produce = zdd.singleton(self._next_index[p] for p in post)
-        relation = zdd.product(zdd.singleton(consume), produce)
+        produce = zdd.ref(zdd.singleton(self._next_index[p] for p in post))
+        relation = zdd.ref(zdd.product(zdd.singleton(consume), produce))
         support = frozenset(
             index for place in pre | post
             for index in (self._cur_index[place], self._next_index[place]))
@@ -145,54 +204,19 @@ class ZddRelationalNet:
         return self._sparse
 
     def transition_support(self, transition: str) -> FrozenSet[int]:
-        """Element indices a transition touches: its current/next pairs."""
+        """Element indices a transition touches: its current/next pairs.
+        Indices are stable across reordering, so this never goes stale."""
         return self._sparse[transition].support
 
     # ------------------------------------------------------------------
-    # Disjunctive partitioning
+    # Partition-layer hooks (see PartitionedNet)
     # ------------------------------------------------------------------
 
-    def partitions(self, cluster_size: ClusterSize = 1
-                   ) -> List[ZddRelationPartition]:
-        """The disjunctive partition at a given clustering granularity.
+    def _relation_size(self, transition: str) -> int:
+        return self.zdd.size(self._sparse[transition].relation)
 
-        ``cluster_size = 1`` keeps one sparse relation per transition;
-        larger values merge up to ``cluster_size`` support-adjacent
-        relations per block (one rename per block instead of one per
-        transition, and a sweep order that chains discoveries down the
-        element order).  ``cluster_size = "auto"`` grows clusters
-        greedily by support overlap under a node budget, mirroring
-        :meth:`repro.symbolic.relational.RelationalNet.partitions`.
-        Blocks are returned support-sorted (top of the element order
-        first) and cached per granularity — the element order is fixed,
-        so the cache never goes stale.
-        """
-        key: ClusterSize = validate_cluster_size(cluster_size)
-        cached = self._partitions.get(key)
-        if cached is not None:
-            return cached
-        if key == "auto":
-            groups = self._auto_clusters()
-        else:
-            groups = cluster_by_support(self.net.transitions,
-                                        self.transition_support,
-                                        lambda index: index, key)
-        blocks = [self._build_partition(group) for group in groups]
-        blocks.sort(key=lambda block: block.top_level)
-        self._partitions[key] = blocks
-        return blocks
-
-    def _auto_clusters(self) -> List[List[str]]:
-        """Greedy support-overlap clustering over the sorted order
-        (shared policy with the BDD side, see ``cluster_greedily``)."""
-        return cluster_greedily(
-            self.net.transitions, self.transition_support,
-            lambda index: index,
-            lambda transition: self.zdd.size(
-                self._sparse[transition].relation))
-
-    def _build_partition(self, group: Sequence[str]
-                         ) -> ZddRelationPartition:
+    def _make_block(self, group: Tuple[str, ...],
+                    label: str) -> ZddRelationPartition:
         members = tuple(self._sparse[t] for t in group)
         support: set = set()
         produced: set = set()
@@ -201,11 +225,20 @@ class ZddRelationalNet:
             produced.update(self.net.postset(member.transition))
         rename = {self._next_index[p]: self._cur_index[p]
                   for p in sorted(produced)}
-        label = group[0] if len(group) == 1 else f"{group[0]}..{group[-1]}"
+        top = min((self.zdd.level_of_var(index) for index in support),
+                  default=self.zdd.num_vars)
         return ZddRelationPartition(
-            label=label, transitions=tuple(group), members=members,
-            rename=rename, support=frozenset(support),
-            top_level=min(support) if support else 2 * len(self.current))
+            label=label, transitions=group, members=members,
+            rename=rename, support=frozenset(support), top_level=top)
+
+    def _refresh_block(self, block: ZddRelationPartition
+                       ) -> ZddRelationPartition:
+        top = min((self.zdd.level_of_var(index) for index in block.support),
+                  default=self.zdd.num_vars)
+        return ZddRelationPartition(
+            label=block.label, transitions=block.transitions,
+            members=block.members, rename=block.rename,
+            support=block.support, top_level=top)
 
     def monolithic_block(self) -> ZddRelationPartition:
         """All transitions merged into one block (the textbook baseline:
@@ -214,7 +247,7 @@ class ZddRelationalNet:
             order = [t for group in
                      cluster_by_support(self.net.transitions,
                                         self.transition_support,
-                                        lambda index: index, 1)
+                                        self.zdd.level_of_var, 1)
                      for t in group]
             self._monolithic = self._build_partition(order)
         return self._monolithic
@@ -249,45 +282,7 @@ class ZddRelationalNet:
         """Image through the single all-transitions block."""
         return self.image_partition(states, self.monolithic_block())
 
-    def image_partitioned(self, states: int,
-                          blocks: Sequence[ZddRelationPartition]) -> int:
-        """Image as the union of per-block images (Eq. 3)."""
-        result = EMPTY
-        for block in blocks:
-            result = self.zdd.union(result,
-                                    self.image_partition(states, block))
-        return result
-
-    def image_chained(self, states: int,
-                      blocks: Sequence[ZddRelationPartition]) -> int:
-        """One chained sweep: apply blocks in support-sorted order,
-        feeding each block the states accumulated so far.
-
-        Returns ``states`` plus every state discovered during the sweep
-        — a superset of the one-step image still inside the reachable
-        closure, which is what lets chained fixpoints converge in far
-        fewer iterations.
-        """
-        current = states
-        for block in blocks:
-            current = self.zdd.union(
-                current, self.image_partition(current, block))
-        return current
-
     def image_all(self, states: int) -> int:
         """Successor family under all transitions (per-transition
         blocks; reference implementation for tests)."""
         return self.image_partitioned(states, self.partitions(1))
-
-    # ------------------------------------------------------------------
-    # Decoding
-    # ------------------------------------------------------------------
-
-    def count_markings(self, states: int) -> int:
-        """Number of markings in a family over current elements."""
-        return self.zdd.count(states)
-
-    def markings_of(self, states: int) -> List[Marking]:
-        """Decode a family over current elements into markings."""
-        return [Marking(sorted(members))
-                for members in self.zdd.iter_name_sets(states)]

@@ -14,12 +14,17 @@ engine, selected through :func:`traverse_zdd`:
   over :class:`~repro.symbolic.zdd_relational.ZddRelationalNet`: sparse
   ``I ∪ O'`` relations on paired current/next elements, support-based
   clustering, and per-block images through the fused
-  ``supset``/``and_exists``/``rename`` pipeline.  ``chained`` sweeps
-  blocks in support order while accumulating discoveries, converging in
-  a fraction of the iterations.
+  ``supset``/``and_exists``/``rename`` pipeline.  These are the
+  *generic* engines of :mod:`repro.symbolic.partition` — the same
+  classes that drive the BDD relational net — so ``chained`` sweeps
+  blocks in support order with ``diff``-narrowed working sets,
+  converging in a fraction of the iterations.
 
 The traversal itself is the same BFS frontier fixpoint as the BDD
-engine.
+engine, with the same per-iteration safe point: the manager (now built
+on the shared :class:`~repro.dd.manager.DDManager` kernel) collects
+garbage and dynamically reorders there when ``auto_reorder`` is set on
+the net.
 """
 
 from __future__ import annotations
@@ -31,8 +36,10 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..bdd.zdd import ZDD
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
-from .transition import validate_cluster_size
-from .zdd_relational import ZddRelationalNet
+from .partition import (ChainedImageEngine, ImageEngine,
+                        MonolithicImageEngine, PartitionedImageEngine,
+                        validate_cluster_size)
+from .zdd_relational import ZddRelationalNet, ZddStateOps
 
 ZDD_IMAGE_ENGINES = ("classic", "monolithic", "partitioned", "chained")
 
@@ -46,10 +53,10 @@ class ZddTraversalResult:
         new code should run :func:`repro.analysis.analyze` and consume
         the unified schema.
 
-    ``peak_live_nodes`` mirrors the BDD result's memory column: the
-    ZDD manager never frees nodes, so it equals the total ever created.
-    ``reorder_count`` is always 0 (fixed element order) and exists so
-    the two result shapes stay field-compatible.
+    ``peak_live_nodes`` mirrors the BDD result's memory column (peak
+    unique-table occupancy, sampled at the per-iteration safe points).
+    ``reorder_count`` counts the sifting passes triggered during the
+    fixpoint — 0 unless the net was built with ``auto_reorder=True``.
     """
 
     zdd: ZDD
@@ -69,18 +76,26 @@ class ZddTraversalResult:
                 f"iters={self.iterations} t={self.seconds:.3f}s>")
 
 
-class ZddNet:
+class ZddNet(ZddStateOps):
     """A safe net bound to a ZDD manager (one element per place).
 
     This is the *classic* per-transition engine; the relational form
     lives in :class:`~repro.symbolic.zdd_relational.ZddRelationalNet`.
+
+    ``auto_reorder`` enables threshold-triggered sifting at the
+    traversal safe points (elements sift individually — the classic
+    engine has no rename maps to keep monotone).
     """
 
-    def __init__(self, net: PetriNet, zdd: ZDD = None) -> None:
+    def __init__(self, net: PetriNet, zdd: Optional[ZDD] = None,
+                 auto_reorder: bool = False,
+                 reorder_threshold: int = 50_000) -> None:
         if zdd is None:
-            zdd = ZDD()
+            zdd = ZDD(auto_reorder=auto_reorder,
+                      reorder_threshold=reorder_threshold)
         if zdd.num_vars:
             raise ValueError("ZddNet needs a fresh ZDD manager")
+        zdd.configure_reorder(auto_reorder, reorder_threshold)
         self.net = net
         self.zdd = zdd
         for place in net.places:
@@ -93,7 +108,8 @@ class ZddNet:
                 sorted(pre),                 # inputs to strip
                 sorted(pre & post),          # self-loops to restore
                 sorted(post - pre))          # outputs to deposit
-        self.initial = zdd.singleton(net.initial_marking.support)
+        self.initial = zdd.ref(
+            zdd.singleton(net.initial_marking.support))
 
     def image(self, states: int, transition: str) -> int:
         """Successor family under one transition."""
@@ -115,42 +131,23 @@ class ZddNet:
             result = self.zdd.union(result, self.image(states, transition))
         return result
 
-    def markings_of(self, states: int) -> List[Marking]:
-        """Decode a family into explicit markings."""
-        return [Marking(sorted(members))
-                for members in self.zdd.to_name_sets(states)]
 
-
-class ZddImageEngine:
-    """Strategy object advancing a ZDD reachability fixpoint by one step.
-
-    Subclasses implement :meth:`advance`, mapping ``(reached, frontier)``
-    to the next pair; the fixpoint is hit when the returned frontier is
-    the empty family.  Every engine exposes the manager it computes in
-    (``zdd``) and the net it traverses (``net``).
-    """
-
-    name = "abstract"
-
-    def __init__(self, zddnet) -> None:
-        self.zddnet = zddnet
-        self.zdd = zddnet.zdd
-        self.net = zddnet.net
+class ZddImageEngine(ImageEngine):
+    """Abstract ZDD engine: the generic :class:`~repro.symbolic.
+    partition.ImageEngine` surface plus the zdd-flavoured aliases the
+    legacy API promises (``zddnet`` / ``zdd`` / ``net``)."""
 
     @property
-    def initial(self) -> int:
-        return self.zddnet.initial
+    def zddnet(self):
+        return self.relnet
 
-    def advance(self, reached: int, frontier: int) -> Tuple[int, int]:
-        raise NotImplementedError
+    @property
+    def zdd(self) -> ZDD:
+        return self.relnet.zdd
 
-    def _absorb(self, reached: int, successors: int) -> Tuple[int, int]:
-        zdd = self.zdd
-        return (zdd.union(reached, successors),
-                zdd.diff(successors, reached))
-
-    def count_markings(self, states: int) -> int:
-        return self.zdd.count(states)
+    @property
+    def net(self) -> PetriNet:
+        return self.relnet.net
 
 
 class ClassicZddEngine(ZddImageEngine):
@@ -162,48 +159,21 @@ class ClassicZddEngine(ZddImageEngine):
         return self._absorb(reached, self.zddnet.image_all(frontier))
 
 
-class MonolithicZddEngine(ZddImageEngine):
+class MonolithicZddEngine(ZddImageEngine, MonolithicImageEngine):
     """All transitions in one block: a single sweep position per step."""
 
-    name = "monolithic"
 
-    def advance(self, reached, frontier):
-        return self._absorb(reached,
-                            self.zddnet.image_monolithic(frontier))
-
-
-class PartitionedZddEngine(ZddImageEngine):
+class PartitionedZddEngine(ZddImageEngine, PartitionedImageEngine):
     """Union of per-block images (Eq. 3) per step."""
 
-    name = "partitioned"
 
-    def __init__(self, zddnet: ZddRelationalNet,
-                 cluster_size: "int | str" = 1) -> None:
-        super().__init__(zddnet)
-        self.cluster_size = cluster_size
-
-    @property
-    def partitions(self):
-        return self.zddnet.partitions(self.cluster_size)
-
-    def advance(self, reached, frontier):
-        successors = self.zddnet.image_partitioned(frontier,
-                                                   self.partitions)
-        return self._absorb(reached, successors)
-
-
-class ChainedZddEngine(PartitionedZddEngine):
-    """Support-sorted sweep with frontier accumulation per step."""
-
-    name = "chained"
-
-    def advance(self, reached, frontier):
-        return self._absorb(
-            reached, self.zddnet.image_chained(frontier, self.partitions))
+class ChainedZddEngine(ZddImageEngine, ChainedImageEngine):
+    """Support-sorted sweep with frontier accumulation and diff-based
+    working-set narrowing per step."""
 
 
 def make_zdd_image_engine(zddnet, engine: str = "chained",
-                          cluster_size: "int | str" = 1) -> ZddImageEngine:
+                          cluster_size: "int | str" = 1) -> ImageEngine:
     """Factory for the ZDD image engines by name.
 
     ``zddnet`` must match the chosen engine's form — a :class:`ZddNet`
@@ -240,7 +210,7 @@ def make_zdd_image_engine(zddnet, engine: str = "chained",
 
 
 def traverse_zdd(zddnet: "Union[ZddNet, ZddRelationalNet]",
-                 engine: "Union[str, ZddImageEngine]" = "classic",
+                 engine: "Union[str, ImageEngine]" = "classic",
                  cluster_size: "int | str" = 1,
                  max_iterations: Optional[int] = None
                  ) -> ZddTraversalResult:
@@ -258,12 +228,14 @@ def traverse_zdd(zddnet: "Union[ZddNet, ZddRelationalNet]",
         A :class:`ZddNet` (classic engine) or
         :class:`~repro.symbolic.zdd_relational.ZddRelationalNet`
         (relational engines); a mismatch raises ``TypeError`` so node
-        ids in the result always belong to ``zddnet``'s manager.
+        ids in the result always belong to ``zddnet``'s manager.  Build
+        the net with ``auto_reorder=True`` to sift at the per-iteration
+        safe points.
     engine:
         ``"classic"`` (default, the per-transition rewrite),
         ``"monolithic"``, ``"partitioned"`` or ``"chained"`` — see
-        :func:`make_zdd_image_engine`.  A :class:`ZddImageEngine`
-        instance is also accepted (``cluster_size`` is then ignored).
+        :func:`make_zdd_image_engine`.  An engine instance is also
+        accepted (``cluster_size`` is then ignored).
     cluster_size:
         Partition granularity for the partitioned/chained engines: a
         positive integer or ``"auto"``.
@@ -271,34 +243,48 @@ def traverse_zdd(zddnet: "Union[ZddNet, ZddRelationalNet]",
         Abort (raising ``RuntimeError``) beyond this many frontier
         steps.
     """
-    if isinstance(engine, ZddImageEngine):
-        if engine.zddnet is not zddnet:
+    if isinstance(engine, ImageEngine):
+        if engine.relnet is not zddnet:
             raise ValueError(
                 "engine instance was built for a different net; node ids "
                 "in the result would not belong to zddnet's manager")
         image_engine = engine
     else:
         image_engine = make_zdd_image_engine(zddnet, engine, cluster_size)
-    zdd = image_engine.zdd
+    zdd = zddnet.zdd
     start = time.perf_counter()
-    reached = image_engine.initial
-    frontier = image_engine.initial
+    # The fixpoint roots are pinned across the per-iteration safe points
+    # (garbage collection would otherwise free them mid-traversal); the
+    # final reachable family stays referenced because the result hands
+    # its raw node id to the caller.
+    reached = zdd.ref(image_engine.initial)
+    frontier = zdd.ref(image_engine.initial)
     iterations = 0
     while frontier != zdd.empty():
         if max_iterations is not None and iterations >= max_iterations:
             raise RuntimeError(
                 f"traversal exceeded {max_iterations} iterations")
-        reached, frontier = image_engine.advance(reached, frontier)
+        new_reached, new_frontier = image_engine.advance(reached, frontier)
+        zdd.ref(new_reached)
+        zdd.ref(new_frontier)
+        zdd.deref(reached)
+        zdd.deref(frontier)
+        reached, frontier = new_reached, new_frontier
         iterations += 1
+        # Safe point: garbage collection / dynamic reordering, exactly
+        # as the BDD traversals do at each iteration.
+        zdd.checkpoint()
+    zdd.deref(frontier)
+    zdd.live_nodes()  # fold the final occupancy into the peak
     seconds = time.perf_counter() - start
     return ZddTraversalResult(
         zdd=zdd,
         reachable=reached,
         marking_count=image_engine.count_markings(reached),
         iterations=iterations,
-        variable_count=len(image_engine.net.places),
+        variable_count=len(zddnet.net.places),
         final_zdd_nodes=zdd.size(reached),
         seconds=seconds,
         engine=f"zdd/{image_engine.name}",
         peak_live_nodes=zdd.peak_live_nodes,
-        reorder_count=0)
+        reorder_count=zdd.reorder_count)

@@ -1,0 +1,196 @@
+"""Tests for the shared decision-diagram kernel (repro.dd).
+
+The tentpole property: one node-table/GC/reorder core under both
+managers.  BDD-side behaviour is pinned by the long-standing suites in
+``tests/bdd``; this module covers what the ZDD manager gained from the
+kernel — reference counting, garbage collection, adjacent-level swaps,
+(group) sifting and reorder hooks — and the kernel surface itself.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD, EMPTY, ZDD, ZDDError
+from repro.dd import DDError, DDManager, sift, sift_to_convergence
+
+NUM_ELEMS = 6
+NAMES = [f"e{i}" for i in range(NUM_ELEMS)]
+
+set_strategy = st.frozensets(
+    st.integers(min_value=0, max_value=NUM_ELEMS - 1), max_size=NUM_ELEMS)
+family_strategy = st.frozensets(set_strategy, max_size=12)
+
+
+def extract(zdd, node):
+    return frozenset(zdd.iter_sets(node))
+
+
+class TestKernelHierarchy:
+    def test_both_managers_subclass_the_kernel(self):
+        assert issubclass(BDD, DDManager)
+        assert issubclass(ZDD, DDManager)
+        assert isinstance(BDD(), DDManager)
+        assert isinstance(ZDD(), DDManager)
+
+    def test_error_types_share_the_kernel_base(self):
+        from repro.bdd import BDDError
+        assert issubclass(BDDError, DDError)
+        assert issubclass(ZDDError, DDError)
+
+    def test_kernel_is_abstract_over_the_reduction_rule(self):
+        manager = DDManager(var_names=["a"])
+        with pytest.raises(NotImplementedError):
+            manager._mk(0, 0, 1)
+
+    def test_shared_level_bookkeeping_on_zdd(self):
+        zdd = ZDD(var_names=NAMES)
+        assert zdd.order() == NAMES
+        assert [zdd.level_of_var(n) for n in NAMES] == list(range(6))
+        assert zdd.var_at_level(0) == 0
+
+    def test_registered_caches_clear_at_safe_points(self):
+        zdd = ZDD(var_names=NAMES)
+        extra = zdd.register_cache({})
+        extra["probe"] = 1
+        zdd.clear_caches()
+        assert not extra
+
+
+class TestZddGarbageCollection:
+    def test_unreferenced_families_are_freed(self):
+        zdd = ZDD(var_names=NAMES)
+        zdd.from_sets([{0, 1}, {2, 3}, {4, 5}])
+        assert zdd.live_nodes() > 2
+        zdd.collect_garbage()
+        assert zdd.live_nodes() == 2
+
+    def test_referenced_families_survive(self):
+        zdd = ZDD(var_names=NAMES)
+        fam = {frozenset({0, 2}), frozenset({1}), frozenset()}
+        node = zdd.ref(zdd.from_sets(fam))
+        garbage = zdd.from_sets([{3, 4}, {5}])
+        assert garbage != node
+        zdd.collect_garbage()
+        assert extract(zdd, node) == fam
+        assert zdd.count(node) == 3
+
+    def test_deref_underflow_raises(self):
+        zdd = ZDD(var_names=NAMES)
+        node = zdd.ref(zdd.singleton([0]))
+        zdd.deref(node)
+        with pytest.raises(ZDDError):
+            zdd.deref(node)
+
+    def test_freed_slots_are_recycled(self):
+        zdd = ZDD(var_names=NAMES)
+        zdd.from_sets([{0, 1, 2}])
+        zdd.collect_garbage()
+        slots_before = zdd.total_nodes()
+        zdd.ref(zdd.from_sets([{0, 1, 2}]))
+        assert zdd.total_nodes() == slots_before
+
+    @settings(max_examples=60, deadline=None)
+    @given(family_strategy, family_strategy)
+    def test_gc_preserves_referenced_semantics(self, fam, garbage_fam):
+        """Satellite acceptance: collect_garbage preserves count and
+        to_sets of every referenced family while dropping the rest."""
+        zdd = ZDD(var_names=NAMES)
+        node = zdd.ref(zdd.from_sets(fam))
+        zdd.from_sets(garbage_fam)  # unreferenced
+        zdd.collect_garbage()
+        assert frozenset(zdd.to_sets(node)) == fam
+        assert zdd.count(node) == len(fam)
+        zdd.assert_consistent()
+
+
+class TestZddReordering:
+    def test_swap_preserves_family(self):
+        zdd = ZDD(var_names=NAMES)
+        fam = {frozenset({0, 1}), frozenset({1, 3, 5}), frozenset({4})}
+        node = zdd.ref(zdd.from_sets(fam))
+        for level in (0, 3, 4, 1, 0, 2):
+            zdd.swap_levels(level)
+            zdd.assert_consistent()
+            assert extract(zdd, node) == fam
+
+    def test_set_order_preserves_family(self):
+        zdd = ZDD(var_names=NAMES)
+        fam = {frozenset({0, 2, 4}), frozenset({1}), frozenset()}
+        node = zdd.ref(zdd.from_sets(fam))
+        zdd.set_order(list(reversed(NAMES)))
+        assert zdd.order() == list(reversed(NAMES))
+        assert extract(zdd, node) == fam
+        zdd.assert_consistent()
+
+    def test_node_ids_stable_across_swap(self):
+        zdd = ZDD(var_names=NAMES)
+        node = zdd.ref(zdd.from_sets([{0, 1}, {2}]))
+        zdd.swap_levels(0)
+        assert extract(zdd, node) == {frozenset({0, 1}), frozenset({2})}
+
+    def test_reorder_hooks_fire_once_per_sift_pass(self):
+        zdd = ZDD(var_names=NAMES)
+        zdd.ref(zdd.from_sets([{0, 3}, {1, 4}, {2, 5}]))
+        calls = []
+        zdd.add_reorder_hook(lambda mgr: calls.append(mgr.order()))
+        sift(zdd)
+        assert len(calls) == 1
+        assert calls[0] == zdd.order()
+
+    def test_checkpoint_triggers_zdd_reorder(self):
+        zdd = ZDD(var_names=NAMES, auto_reorder=True, reorder_threshold=4)
+        fam = {frozenset({0, 5}), frozenset({1, 4}), frozenset({2, 3})}
+        node = zdd.ref(zdd.from_sets(fam))
+        zdd.checkpoint()
+        assert zdd.reorder_count == 1
+        assert extract(zdd, node) == fam
+
+    def test_group_sifting_keeps_pairs_adjacent(self):
+        zdd = ZDD()
+        for i in range(4):
+            zdd.add_var(f"p{i}")
+            zdd.add_var(f"p{i}'")
+        fam = {frozenset({0, 2}), frozenset({4, 6}), frozenset({1, 7})}
+        node = zdd.ref(zdd.from_sets(fam))
+        groups = [(2 * i, 2 * i + 1) for i in range(4)]
+        sift(zdd, groups=groups)
+        for upper, lower in groups:
+            assert zdd.level_of_var(lower) == zdd.level_of_var(upper) + 1
+        assert extract(zdd, node) == fam
+        zdd.assert_consistent()
+
+    @settings(max_examples=60, deadline=None)
+    @given(family_strategy)
+    def test_sifting_preserves_count_and_to_sets(self, fam):
+        """Satellite acceptance: sifting preserves count/to_sets."""
+        zdd = ZDD(var_names=NAMES)
+        node = zdd.ref(zdd.from_sets(fam))
+        sift_to_convergence(zdd, max_passes=3)
+        assert frozenset(zdd.to_sets(node)) == fam
+        assert zdd.count(node) == len(fam)
+        zdd.assert_consistent()
+
+    @settings(max_examples=40, deadline=None)
+    @given(family_strategy, family_strategy,
+           st.randoms(use_true_random=False))
+    def test_algebra_agrees_after_reordering(self, fam1, fam2, rng):
+        """Operations run under a permuted order still match the set
+        oracle — levels, not indices, drive every recursion."""
+        zdd = ZDD(var_names=NAMES)
+        u = zdd.ref(zdd.from_sets(fam1))
+        v = zdd.ref(zdd.from_sets(fam2))
+        order = list(range(NUM_ELEMS))
+        rng.shuffle(order)
+        zdd.set_order(order)
+        assert extract(zdd, zdd.union(u, v)) == fam1 | fam2
+        assert extract(zdd, zdd.intersect(u, v)) == fam1 & fam2
+        assert extract(zdd, zdd.diff(u, v)) == fam1 - fam2
+        assert extract(zdd, zdd.product(u, v)) == frozenset(
+            a | b for a in fam1 for b in fam2)
+        qvars = frozenset(order[:2])
+        assert extract(zdd, zdd.exists(u, qvars)) == frozenset(
+            s - qvars for s in fam1)
+        assert extract(zdd, zdd.supset(u, qvars)) == frozenset(
+            s for s in fam1 if qvars <= s)
+        assert extract(zdd, zdd.and_exists(u, v, qvars)) == frozenset(
+            (a | b) - qvars for a in fam1 for b in fam2)

@@ -91,6 +91,33 @@ def test_engines_agree_large(name, make_net):
     run_differential_matrix(name, make_net)
 
 
+@pytest.mark.parametrize("name", SMALL_NETS)
+def test_zdd_engines_agree_with_reorder_enabled(name, make_net):
+    """Acceptance for the shared DD kernel: every ZDD engine with
+    dynamic reordering on (pair-grouped sifting for the relational
+    engines, per-element sifting for classic) pins the identical
+    marking *sets* against the explicit oracle — sifting, GC and the
+    reorder-hook reclustering must never change the computed family."""
+    net = make_net(name)
+    explicit = explicit_marking_set(net)
+    assert explicit
+
+    classic = ZddNet(make_net(name), auto_reorder=True,
+                     reorder_threshold=50)
+    result = traverse_zdd(classic)
+    decoded = {m.support for m in classic.markings_of(result.reachable)}
+    assert decoded == explicit, (name, "zdd/classic+reorder")
+
+    for engine in ZDD_RELATIONAL_ENGINES:
+        relnet = ZddRelationalNet(make_net(name), auto_reorder=True,
+                                  reorder_threshold=50)
+        result = traverse_zdd(relnet, engine=engine, cluster_size="auto")
+        assert result.marking_count == len(explicit), \
+            (name, f"zdd/{engine}+reorder")
+        decoded = {m.support for m in relnet.markings_of(result.reachable)}
+        assert decoded == explicit, (name, f"zdd/{engine}+reorder")
+
+
 def test_cluster_sizes_do_not_change_the_set(make_net, explicit_counts):
     """Granularity sweep on one net: every cluster_size, same set."""
     expected = explicit_counts["slot2"]

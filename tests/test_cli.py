@@ -118,10 +118,17 @@ class TestAnalyze:
 
     def test_structured_warnings_go_to_stderr(self, muller_file, capsys):
         assert main(["analyze", str(muller_file), "--engine", "zdd",
-                     "--scheme", "sparse", "--no-reorder"]) == 0
+                     "--scheme", "sparse", "--simplify-frontier"]) == 0
         err = capsys.readouterr().err
         assert "warning: scheme='sparse' ignored" in err
-        assert "warning: reorder=False ignored" in err
+        assert "warning: simplify_frontier=True ignored" in err
+
+    def test_no_reorder_applies_to_zdd(self, muller_file, capsys):
+        # --no-reorder is a real knob on the ZDD backend now (shared
+        # repro.dd kernel): no inapplicable-option warning.
+        assert main(["analyze", str(muller_file), "--engine", "zdd",
+                     "--no-reorder"]) == 0
+        assert capsys.readouterr().err == ""
 
     def test_default_configurations_warn_nothing(self, muller_file,
                                                  capsys):

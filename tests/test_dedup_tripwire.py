@@ -1,0 +1,72 @@
+"""Duplication tripwire: the relational layer must stay unified.
+
+PR 3 grew ``symbolic/zdd_relational.py`` into a near line-for-line copy
+of ``symbolic/relational.py``'s clustering/partition/sweep machinery;
+PR 5 collapsed both onto :mod:`repro.symbolic.partition`.  This test
+fails CI if either encoding shim regrows its own copy of that logic —
+the one place it may live is the shared layer.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# Methods/functions that must exist exactly once, in the shared layer.
+SHARED_ONLY_DEFS = (
+    "_auto_clusters",
+    "_build_partition",
+    "image_chained",
+    "image_partitioned",
+    "refresh_partitions",
+    "cluster_by_support",
+    "cluster_greedily",
+    "validate_cluster_size",
+)
+
+# The encoding shims: allowed to *use* the shared layer, never to
+# re-implement it.
+SHIMS = (
+    SRC / "symbolic" / "zdd_relational.py",
+    SRC / "symbolic" / "relational.py",
+    SRC / "symbolic" / "transition.py",
+    SRC / "symbolic" / "zdd_traversal.py",
+)
+
+
+def definitions_in(path):
+    text = path.read_text()
+    return {match.group(1)
+            for match in re.finditer(r"^\s*def\s+(\w+)\s*\(", text,
+                                     re.MULTILINE)}
+
+
+def test_shims_do_not_redefine_shared_clustering_logic():
+    for shim in SHIMS:
+        defined = definitions_in(shim)
+        copies = sorted(set(SHARED_ONLY_DEFS) & defined)
+        assert not copies, (
+            f"{shim.relative_to(SRC)} regrew its own copy of shared "
+            f"relational-layer logic: {copies}; extend "
+            f"repro/symbolic/partition.py instead")
+
+
+def test_shared_layer_defines_the_logic_exactly_once():
+    shared = definitions_in(SRC / "symbolic" / "partition.py")
+    missing = sorted(set(SHARED_ONLY_DEFS) - shared)
+    assert not missing, (
+        f"symbolic/partition.py lost shared definitions: {missing}")
+
+
+def test_managers_share_the_kernel():
+    """The reorder/GC machinery must live once, in repro.dd — neither
+    manager file may carry its own swap/sift/GC implementation."""
+    kernel_only = ("swap_levels", "collect_garbage", "set_order",
+                   "checkpoint", "_free_node", "_deref_cascade")
+    for manager_file in (SRC / "bdd" / "manager.py",
+                         SRC / "bdd" / "zdd.py"):
+        defined = definitions_in(manager_file)
+        copies = sorted(set(kernel_only) & defined)
+        assert not copies, (
+            f"{manager_file.relative_to(SRC)} regrew kernel machinery: "
+            f"{copies}; extend repro/dd/manager.py instead")
