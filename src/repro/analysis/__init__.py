@@ -29,9 +29,12 @@ from .backends import (BACKENDS, BddFunctionalBackend,
                        SolverBackend, SolverSession, ZddBackend,
                        backend_for)
 from .facade import Analysis, analyze
+from .portfolio import (MemberFailure, PortfolioBackend, PortfolioError,
+                        WorkerHarness, member_spec)
 from .result import SCHEMA_VERSION, AnalysisResult
 from .spec import (BACKEND_FAMILIES, CHAIN_ORDERS, DEFAULT_CLUSTER_SIZE,
-                   DEFAULT_FORM, DEFAULT_RELATIONAL_ENGINE, FORMS,
+                   DEFAULT_FORM, DEFAULT_PORTFOLIO_MEMBERS,
+                   DEFAULT_RELATIONAL_ENGINE, FORMS, PORTFOLIO_MEMBERS,
                    RELATIONAL_ENGINES, SCHEMES, STRATEGIES, AnalysisSpec,
                    SpecError, SpecWarning)
 
@@ -41,8 +44,11 @@ __all__ = [
     "SolverBackend", "SolverSession", "backend_for", "BACKENDS",
     "BddFunctionalBackend", "BddRelationalBackend", "ZddBackend",
     "KBoundedBackend",
+    "PortfolioBackend", "PortfolioError", "MemberFailure",
+    "WorkerHarness", "member_spec",
     "Analysis", "analyze",
     "SCHEMES", "BACKEND_FAMILIES", "FORMS", "RELATIONAL_ENGINES",
     "STRATEGIES", "CHAIN_ORDERS", "DEFAULT_FORM",
     "DEFAULT_RELATIONAL_ENGINE", "DEFAULT_CLUSTER_SIZE",
+    "PORTFOLIO_MEMBERS", "DEFAULT_PORTFOLIO_MEMBERS",
 ]

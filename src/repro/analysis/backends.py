@@ -456,6 +456,14 @@ BACKENDS = {
 
 def backend_for(spec: AnalysisSpec) -> SolverBackend:
     """Select the backend a spec routes to."""
+    if spec.backend == "portfolio":
+        # The lazy import registers PortfolioBackend into BACKENDS on
+        # first use (a top-level import here would be circular — the
+        # portfolio builds on this module's protocol).  Checked before
+        # k_bound: on a portfolio, k_bound parameterizes the kbounded
+        # member rather than selecting the k-bounded backend.
+        from .portfolio import PortfolioBackend
+        return BACKENDS[PortfolioBackend.name]
     if spec.k_bound is not None:
         return BACKENDS[KBoundedBackend.name]
     if spec.backend == "zdd":

@@ -1,0 +1,643 @@
+"""Portfolio backend: race heterogeneous solvers, first verdict wins.
+
+No single engine wins everywhere — the paper's encodings make different
+nets cheap for different methods — so the portfolio spawns several
+member configurations (:data:`~repro.analysis.spec.PORTFOLIO_MEMBERS`)
+as ``multiprocessing`` worker processes, streams their verdicts over a
+``Queue``, answers with the first complete
+:class:`~repro.analysis.result.AnalysisResult` and terminates the
+losers (the SMPT ``Parallelizer`` pattern).
+
+The race is robust by construction:
+
+* **Per-member and global timeouts** (``spec.member_timeout`` /
+  ``spec.timeout``) — a worker past its deadline is terminated and
+  recorded as a :class:`MemberFailure`; the race continues with the
+  survivors.
+* **Crashed-worker detection** — a worker that dies without reporting
+  (segfault, ``SIGKILL``, OOM) surfaces its exit code in a structured
+  :class:`MemberFailure`; the race continues with the survivors.
+* **Poisoned-queue tolerance** — a payload that fails to unpickle or
+  does not follow the worker protocol is recorded and skipped; after
+  :data:`MAX_QUEUE_POISON` strikes the queue is considered unusable and
+  the race aborts cleanly.
+* **Graceful degradation** — when the platform rules out worker
+  processes (no usable start method, semaphores unavailable, spawn
+  failures), the race falls back to running members serially in
+  process, first success wins (timeouts are unenforceable there and
+  are reported as such).
+* **No orphans** — every spawned worker is terminated and joined
+  before the race returns, winner found or not.
+
+Everything the race does to processes goes through an injectable
+:class:`WorkerHarness`, so the fault-injection suite can simulate
+hangs, crashes and poisoned queues deterministically on a virtual
+clock (``tests/analysis/test_portfolio_faults.py``).
+
+The winning member's result is returned with portfolio extras::
+
+    result.extras["portfolio"] == {
+        "winner": "zdd-chained",          # member id
+        "mode": "process",                 # or "serial"
+        "members": [{"member": ..., "outcome": "won" | "cancelled" |
+                     "crash" | "timeout" | "error" | "spawn" |
+                     "skipped", "seconds": ...}, ...],
+        "failures": [MemberFailure.to_dict(), ...],
+    }
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..petri.net import PetriNet
+from ..petri.parser import dumps, loads
+from .backends import BACKENDS, SolverBackend, SolverSession, backend_for
+from .result import AnalysisResult
+from .spec import (DEFAULT_PORTFOLIO_MEMBERS, PORTFOLIO_MEMBERS,
+                   AnalysisSpec, SpecError)
+
+__all__ = [
+    "PortfolioBackend", "PortfolioError", "MemberFailure",
+    "WorkerHarness", "member_spec",
+]
+
+# How long the parent sleeps on the queue per loop pass: bounds the
+# latency of crash/deadline detection, not of verdict delivery (a
+# verdict wakes the ``get`` immediately).
+POLL_INTERVAL = 0.1
+# A dead worker gets this many further queue polls before it is
+# declared crashed, so a verdict it flushed on the way out is not
+# misread as a crash.
+DEAD_WORKER_GRACE_POLLS = 2
+# Unreadable/malformed queue payloads tolerated before the race
+# concludes the queue itself is unusable.
+MAX_QUEUE_POISON = 3
+# Seconds to wait for a terminated loser before escalating to kill().
+JOIN_TIMEOUT = 2.0
+
+
+class PortfolioError(RuntimeError):
+    """The race produced no verdict: every member failed or timed out.
+
+    ``failures`` carries the structured :class:`MemberFailure` records.
+    """
+
+    def __init__(self, message: str,
+                 failures: Sequence["MemberFailure"] = ()) -> None:
+        super().__init__(message)
+        self.failures: Tuple[MemberFailure, ...] = tuple(failures)
+
+
+@dataclass(frozen=True)
+class MemberFailure:
+    """One member's structured failure record.
+
+    ``member`` is the member id (``None`` when the failure cannot be
+    attributed, e.g. a poisoned queue payload), ``kind`` one of
+    ``crash`` (died without reporting; ``exitcode`` set), ``timeout``
+    (per-member or global deadline), ``error`` (the member raised and
+    reported it), ``spawn`` (the worker never started) or ``queue``
+    (unreadable or malformed queue payload).
+    """
+
+    member: Optional[str]
+    kind: str
+    detail: str = ""
+    exitcode: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"member": self.member, "kind": self.kind,
+                "detail": self.detail, "exitcode": self.exitcode}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MemberFailure":
+        return cls(member=data.get("member"), kind=data["kind"],
+                   detail=data.get("detail", ""),
+                   exitcode=data.get("exitcode"))
+
+
+# ----------------------------------------------------------------------
+# Member catalog
+# ----------------------------------------------------------------------
+
+def member_spec(spec: AnalysisSpec, member: str) -> AnalysisSpec:
+    """The single-engine spec a portfolio member runs.
+
+    Options meaningful to a member are threaded through from the
+    portfolio spec (scheme / frontier handling for the BDD members, the
+    functional sweep knobs for ``bdd-functional``, ``k_bound`` for
+    ``kbounded``, reordering and ``max_iterations`` for everyone).
+    """
+    shared: Dict[str, Any] = dict(
+        reorder=spec.reorder, reorder_threshold=spec.reorder_threshold,
+        max_iterations=spec.max_iterations)
+    bdd: Dict[str, Any] = dict(
+        scheme=spec.scheme, simplify_frontier=spec.simplify_frontier,
+        **shared)
+    if member == "bdd-functional":
+        return AnalysisSpec(strategy=spec.strategy,
+                            chain_order=spec.chain_order,
+                            use_toggle=spec.use_toggle, **bdd)
+    if member in ("bdd-chained", "bdd-partitioned", "bdd-monolithic"):
+        return AnalysisSpec(form="relational",
+                            engine=member.split("-", 1)[1], **bdd)
+    if member == "zdd-chained":
+        return AnalysisSpec(backend="zdd", form="relational",
+                            engine="chained", **shared)
+    if member == "zdd-classic":
+        return AnalysisSpec(backend="zdd", form="functional", **shared)
+    if member == "kbounded":
+        # A 1-safe net is in particular 1-bounded, so the default bound
+        # keeps the member's verdict comparable to the safe-net members.
+        return AnalysisSpec(k_bound=spec.k_bound or 1, **shared)
+    raise SpecError(f"unknown portfolio member {member!r}; expected one "
+                    f"of {PORTFOLIO_MEMBERS}")
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point
+# ----------------------------------------------------------------------
+
+def _worker_main(member: str, net_text: str, spec_values: Dict[str, Any],
+                 result_queue) -> None:
+    """Run one member to completion inside a worker process.
+
+    The net travels as ``.pnet`` text and the spec as its ``to_dict``
+    form, so the payload pickles under every start method.  Success
+    reports ``("result", member, result.to_dict(), seconds)``; an
+    exception reports ``("error", member, detail)``.  A worker that
+    dies without reporting is the parent's crash-detection case.
+    """
+    try:
+        from .facade import analyze  # local: workers import lazily
+        net = loads(net_text)
+        spec = AnalysisSpec.from_dict(spec_values)
+        start = time.perf_counter()
+        result = analyze(net, spec)
+        result_queue.put(("result", member, result.to_dict(),
+                          time.perf_counter() - start))
+    except BaseException as exc:  # report everything, then exit 0
+        try:
+            result_queue.put(
+                ("error", member, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass  # unreportable: the parent sees a silent exit
+
+
+# ----------------------------------------------------------------------
+# The harness seam
+# ----------------------------------------------------------------------
+
+class WorkerHarness:
+    """The process primitives the race runs on — the injection seam.
+
+    The default implementation spawns real daemonic
+    ``multiprocessing`` processes; the fault-injection tests substitute
+    fakes driven by a virtual clock.  A replacement must provide:
+
+    * :meth:`available` — whether worker processes can run at all.
+    * :meth:`create_queue` — a queue whose ``get(timeout=...)`` raises
+      ``queue.Empty`` on timeout (any other exception is treated as a
+      poisoned payload).
+    * :meth:`spawn` — start ``target(*args)`` for ``member`` and return
+      a process-like handle (``is_alive()``, ``exitcode``,
+      ``terminate()``, ``kill()``, ``join(timeout)``).
+    * :meth:`now` — the race's clock (monotonic seconds).
+    """
+
+    def __init__(self, start_method: Optional[str] = None) -> None:
+        self.start_method = start_method
+        self._ctx = None
+
+    def _context(self):
+        if self._ctx is None:
+            import multiprocessing
+            self._ctx = (multiprocessing.get_context(self.start_method)
+                         if self.start_method
+                         else multiprocessing.get_context())
+        return self._ctx
+
+    def available(self) -> bool:
+        """Whether this platform can run the worker-process race.
+
+        Sandboxed environments commonly refuse the semaphores a
+        ``multiprocessing.Queue`` needs; probing here is what lets the
+        race degrade to serial instead of crashing mid-build.
+        """
+        try:
+            probe = self._context().Queue()
+        except Exception:
+            return False
+        # Release the probe's feeder thread; some platforms leak it
+        # otherwise.
+        try:
+            probe.close()
+            probe.join_thread()
+        except Exception:
+            pass
+        return True
+
+    def create_queue(self):
+        return self._context().Queue()
+
+    def spawn(self, member: str, target, args):
+        process = self._context().Process(
+            target=target, args=args, name=f"portfolio-{member}",
+            daemon=True)
+        process.start()
+        return process
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def poll_interval(self) -> float:
+        return POLL_INTERVAL
+
+
+# ----------------------------------------------------------------------
+# The race
+# ----------------------------------------------------------------------
+
+class _MemberState:
+    """Book-keeping for one spawned member."""
+
+    def __init__(self, member: str, handle, started: float,
+                 deadline: Optional[float]) -> None:
+        self.member = member
+        self.handle = handle
+        self.started = started
+        self.deadline = deadline
+        self.outcome: Optional[str] = None
+        self.seconds: Optional[float] = None
+        self.dead_polls = 0
+
+    def resolve(self, outcome: str, now: float) -> None:
+        self.outcome = outcome
+        self.seconds = now - self.started
+
+
+class _Race:
+    """One portfolio race over worker processes."""
+
+    def __init__(self, net: PetriNet, spec: AnalysisSpec,
+                 harness: WorkerHarness) -> None:
+        self.net = net
+        self.spec = spec
+        self.harness = harness
+        self.members = spec.resolved_members
+        self.failures: List[MemberFailure] = []
+        self.outcomes: List[Dict[str, Any]] = []
+        self.winner: Optional[str] = None
+        self.winner_result: Optional[AnalysisResult] = None
+        self.mode = "process"
+        self.seconds = 0.0
+
+    # -- process mode --------------------------------------------------
+
+    def run(self) -> None:
+        if not self.harness.available():
+            self._run_serial()
+            return
+        try:
+            result_queue = self.harness.create_queue()
+        except Exception:
+            self._run_serial()
+            return
+        start = self.harness.now()
+        states = self._spawn_all(result_queue)
+        if not any(s.outcome is None for s in states.values()):
+            # Every spawn failed before a single worker ran: the
+            # platform ruled processes out after all — degrade.
+            self.failures.clear()
+            self._run_serial()
+            return
+        try:
+            self._drive(result_queue, states, start)
+            self._classify_unresolved(states)
+        finally:
+            self._reap(states)
+        self.seconds = self.harness.now() - start
+        self.outcomes = [
+            {"member": s.member, "outcome": s.outcome or "cancelled",
+             "seconds": s.seconds}
+            for s in states.values()]
+
+    def _spawn_all(self, result_queue) -> Dict[str, _MemberState]:
+        states: Dict[str, _MemberState] = {}
+        for member in self.members:
+            mspec = member_spec(self.spec, member)
+            now = self.harness.now()
+            deadline = (now + self.spec.member_timeout
+                        if self.spec.member_timeout else None)
+            try:
+                handle = self.harness.spawn(
+                    member, _worker_main,
+                    (member, dumps(self.net), mspec.to_dict(),
+                     result_queue))
+            except Exception as exc:
+                self.failures.append(MemberFailure(
+                    member, "spawn", f"{type(exc).__name__}: {exc}"))
+                state = _MemberState(member, None, now, None)
+                state.resolve("spawn", now)
+                states[member] = state
+                continue
+            states[member] = _MemberState(member, handle, now, deadline)
+        return states
+
+    def _drive(self, result_queue, states: Dict[str, _MemberState],
+               start: float) -> None:
+        global_deadline = (start + self.spec.timeout
+                           if self.spec.timeout else None)
+        poison = 0
+        while self.winner is None:
+            live = [s for s in states.values()
+                    if s.outcome is None]
+            if not live:
+                break
+            now = self.harness.now()
+            if global_deadline is not None and now >= global_deadline:
+                for state in live:
+                    state.handle.terminate()
+                    state.resolve("timeout", now)
+                    self.failures.append(MemberFailure(
+                        state.member, "timeout",
+                        f"global timeout after {self.spec.timeout}s"))
+                break
+            timeout = self.harness.poll_interval()
+            if global_deadline is not None:
+                timeout = min(timeout, global_deadline - now)
+            for state in live:
+                if state.deadline is not None:
+                    timeout = min(timeout, state.deadline - now)
+            try:
+                message = result_queue.get(timeout=max(timeout, 0.005))
+            except queue_module.Empty:
+                message = None
+            except Exception as exc:
+                poison += 1
+                self.failures.append(MemberFailure(
+                    None, "queue",
+                    f"unreadable queue payload: "
+                    f"{type(exc).__name__}: {exc}"))
+                if poison >= MAX_QUEUE_POISON:
+                    self._abort_poisoned(states)
+                    break
+                continue
+            if message is not None and not self._dispatch(message, states):
+                poison += 1
+                if poison >= MAX_QUEUE_POISON:
+                    self._abort_poisoned(states)
+                    break
+            self._check_deadlines_and_crashes(states)
+
+    def _abort_poisoned(self, states: Dict[str, _MemberState]) -> None:
+        """The queue is unusable: no further verdict can arrive."""
+        now = self.harness.now()
+        for state in states.values():
+            if state.outcome is None:
+                state.handle.terminate()
+                state.resolve("error", now)
+                self.failures.append(MemberFailure(
+                    state.member, "error",
+                    "race aborted: result queue unusable"))
+
+    def _dispatch(self, message, states: Dict[str, _MemberState]) -> bool:
+        """Apply one queue message; ``False`` if it was malformed."""
+        now = self.harness.now()
+        if (not isinstance(message, (tuple, list)) or len(message) < 3
+                or message[0] not in ("result", "error")
+                or message[1] not in states):
+            self.failures.append(MemberFailure(
+                None, "queue", f"malformed queue payload: {message!r}"))
+            return False
+        kind, member = message[0], message[1]
+        state = states[member]
+        if state.outcome is not None:
+            return True  # late message from an already-resolved member
+        if kind == "error":
+            state.resolve("error", now)
+            self.failures.append(MemberFailure(
+                member, "error", str(message[2])))
+            return True
+        try:
+            result = AnalysisResult.from_dict(message[2])
+        except Exception as exc:
+            state.resolve("error", now)
+            self.failures.append(MemberFailure(
+                member, "error",
+                f"undecodable result payload: "
+                f"{type(exc).__name__}: {exc}"))
+            return False
+        state.resolve("won", now)
+        self.winner = member
+        self.winner_result = result
+        return True
+
+    def _check_deadlines_and_crashes(
+            self, states: Dict[str, _MemberState]) -> None:
+        now = self.harness.now()
+        for state in states.values():
+            if state.outcome is not None:
+                continue
+            if state.deadline is not None and now >= state.deadline:
+                state.handle.terminate()
+                state.resolve("timeout", now)
+                self.failures.append(MemberFailure(
+                    state.member, "timeout",
+                    f"member timeout after "
+                    f"{self.spec.member_timeout}s"))
+            elif not state.handle.is_alive():
+                # Grace: the worker may have flushed its verdict into
+                # the queue on the way out; give the next polls a
+                # chance to deliver it before declaring a crash.
+                state.dead_polls += 1
+                if state.dead_polls > DEAD_WORKER_GRACE_POLLS:
+                    exitcode = state.handle.exitcode
+                    state.resolve("crash", now)
+                    self.failures.append(MemberFailure(
+                        state.member, "crash",
+                        f"worker died without reporting "
+                        f"(exitcode {exitcode})", exitcode=exitcode))
+
+    def _classify_unresolved(self, states: Dict[str, _MemberState]) -> None:
+        """Settle members the verdict outran.
+
+        A loser still running is ``cancelled``.  One that already died
+        with a non-zero exit code crashed — the winner merely arrived
+        before the grace polls did — so its exit code is still surfaced
+        as a structured failure.
+        """
+        now = self.harness.now()
+        for state in states.values():
+            if state.outcome is not None:
+                continue
+            exitcode = None if state.handle.is_alive() \
+                else state.handle.exitcode
+            if exitcode not in (None, 0):
+                state.resolve("crash", now)
+                self.failures.append(MemberFailure(
+                    state.member, "crash",
+                    f"worker died without reporting "
+                    f"(exitcode {exitcode})", exitcode=exitcode))
+            else:
+                state.resolve("cancelled", now)
+
+    def _reap(self, states: Dict[str, _MemberState]) -> None:
+        """Terminate and join every worker — losers included, always."""
+        for state in states.values():
+            handle = state.handle
+            if handle is None:
+                continue
+            try:
+                if handle.is_alive():
+                    handle.terminate()
+            except Exception:
+                pass
+        for state in states.values():
+            handle = state.handle
+            if handle is None:
+                continue
+            try:
+                handle.join(JOIN_TIMEOUT)
+                if handle.is_alive():
+                    handle.kill()
+                    handle.join(JOIN_TIMEOUT)
+            except Exception:
+                pass
+
+    # -- serial degraded mode ------------------------------------------
+
+    def _run_serial(self) -> None:
+        """In-process fallback: members run one at a time, first
+        success wins.  Timeouts cannot be enforced here (a Python
+        fixpoint cannot be preempted); members after the winner are
+        reported as ``skipped``."""
+        self.mode = "serial"
+        start = time.perf_counter()
+        self.winning_session: Optional[SolverSession] = None
+        for index, member in enumerate(self.members):
+            mspec = member_spec(self.spec, member)
+            member_start = time.perf_counter()
+            try:
+                session = backend_for(mspec).build(self.net, mspec)
+                result = session.run()
+            except Exception as exc:
+                self.failures.append(MemberFailure(
+                    member, "error", f"{type(exc).__name__}: {exc}"))
+                self.outcomes.append(
+                    {"member": member, "outcome": "error",
+                     "seconds": time.perf_counter() - member_start})
+                continue
+            self.outcomes.append(
+                {"member": member, "outcome": "won",
+                 "seconds": time.perf_counter() - member_start})
+            self.outcomes.extend(
+                {"member": later, "outcome": "skipped", "seconds": None}
+                for later in self.members[index + 1:])
+            self.winner = member
+            self.winner_result = result
+            self.winning_session = session
+            break
+        self.seconds = time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Backend + session
+# ----------------------------------------------------------------------
+
+class _PortfolioSession(SolverSession):
+    """One race, surfaced through the uniform session protocol.
+
+    The race is one indivisible "iteration": :meth:`step` runs it to
+    the first verdict, after which the session is exhausted.  The
+    result's ``iterations`` field reports the *winner's* fixpoint
+    iterations, not the parent's single step.
+    """
+
+    def __init__(self, net: PetriNet, spec: AnalysisSpec,
+                 harness: Optional[WorkerHarness] = None) -> None:
+        self.symbolic_net = None
+        self._race = _Race(net, spec, harness or WorkerHarness())
+        super().__init__(PortfolioBackend.name, spec, build_seconds=0.0)
+
+    def at_fixpoint(self) -> bool:
+        return self._race.winner_result is not None
+
+    def _advance(self) -> None:
+        race = self._race
+        race.run()
+        if race.winner_result is None:
+            detail = "; ".join(
+                f"{f.member or 'queue'}: {f.kind} ({f.detail})"
+                for f in race.failures) or "no members ran"
+            raise PortfolioError(
+                f"portfolio race produced no verdict — {detail}",
+                race.failures)
+        # Serial mode keeps the winning in-process session alive, so
+        # the reachable handle and model checking stay usable exactly
+        # as if that backend had been run directly.
+        session = getattr(race, "winning_session", None)
+        if session is not None:
+            self.symbolic_net = session.symbolic_net
+            self.supports_model_checking = session.supports_model_checking
+
+    def _peak_nodes(self) -> int:
+        result = self._race.winner_result
+        return result.peak_nodes if result is not None else 0
+
+    def _finish(self) -> AnalysisResult:
+        race = self._race
+        winner = race.winner_result
+        extras = {
+            "portfolio": {
+                "winner": race.winner,
+                "mode": race.mode,
+                "members": race.outcomes,
+                "failures": [f.to_dict() for f in race.failures],
+            },
+            "winner_extras": dict(winner.extras),
+            "build_seconds": winner.extras.get("build_seconds", 0.0),
+            "fixpoint_seconds": winner.extras.get("fixpoint_seconds",
+                                                  0.0),
+        }
+        return AnalysisResult(
+            spec=self.spec,
+            engine=f"portfolio/{race.winner}",
+            markings=winner.markings,
+            iterations=winner.iterations,
+            variables=winner.variables,
+            final_nodes=winner.final_nodes,
+            peak_nodes=winner.peak_nodes,
+            seconds=race.seconds,
+            reorder_count=winner.reorder_count,
+            reachable=winner.reachable,
+            extras=extras)
+
+
+class PortfolioBackend(SolverBackend):
+    """Race the member configurations; the first verdict answers.
+
+    ``harness`` (keyword) injects the :class:`WorkerHarness` the race
+    runs on — the fault-injection seam; ``None`` spawns real worker
+    processes.
+    """
+
+    name = "portfolio"
+
+    def __init__(self, harness: Optional[WorkerHarness] = None) -> None:
+        self.harness = harness
+
+    def build(self, net, spec, encoding_factory=None):
+        if encoding_factory is not None:
+            raise SpecError(
+                "encoding_factory only applies to the BDD backends; "
+                "portfolio members build their own representations in "
+                "their worker processes")
+        return _PortfolioSession(net, spec, harness=self.harness)
+
+
+BACKENDS[PortfolioBackend.name] = PortfolioBackend()

@@ -42,16 +42,33 @@ __all__ = [
     "STRATEGIES",
     "CHAIN_ORDERS", "DEFAULT_FORM", "DEFAULT_RELATIONAL_ENGINE",
     "DEFAULT_CLUSTER_SIZE", "DEFAULT_REORDER_THRESHOLD",
+    "PORTFOLIO_MEMBERS", "DEFAULT_PORTFOLIO_MEMBERS",
 ]
 
 ClusterSize = Union[int, str]
 
 SCHEMES = ("sparse", "dense", "improved")
-BACKEND_FAMILIES = ("bdd", "zdd")
+BACKEND_FAMILIES = ("bdd", "zdd", "portfolio")
 FORMS = ("functional", "relational")
 RELATIONAL_ENGINES = ("monolithic", "partitioned", "chained")
 STRATEGIES = ("bfs", "chaining")
 CHAIN_ORDERS = ("net", "support")
+
+# Member catalog for the portfolio backend: each id names one
+# heterogeneous solver configuration the race can spawn (the spec
+# builders live in ``repro.analysis.portfolio``).  Validation happens
+# here so a bad ``portfolio_members`` fails at spec construction, not
+# mid-race.
+PORTFOLIO_MEMBERS = (
+    "bdd-functional", "bdd-chained", "bdd-partitioned",
+    "bdd-monolithic", "zdd-chained", "zdd-classic", "kbounded",
+)
+# No single engine wins everywhere (the point of the race): the paper's
+# functional sweep, both relational-product families and the count-bit
+# extension cover each other's weak instances.
+DEFAULT_PORTFOLIO_MEMBERS = (
+    "bdd-functional", "bdd-chained", "zdd-chained", "kbounded",
+)
 
 # The one place the project's engine defaults live.  ``bdd`` defaults to
 # the paper's functional toggle path; ``zdd`` to the relational chained
@@ -96,7 +113,10 @@ class AnalysisSpec:
         (default; Section 4.4 codes).  The ZDD backend encodes token
         sets directly and ignores it.
     backend:
-        Decision-diagram family: ``bdd`` (default) or ``zdd``.
+        Decision-diagram family: ``bdd`` (default) or ``zdd`` — or
+        ``portfolio``, which races several heterogeneous member
+        configurations in worker processes and answers with the first
+        verdict (:class:`~repro.analysis.portfolio.PortfolioBackend`).
     form:
         Image computation form — ``functional`` (renaming-free
         operators; the ZDD's per-transition classic rewrite) or
@@ -133,6 +153,20 @@ class AnalysisSpec:
         ``max_iterations``, every other option is inapplicable.
     max_iterations:
         Abort the fixpoint (``RuntimeError``) beyond this many steps.
+    portfolio_members:
+        Member ids the portfolio backend races (each one of
+        :data:`PORTFOLIO_MEMBERS`).  ``None`` resolves to
+        :data:`DEFAULT_PORTFOLIO_MEMBERS`; setting it on any other
+        backend is a :class:`SpecError`.  Picking one engine is what
+        the single-engine backends are for, so a one-member portfolio
+        is a :class:`SpecWarning`.
+    timeout, member_timeout:
+        Wall-clock budgets (seconds) for the portfolio race: ``timeout``
+        bounds the whole race, ``member_timeout`` each worker.  They
+        require the portfolio's worker processes (an in-process
+        fixpoint cannot be preempted), so setting either on another
+        backend is a :class:`SpecError`; the serial degraded mode
+        cannot enforce them and reports the members it let run.
     """
 
     scheme: str = "improved"
@@ -148,8 +182,16 @@ class AnalysisSpec:
     simplify_frontier: bool = False
     k_bound: Optional[int] = None
     max_iterations: Optional[int] = None
+    portfolio_members: Optional[Tuple[str, ...]] = None
+    timeout: Optional[float] = None
+    member_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
+        # JSON round trips hand lists back; normalize before validation
+        # so from_dict(to_dict(spec)) == spec.
+        if isinstance(self.portfolio_members, list):
+            object.__setattr__(self, "portfolio_members",
+                               tuple(self.portfolio_members))
         self._validate()
 
     # ------------------------------------------------------------------
@@ -159,6 +201,8 @@ class AnalysisSpec:
     @property
     def resolved_form(self) -> str:
         """The image form, with the per-backend default applied."""
+        if self.backend == "portfolio":
+            return "portfolio"
         if self.k_bound is not None:
             return "relational"
         return self.form if self.form is not None \
@@ -170,8 +214,12 @@ class AnalysisSpec:
 
         ``functional`` for the functional BDD path, ``classic`` for the
         functional ZDD path, one of :data:`RELATIONAL_ENGINES` for the
-        relational form, ``kbounded`` under a ``k_bound``.
+        relational form, ``kbounded`` under a ``k_bound``,
+        ``portfolio`` for the racing backend (members resolve their
+        own engines).
         """
+        if self.backend == "portfolio":
+            return "portfolio"
         if self.k_bound is not None:
             return "kbounded"
         if self.resolved_form == "functional":
@@ -186,8 +234,16 @@ class AnalysisSpec:
             else DEFAULT_CLUSTER_SIZE
 
     @property
+    def resolved_members(self) -> Tuple[str, ...]:
+        """The portfolio membership, defaulted when unset."""
+        return self.portfolio_members if self.portfolio_members is not None \
+            else DEFAULT_PORTFOLIO_MEMBERS
+
+    @property
     def engine_id(self) -> str:
         """The result's engine identifier, e.g. ``relational/chained``."""
+        if self.backend == "portfolio":
+            return "portfolio"
         if self.k_bound is not None:
             return f"kbounded/{self.k_bound}"
         if self.backend == "zdd":
@@ -212,6 +268,47 @@ class AnalysisSpec:
             require(self.form, FORMS, "form")
         require(self.strategy, STRATEGIES, "strategy")
         require(self.chain_order, CHAIN_ORDERS, "chain_order")
+        if self.backend == "portfolio":
+            if self.form is not None or self.engine is not None:
+                raise SpecError(
+                    "the portfolio backend races its members' engines; "
+                    "to force a single engine, run that backend "
+                    "directly instead of setting form/engine on a "
+                    "portfolio")
+            if self.cluster_size is not None:
+                raise SpecError(
+                    "cluster_size does not apply to the portfolio "
+                    "backend; its relational members cluster "
+                    "adaptively")
+        if self.portfolio_members is not None:
+            if self.backend != "portfolio":
+                raise SpecError(
+                    f"portfolio_members only applies to the portfolio "
+                    f"backend, not backend={self.backend!r}")
+            if not self.portfolio_members:
+                raise SpecError("a portfolio needs at least one member")
+            seen = set()
+            for member in self.portfolio_members:
+                if member not in PORTFOLIO_MEMBERS:
+                    raise SpecError(
+                        f"unknown portfolio member {member!r}; expected "
+                        f"one of {PORTFOLIO_MEMBERS}")
+                if member in seen:
+                    raise SpecError(
+                        f"duplicate portfolio member {member!r}")
+                seen.add(member)
+        for option in ("timeout", "member_timeout"):
+            value = getattr(self, option)
+            if value is None:
+                continue
+            if self.backend != "portfolio":
+                raise SpecError(
+                    f"{option} needs the portfolio's worker processes "
+                    f"(an in-process fixpoint cannot be preempted); "
+                    f"backend={self.backend!r} cannot enforce it")
+            if value <= 0:
+                raise SpecError(
+                    f"{option} must be positive, got {value}")
         if self.engine is not None:
             require(self.engine, RELATIONAL_ENGINES, "engine")
             if self.resolved_form == "functional":
@@ -266,6 +363,11 @@ class AnalysisSpec:
 
         functional_bdd = (self.backend == "bdd" and self.k_bound is None
                           and self.resolved_form == "functional")
+        # The portfolio threads the functional knobs through to its
+        # bdd-functional member, so they are only inapplicable when no
+        # such member races.
+        if self.backend == "portfolio":
+            functional_bdd = "bdd-functional" in self.resolved_members
         if not functional_bdd:
             target = (f"k_bound={self.k_bound}" if self.k_bound is not None
                       else self.engine_id)
@@ -290,7 +392,25 @@ class AnalysisSpec:
                                           "set difference by default; "
                                           "Coudert-Madre restriction "
                                           "is a BDD operation")
-        if self.k_bound is not None:
+        if self.backend == "portfolio":
+            members = self.resolved_members
+            if len(members) == 1:
+                warn("portfolio_members",
+                     f"a one-member portfolio races nobody; run the "
+                     f"{members[0]} configuration directly")
+            has_bdd = any(m.startswith("bdd-") for m in members)
+            if not has_bdd:
+                if self.scheme != "improved":
+                    warn("scheme", "no BDD member in the portfolio "
+                                   "consumes an encoding scheme")
+                if self.simplify_frontier:
+                    warn("simplify_frontier",
+                         "no BDD member in the portfolio applies "
+                         "Coudert-Madre restriction")
+            if self.k_bound is not None and "kbounded" not in members:
+                warn("k_bound", "no kbounded member in the portfolio "
+                                "to apply the bound to")
+        if self.k_bound is not None and self.backend != "portfolio":
             if self.scheme != "improved":
                 warn("scheme", "the k-bounded engine uses count-bit "
                                "encodings, not the safe-net schemes")
@@ -322,7 +442,8 @@ class AnalysisSpec:
         ``image`` (``functional`` or a relational engine name; ``None``
         resolves per backend), ``cluster_size``, ``strategy``,
         ``chain_order``, ``no_reorder``, ``simplify_frontier``,
-        ``k_bound``.
+        ``k_bound``, ``portfolio_members`` (comma-separated member
+        ids), ``timeout``, ``member_timeout``.
         """
         values: Dict[str, Any] = {}
         if getattr(args, "scheme", None) is not None:
@@ -347,6 +468,14 @@ class AnalysisSpec:
             values["simplify_frontier"] = True
         if getattr(args, "k_bound", None) is not None:
             values["k_bound"] = args.k_bound
+        members = getattr(args, "portfolio_members", None)
+        if members is not None:
+            values["portfolio_members"] = tuple(
+                m.strip() for m in members.split(",") if m.strip())
+        if getattr(args, "timeout", None) is not None:
+            values["timeout"] = args.timeout
+        if getattr(args, "member_timeout", None) is not None:
+            values["member_timeout"] = args.member_timeout
         return cls(**values)
 
     def to_dict(self) -> Dict[str, Any]:

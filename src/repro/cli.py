@@ -26,6 +26,7 @@ Examples
     python -m repro.cli analyze muller4.pnet --scheme improved --engine bdd
     python -m repro.cli analyze muller4.pnet --image chained --cluster-size 8
     python -m repro.cli analyze muller4.pnet --engine zdd --image chained
+    python -m repro.cli analyze --net phil --n 6 --backend portfolio
 """
 
 from __future__ import annotations
@@ -34,14 +35,16 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import (RELATIONAL_ENGINES, Analysis, AnalysisSpec,
-                       SpecError)
+from .analysis import (DEFAULT_PORTFOLIO_MEMBERS, PORTFOLIO_MEMBERS,
+                       RELATIONAL_ENGINES, Analysis, AnalysisSpec,
+                       PortfolioError, SpecError)
 from .encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
 from .encoding.improved import encoding_variable_summary
 from .petri import find_smcs
 from .petri.classes import classify
-from .petri.generators import (dme_circuit, dme_spec, jj_register, muller,
-                               philosophers, slotted_ring)
+from .petri.generators import (dme_circuit, dme_spec, figure1_net,
+                               jj_register, muller, philosophers,
+                               slotted_ring)
 from .petri.invariants import (invariant_support,
                                minimal_semipositive_invariants,
                                minimal_semipositive_t_invariants)
@@ -104,10 +107,25 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=sorted(SCHEMES))
 
     ana = sub.add_parser("analyze", help="symbolic reachability analysis")
-    ana.add_argument("net", help="path to a .pnet file")
+    ana.add_argument("net_file", nargs="?", default=None,
+                     metavar="net.pnet",
+                     help="path to a .pnet file (or generate a "
+                          "benchmark in-process with --net/--n)")
+    ana.add_argument("--net", default=None, metavar="FAMILY",
+                     choices=sorted(FAMILIES) + ["figure1", "jjreg"],
+                     help="generate a benchmark family instead of "
+                          "reading a file (size via --n)")
+    ana.add_argument("--n", type=int, default=None, metavar="SIZE",
+                     help="family size for --net (cells/stations/"
+                          "stages; bits for jjreg; ignored for figure1)")
     ana.add_argument("--scheme", default="improved",
                      choices=sorted(SCHEMES))
-    ana.add_argument("--engine", default="bdd", choices=["bdd", "zdd"])
+    ana.add_argument("--engine", "--backend", dest="engine",
+                     default="bdd", choices=["bdd", "zdd", "portfolio"],
+                     help="solver backend: a decision-diagram family, "
+                          "or 'portfolio' to race heterogeneous member "
+                          "configurations in worker processes and "
+                          "answer with the first verdict")
     ana.add_argument("--strategy", default="chaining",
                      choices=["bfs", "chaining"])
     ana.add_argument("--image", default=None,
@@ -126,6 +144,24 @@ def _build_parser() -> argparse.ArgumentParser:
                           "partitioned/chained image engines (a positive "
                           "integer, or 'auto' for adaptive support-overlap "
                           "clustering, the default)")
+    ana.add_argument("--portfolio-members", default=None,
+                     metavar="M1,M2,...",
+                     help="comma-separated member ids for the portfolio "
+                          "race (default: "
+                          + ",".join(DEFAULT_PORTFOLIO_MEMBERS) + "; "
+                          "available: " + ",".join(PORTFOLIO_MEMBERS)
+                          + ")")
+    ana.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="global wall-clock budget for the portfolio "
+                          "race; past it the race fails with every "
+                          "member's status")
+    ana.add_argument("--member-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-worker wall-clock budget for the "
+                          "portfolio race; a member past it is "
+                          "terminated and the race continues with the "
+                          "survivors")
     ana.add_argument("--k-bound", type=int, default=None, metavar="K",
                      help="analyze the net as k-bounded with "
                           "ceil(log2(k+1)) count bits per place (the "
@@ -209,9 +245,27 @@ def _cmd_encode(args) -> int:
     return 0
 
 
+def _resolve_analyze_net(args):
+    """The analyzed net: a ``.pnet`` file or an in-process generator."""
+    if args.net_file is not None and args.net is not None:
+        raise SpecError("give either a net.pnet file or --net, not both")
+    if args.net_file is not None:
+        return load(args.net_file)
+    if args.net is None:
+        raise SpecError("no net given: pass a net.pnet file or "
+                        "--net FAMILY [--n SIZE]")
+    if args.net == "figure1":
+        return figure1_net()
+    if args.n is None:
+        raise SpecError(f"--net {args.net} needs a size (--n)")
+    if args.net == "jjreg":
+        return jj_register("a", bits=args.n)
+    return FAMILIES[args.net](args.n)
+
+
 def _cmd_analyze(args) -> int:
-    net = load(args.net)
     try:
+        net = _resolve_analyze_net(args)
         spec = AnalysisSpec.from_args(args)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -225,7 +279,15 @@ def _cmd_analyze(args) -> int:
     for warning in spec.warnings():
         print(f"warning: {warning.render()}", file=sys.stderr)
     analysis = Analysis(net, spec)
-    result = analysis.run()
+    try:
+        result = analysis.run()
+    except PortfolioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for failure in exc.failures:
+            member = failure.member or "<queue>"
+            print(f"  {member}: {failure.kind} — {failure.detail}",
+                  file=sys.stderr)
+        return 1
     # Every BDD run applies the scheme (the relational engines encode
     # with it too); only zdd and k-bounded build their own encoding.
     scheme = f"scheme={spec.scheme} " \
@@ -237,6 +299,16 @@ def _cmd_analyze(args) -> int:
           f"peak={result.peak_nodes} "
           f"iterations={result.iterations} "
           f"time={result.seconds:.2f}s")
+    if spec.backend == "portfolio":
+        race = result.extras["portfolio"]
+        print(f"portfolio: winner={race['winner']} mode={race['mode']}")
+        for member in race["members"]:
+            clock = (f" {member['seconds']:.2f}s"
+                     if member["seconds"] is not None else "")
+            print(f"  {member['member']}: {member['outcome']}{clock}")
+        for failure in race["failures"]:
+            member = failure["member"] or "<queue>"
+            print(f"  {member}: {failure['kind']} — {failure['detail']}")
     if args.deadlocks:
         report = analysis.checker().find_deadlocks()
         if report.holds:

@@ -64,6 +64,8 @@ def engine_label(spec: AnalysisSpec) -> str:
     ``zdd-<engine>`` for the sparse-ZDD baseline and its relational
     form, ``k<bound>`` for the k-bounded extension.
     """
+    if spec.backend == "portfolio":
+        return "portfolio"
     if spec.k_bound is not None:
         return f"k{spec.k_bound}"
     if spec.backend == "zdd":
@@ -167,6 +169,25 @@ def run_zdd(name: str, net: PetriNet, engine: Optional[str] = None,
     else:
         spec = AnalysisSpec(backend="zdd", form="relational",
                             engine=engine, cluster_size=cluster_size)
+    return run(name, net, spec)
+
+
+def run_portfolio(name: str, net: PetriNet,
+                  members: Optional[Sequence[str]] = None,
+                  timeout: Optional[float] = None,
+                  member_timeout: Optional[float] = None
+                  ) -> ExperimentRow:
+    """Race the portfolio members in worker processes (wrapper).
+
+    The row reports the *winner's* columns under the ``portfolio``
+    label; its seconds are the race's wall clock (spawn included), so
+    a portfolio row is directly comparable against the single-engine
+    rows of the same instance — the race costs what the user waits.
+    """
+    spec = AnalysisSpec(
+        backend="portfolio",
+        portfolio_members=tuple(members) if members is not None else None,
+        timeout=timeout, member_timeout=member_timeout)
     return run(name, net, spec)
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis import (DEFAULT_CLUSTER_SIZE,
+                            DEFAULT_PORTFOLIO_MEMBERS,
                             DEFAULT_RELATIONAL_ENGINE, AnalysisSpec,
                             SpecError, SpecWarning)
 from repro.cli import _build_parser
@@ -74,6 +75,18 @@ class TestValidationErrors:
         {"k_bound": 2, "cluster_size": 4},
         {"reorder_threshold": 0},
         {"max_iterations": 0},
+        {"backend": "portfolio", "engine": "chained"},
+        {"backend": "portfolio", "form": "relational"},
+        {"backend": "portfolio", "cluster_size": 4},
+        {"portfolio_members": ("bdd-chained",)},     # bdd backend
+        {"backend": "portfolio", "portfolio_members": ()},
+        {"backend": "portfolio", "portfolio_members": ("sat-solver",)},
+        {"backend": "portfolio",
+         "portfolio_members": ("bdd-chained", "bdd-chained")},
+        {"timeout": 60.0},                           # bdd backend
+        {"backend": "zdd", "member_timeout": 5.0},
+        {"backend": "portfolio", "timeout": 0},
+        {"backend": "portfolio", "member_timeout": -1.0},
     ])
     def test_bad_combinations_raise(self, kwargs):
         with pytest.raises(SpecError):
@@ -129,6 +142,87 @@ class TestWarnings:
                             simplify_frontier=True, strategy="bfs")
         assert {w.option for w in spec.warnings()} == {
             "scheme", "reorder", "simplify_frontier", "strategy"}
+
+
+class TestPortfolioSpec:
+    def test_resolved_members_default(self):
+        spec = AnalysisSpec(backend="portfolio")
+        assert spec.resolved_members == DEFAULT_PORTFOLIO_MEMBERS
+        assert spec.resolved_form == "portfolio"
+        assert spec.resolved_engine == "portfolio"
+        assert spec.engine_id == "portfolio"
+        assert spec.warnings() == ()
+
+    def test_members_list_normalized_to_tuple(self):
+        # from_dict hands back JSON lists; the frozen spec must still
+        # hash and compare like its tuple-built twin.
+        spec = AnalysisSpec(backend="portfolio",
+                            portfolio_members=["zdd-chained",
+                                               "bdd-chained"])
+        assert spec.portfolio_members == ("zdd-chained", "bdd-chained")
+        assert spec == AnalysisSpec(
+            backend="portfolio",
+            portfolio_members=("zdd-chained", "bdd-chained"))
+
+    def test_error_messages_name_the_fix(self):
+        with pytest.raises(SpecError, match="races its members"):
+            AnalysisSpec(backend="portfolio", engine="chained")
+        with pytest.raises(SpecError, match="unknown portfolio member"):
+            AnalysisSpec(backend="portfolio",
+                         portfolio_members=("sat-solver",))
+        with pytest.raises(SpecError, match="worker processes"):
+            AnalysisSpec(timeout=30.0)
+
+    def test_one_member_portfolio_warns(self):
+        spec = AnalysisSpec(backend="portfolio",
+                            portfolio_members=("bdd-chained",))
+        assert [w.option for w in spec.warnings()] == \
+            ["portfolio_members"]
+
+    def test_member_option_warnings_follow_the_roster(self):
+        # scheme applies to the BDD members of the default roster: no
+        # warning; on an all-ZDD/kbounded roster it is dead weight.
+        assert AnalysisSpec(backend="portfolio",
+                            scheme="sparse").warnings() == ()
+        spec = AnalysisSpec(backend="portfolio", scheme="sparse",
+                            portfolio_members=("zdd-chained",
+                                               "kbounded"))
+        assert "scheme" in {w.option for w in spec.warnings()}
+
+    def test_k_bound_parameterizes_the_kbounded_member(self):
+        assert AnalysisSpec(backend="portfolio",
+                            k_bound=2).warnings() == ()
+        spec = AnalysisSpec(backend="portfolio", k_bound=2,
+                            portfolio_members=("bdd-chained",
+                                               "zdd-chained"))
+        assert "k_bound" in {w.option for w in spec.warnings()}
+
+    def test_round_trip_with_members(self):
+        import json
+        spec = AnalysisSpec(backend="portfolio",
+                            portfolio_members=("bdd-functional",
+                                               "kbounded"),
+                            timeout=120.0, member_timeout=30.0)
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert AnalysisSpec.from_dict(payload) == spec
+
+    def test_from_args(self):
+        args = _build_parser().parse_args(
+            ["analyze", "--net", "phil", "--n", "3",
+             "--backend", "portfolio",
+             "--portfolio-members", "bdd-chained,zdd-chained",
+             "--timeout", "60", "--member-timeout", "20"])
+        spec = AnalysisSpec.from_args(args)
+        assert spec == AnalysisSpec(
+            backend="portfolio",
+            portfolio_members=("bdd-chained", "zdd-chained"),
+            timeout=60.0, member_timeout=20.0)
+
+    def test_from_args_member_flags_need_portfolio_backend(self):
+        args = _build_parser().parse_args(
+            ["analyze", "x.pnet", "--portfolio-members", "bdd-chained"])
+        with pytest.raises(SpecError):
+            AnalysisSpec.from_args(args)
 
 
 class TestSerialization:

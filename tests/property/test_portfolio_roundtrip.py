@@ -1,0 +1,101 @@
+"""Property-based JSON round-trips for portfolio specs and results.
+
+Randomized member subsets, failure lists and race extras go through
+``to_dict``/``from_dict`` (with a real ``json.dumps`` hop in between,
+so tuples must survive list-ification) and come back equal.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (PORTFOLIO_MEMBERS, AnalysisResult,
+                            AnalysisSpec, MemberFailure)
+
+members_strategy = st.lists(
+    st.sampled_from(PORTFOLIO_MEMBERS), min_size=1,
+    max_size=len(PORTFOLIO_MEMBERS), unique=True).map(tuple)
+
+failure_strategy = st.builds(
+    MemberFailure,
+    member=st.one_of(st.none(), st.sampled_from(PORTFOLIO_MEMBERS)),
+    kind=st.sampled_from(["crash", "timeout", "error", "spawn", "queue"]),
+    detail=st.text(max_size=40),
+    exitcode=st.one_of(st.none(),
+                       st.integers(min_value=-32, max_value=255)))
+
+outcome_strategy = st.sampled_from(
+    ["won", "cancelled", "crash", "timeout", "error", "spawn", "skipped"])
+
+timeout_strategy = st.one_of(
+    st.none(), st.floats(min_value=0.001, max_value=3600.0,
+                         allow_nan=False, allow_infinity=False))
+
+
+def json_hop(payload):
+    """Force the payload through real JSON, as the worker queue and
+    benchmark files do — tuples become lists, keys become strings."""
+    return json.loads(json.dumps(payload))
+
+
+@settings(max_examples=100, deadline=None)
+@given(members=members_strategy, timeout=timeout_strategy,
+       member_timeout=timeout_strategy)
+def test_spec_roundtrips_portfolio_fields(members, timeout,
+                                          member_timeout):
+    spec = AnalysisSpec(backend="portfolio", portfolio_members=members,
+                        timeout=timeout, member_timeout=member_timeout)
+    restored = AnalysisSpec.from_dict(json_hop(spec.to_dict()))
+    assert restored == spec
+    assert restored.portfolio_members == members  # tuple, not list
+    assert restored.resolved_members == members
+
+
+@settings(max_examples=100, deadline=None)
+@given(failure=failure_strategy)
+def test_member_failure_roundtrips(failure):
+    assert MemberFailure.from_dict(json_hop(failure.to_dict())) == failure
+
+
+@settings(max_examples=100, deadline=None)
+@given(members=members_strategy,
+       winner_index=st.integers(min_value=0, max_value=10),
+       outcomes=st.lists(outcome_strategy, min_size=len(PORTFOLIO_MEMBERS),
+                         max_size=len(PORTFOLIO_MEMBERS)),
+       failures=st.lists(failure_strategy, max_size=4),
+       mode=st.sampled_from(["process", "serial"]),
+       seconds=st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+                         allow_infinity=False))
+def test_result_roundtrips_portfolio_extras(members, winner_index,
+                                            outcomes, failures, mode,
+                                            seconds):
+    winner = members[winner_index % len(members)]
+    race = {
+        "winner": winner,
+        "mode": mode,
+        "members": [
+            {"member": member, "outcome": outcome,
+             "seconds": seconds if outcome == "won" else None}
+            for member, outcome in zip(members, outcomes)
+        ],
+        "failures": [f.to_dict() for f in failures],
+    }
+    result = AnalysisResult(
+        spec=AnalysisSpec(backend="portfolio",
+                          portfolio_members=members),
+        engine=f"portfolio/{winner}", markings=8, iterations=3,
+        variables=11, final_nodes=17, peak_nodes=40, seconds=seconds,
+        reorder_count=0,
+        extras={"portfolio": race, "winner_extras": {"scheme": "improved"},
+                "build_seconds": 0.0, "fixpoint_seconds": seconds})
+
+    restored = AnalysisResult.from_dict(json_hop(result.to_dict()))
+
+    assert restored.spec == result.spec
+    assert restored.spec.resolved_members == members
+    assert restored.engine == result.engine
+    assert restored.extras == result.extras
+    assert restored.reachable is None
+    restored_failures = [MemberFailure.from_dict(d)
+                         for d in restored.extras["portfolio"]["failures"]]
+    assert restored_failures == list(failures)

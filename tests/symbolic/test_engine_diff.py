@@ -126,3 +126,83 @@ def test_cluster_sizes_do_not_change_the_set(make_net, explicit_counts):
         result = traverse_zdd(relnet, engine="chained",
                               cluster_size=cluster_size)
         assert result.marking_count == expected, cluster_size
+
+
+# ---------------------------------------------------------------------------
+# Portfolio differential: the race's verdict vs every member's.
+
+from repro.analysis import (DEFAULT_PORTFOLIO_MEMBERS, Analysis,
+                            AnalysisSpec, PortfolioBackend,
+                            WorkerHarness, analyze, member_spec)
+from repro.symbolic.checker import ModelChecker
+
+
+class _SerialOnlyHarness(WorkerHarness):
+    """Forces the in-process serial path: the first member always wins,
+    which lets the matrix below pin *every* possible winner
+    deterministically instead of whoever happens to finish first."""
+
+    def available(self):
+        return False
+
+
+def _forced_winner_result(net, members):
+    spec = AnalysisSpec(backend="portfolio", portfolio_members=members)
+    backend = PortfolioBackend(harness=_SerialOnlyHarness())
+    session = backend.build(net, spec)
+    return session, session.run()
+
+
+@pytest.mark.parametrize("name", SMALL_NETS)
+def test_portfolio_agrees_with_every_member(name, make_net,
+                                            explicit_counts):
+    """Every member individually, then the portfolio with each member
+    forced to win, all against the explicit oracle — a wrong verdict
+    from any engine or any mixup in the race plumbing fails here."""
+    expected = explicit_counts[name]
+    parent = AnalysisSpec(backend="portfolio")
+
+    # Each member run directly computes the oracle count.
+    for member in DEFAULT_PORTFOLIO_MEMBERS:
+        result = analyze(make_net(name), member_spec(parent, member))
+        assert result.markings == expected, (name, member)
+
+    # Each possible forced winner reports the same count, attributed
+    # to the right member.
+    n = len(DEFAULT_PORTFOLIO_MEMBERS)
+    for shift in range(n):
+        rotation = tuple(DEFAULT_PORTFOLIO_MEMBERS[(shift + i) % n]
+                         for i in range(n))
+        _, result = _forced_winner_result(make_net(name), rotation)
+        race = result.extras["portfolio"]
+        assert race["winner"] == rotation[0], (name, rotation)
+        assert result.markings == expected, (name, rotation)
+
+
+@pytest.mark.parametrize("name", ["figure1", "muller3"])
+def test_portfolio_checker_answers_match_direct_run(name, make_net):
+    """With a BDD-functional winner the portfolio session supports
+    model checking; its deadlock answer must equal a direct run's."""
+    session, result = _forced_winner_result(
+        make_net(name), ("bdd-functional", "zdd-chained"))
+    assert session.supports_model_checking
+    portfolio_deadlocks = ModelChecker(
+        session.symbolic_net,
+        reachable=result.reachable).find_deadlocks()
+
+    direct = Analysis(make_net(name), AnalysisSpec(form="functional"))
+    direct_deadlocks = direct.checker().find_deadlocks()
+
+    assert portfolio_deadlocks.holds == direct_deadlocks.holds
+    assert result.markings == direct.result.markings
+
+
+@pytest.mark.slow
+def test_portfolio_process_race_agrees_large(make_net, explicit_counts):
+    """A real worker-process race on phil6 lands on the oracle count
+    no matter which member wins."""
+    result = analyze(make_net("phil6"),
+                     AnalysisSpec(backend="portfolio", timeout=300.0))
+    assert result.markings == explicit_counts["phil6"]
+    assert result.extras["portfolio"]["winner"] in \
+        DEFAULT_PORTFOLIO_MEMBERS

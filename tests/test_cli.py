@@ -144,3 +144,50 @@ class TestAnalyze:
                      "--k-bound", "2"]) == 2
         assert "only supported on the BDD backend" \
             in capsys.readouterr().err
+
+
+class TestAnalyzePortfolio:
+    def test_race_reports_winner_and_members(self, capsys):
+        assert main(["analyze", "--net", "phil", "--n", "3",
+                     "--backend", "portfolio"]) == 0
+        out = capsys.readouterr().out
+        assert "engine=portfolio" in out
+        assert "image=portfolio/" in out
+        assert "markings=" in out
+        assert "portfolio: winner=" in out
+        # One status line per default member.
+        for member in ("bdd-functional", "bdd-chained", "zdd-chained",
+                       "kbounded"):
+            assert f"  {member}: " in out
+
+    def test_generated_net_flag(self, capsys):
+        assert main(["analyze", "--net", "figure1"]) == 0
+        assert "markings=8" in capsys.readouterr().out
+
+    def test_file_and_net_flag_conflict(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file), "--net", "phil",
+                     "--n", "3"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_net_flag_requires_size(self, capsys):
+        assert main(["analyze", "--net", "phil"]) == 2
+        assert "--n" in capsys.readouterr().err
+
+    def test_no_net_at_all(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "net.pnet" in capsys.readouterr().err
+
+    def test_timeout_needs_portfolio_backend(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file),
+                     "--timeout", "60"]) == 2
+        assert "worker processes" in capsys.readouterr().err
+
+    def test_exhausted_race_exits_1(self, capsys):
+        # A sub-millisecond global budget expires before any worker can
+        # report, so the race fails with every member's status listed.
+        assert main(["analyze", "--net", "phil", "--n", "3",
+                     "--backend", "portfolio",
+                     "--timeout", "0.001"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "timeout" in err
