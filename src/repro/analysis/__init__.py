@@ -18,25 +18,35 @@ The one way to run a symbolic analysis::
   fills, JSON round-trippable via ``to_dict``/``from_dict``.
 * :func:`analyze` / :class:`Analysis` — fire-and-forget vs. reusable
   session (model-checking queries share the computed reachable set).
+* :class:`CheckpointStore` / :class:`CheckpointError` — durable
+  fixpoint checkpoints: the spec's ``checkpoint_path`` family of
+  fields makes any backend periodically serialize its state and
+  ``resume=True`` continues from the last safe point; resource budgets
+  (``node_budget`` / ``deadline``) turn exhaustion into a ``partial``
+  :class:`AnalysisResult` instead of a crash.
 
 The legacy entry points (``traverse``, ``traverse_relational``,
 ``traverse_zdd``, ``traverse_kbounded``) remain as deprecation shims in
 :mod:`repro.symbolic`; new code should route through :func:`analyze`.
 """
 
+from ..dd import ResourceBudgetExceeded
+from ..symbolic import TraversalLimitError
 from .backends import (BACKENDS, BddFunctionalBackend,
                        BddRelationalBackend, KBoundedBackend,
                        SolverBackend, SolverSession, ZddBackend,
                        backend_for)
+from .checkpoint import (CheckpointData, CheckpointError, CheckpointStore,
+                         net_fingerprint, spec_fingerprint)
 from .facade import Analysis, analyze
 from .portfolio import (MemberFailure, PortfolioBackend, PortfolioError,
-                        WorkerHarness, member_spec)
+                        WorkerHarness, member_checkpoint_path, member_spec)
 from .result import SCHEMA_VERSION, AnalysisResult
 from .spec import (BACKEND_FAMILIES, CHAIN_ORDERS, DEFAULT_CLUSTER_SIZE,
                    DEFAULT_FORM, DEFAULT_PORTFOLIO_MEMBERS,
-                   DEFAULT_RELATIONAL_ENGINE, FORMS, PORTFOLIO_MEMBERS,
-                   RELATIONAL_ENGINES, SCHEMES, STRATEGIES, AnalysisSpec,
-                   SpecError, SpecWarning)
+                   DEFAULT_RELATIONAL_ENGINE, FORMS, NONSEMANTIC_FIELDS,
+                   PORTFOLIO_MEMBERS, RELATIONAL_ENGINES, SCHEMES,
+                   STRATEGIES, AnalysisSpec, SpecError, SpecWarning)
 
 __all__ = [
     "AnalysisSpec", "SpecError", "SpecWarning",
@@ -45,10 +55,14 @@ __all__ = [
     "BddFunctionalBackend", "BddRelationalBackend", "ZddBackend",
     "KBoundedBackend",
     "PortfolioBackend", "PortfolioError", "MemberFailure",
-    "WorkerHarness", "member_spec",
+    "WorkerHarness", "member_spec", "member_checkpoint_path",
     "Analysis", "analyze",
+    "CheckpointData", "CheckpointError", "CheckpointStore",
+    "net_fingerprint", "spec_fingerprint",
+    "ResourceBudgetExceeded", "TraversalLimitError",
     "SCHEMES", "BACKEND_FAMILIES", "FORMS", "RELATIONAL_ENGINES",
     "STRATEGIES", "CHAIN_ORDERS", "DEFAULT_FORM",
     "DEFAULT_RELATIONAL_ENGINE", "DEFAULT_CLUSTER_SIZE",
     "PORTFOLIO_MEMBERS", "DEFAULT_PORTFOLIO_MEMBERS",
+    "NONSEMANTIC_FIELDS",
 ]

@@ -31,14 +31,19 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Optional
 
+from ..bdd.io import (dump_functions, dump_zdd_nodes, load_functions,
+                      load_zdd_nodes)
+from ..dd import ResourceBudgetExceeded
 from ..encoding import DenseEncoding, ImprovedEncoding, SparseEncoding
 from ..petri.net import PetriNet
 from ..symbolic.kbounded import KBoundedNet
 from ..symbolic.relational import RelationalNet
 from ..symbolic.transition import SymbolicNet
-from ..symbolic.traversal import make_image_engine
+from ..symbolic.traversal import TraversalLimitError, make_image_engine
 from ..symbolic.zdd_relational import ZddRelationalNet
 from ..symbolic.zdd_traversal import ZddNet, make_zdd_image_engine
+from .checkpoint import (CheckpointData, CheckpointError, CheckpointStore,
+                         net_fingerprint, spec_fingerprint)
 from .result import AnalysisResult
 from .spec import AnalysisSpec, SpecError
 
@@ -81,19 +86,48 @@ class SolverSession:
     or ``KBoundedNet``) and implement :meth:`_advance` (one fixpoint
     iteration), :meth:`at_fixpoint` and :meth:`_finish` (the final
     :class:`AnalysisResult`).  The base class owns the iteration loop,
-    the timing breakdown and the shared ``stats()`` surface.
+    the timing breakdown and the shared ``stats()`` surface — plus the
+    durability layer: when the spec names a ``checkpoint_path``, the
+    fixpoint state is written atomically at the configured cadence
+    (every iteration by default), reloaded on ``resume=True`` (falling
+    back to a cold start on any :class:`CheckpointError`), and budget
+    exhaustion (:class:`~repro.dd.ResourceBudgetExceeded` from the
+    manager's safe points) is converted into a partial result with a
+    final checkpoint on disk.  Passing ``net`` to the constructor opts
+    a subclass into durability; sessions without an in-process manager
+    (the portfolio) leave it ``None``.
     """
 
     supports_model_checking = False
+    #: Which :mod:`repro.bdd.io` format the checkpoint payload uses.
+    _checkpoint_kind = "bdd"
 
     def __init__(self, backend_name: str, spec: AnalysisSpec,
-                 build_seconds: float) -> None:
+                 build_seconds: float,
+                 net: Optional[PetriNet] = None) -> None:
         self.backend_name = backend_name
         self.spec = spec
         self.build_seconds = build_seconds
         self.fixpoint_seconds = 0.0
         self.iterations = 0
         self._result: Optional[AnalysisResult] = None
+        self._store: Optional[CheckpointStore] = None
+        self._resume_info: Optional[Dict[str, Any]] = None
+        if net is not None and (spec.node_budget is not None
+                                or spec.deadline is not None):
+            manager = self._manager()
+            if manager is not None:
+                manager.set_resource_budget(
+                    node_budget=spec.node_budget,
+                    deadline_seconds=spec.deadline)
+        if net is not None and spec.checkpoint_path is not None:
+            self._spec_hash = spec_fingerprint(spec)
+            self._net_hash = net_fingerprint(net)
+            self._store = CheckpointStore(
+                spec.checkpoint_path, every=spec.checkpoint_every,
+                every_seconds=spec.checkpoint_every_seconds)
+            if spec.resume:
+                self._try_resume()
 
     # -- the stepping surface ------------------------------------------
 
@@ -107,29 +141,59 @@ class SolverSession:
         if self.at_fixpoint():
             return False
         start = time.perf_counter()
-        self._advance()
+        try:
+            self._advance()
+        except ResourceBudgetExceeded:
+            # Every session updates its fixpoint state *before* the safe
+            # point that enforces budgets, so the iteration that tripped
+            # the budget is complete — count it, then let run() convert
+            # the exhaustion into a partial result.
+            self.fixpoint_seconds += time.perf_counter() - start
+            self.iterations += 1
+            raise
         self.fixpoint_seconds += time.perf_counter() - start
         self.iterations += 1
+        self._maybe_checkpoint()
         return True
 
     def run(self, max_iterations: Optional[int] = None) -> AnalysisResult:
         """Drive the fixpoint to completion and return the result.
 
-        ``max_iterations`` (falling back to the spec's) aborts with
-        ``RuntimeError`` beyond that many frontier steps.  The result
-        is cached: repeated calls return the same object, which is what
-        lets a :class:`~repro.analysis.facade.Analysis` session hand the
+        ``max_iterations`` (falling back to the spec's) aborts beyond
+        that many frontier steps with a
+        :class:`~repro.symbolic.traversal.TraversalLimitError` carrying
+        the partial state — after writing a checkpoint when one is
+        configured, so the partial work survives.  Budget exhaustion
+        (:class:`~repro.dd.ResourceBudgetExceeded`) does not raise: it
+        returns a *partial* :class:`AnalysisResult`
+        (``status="partial"``, telemetry in ``extras["budget"]``) with
+        a final checkpoint on disk.  The result is cached: repeated
+        calls return the same object, which is what lets a
+        :class:`~repro.analysis.facade.Analysis` session hand the
         reachable set to several queries without re-traversing.
         """
         if self._result is not None:
             return self._result
         limit = max_iterations if max_iterations is not None \
             else self.spec.max_iterations
-        while not self.at_fixpoint():
-            if limit is not None and self.iterations >= limit:
-                raise RuntimeError(
-                    f"traversal exceeded {limit} iterations")
-            self.step()
+        try:
+            while not self.at_fixpoint():
+                if limit is not None and self.iterations >= limit:
+                    self._write_checkpoint()
+                    raise TraversalLimitError(
+                        f"traversal exceeded {limit} iterations",
+                        reached=getattr(self, "reached", None),
+                        frontier=getattr(self, "frontier", None),
+                        iterations=self.iterations)
+                self.step()
+        except ResourceBudgetExceeded as exc:
+            self._write_checkpoint()
+            result = self._finish()
+            result.status = "partial"
+            result.extras["budget"] = exc.telemetry()
+            self._result = result
+            return result
+        self._write_checkpoint()
         self._result = self._finish()
         return self._result
 
@@ -144,6 +208,104 @@ class SolverSession:
             "build_seconds": self.build_seconds,
             "fixpoint_seconds": self.fixpoint_seconds,
         }
+
+    # -- durability ----------------------------------------------------
+
+    def _manager(self):
+        """The session's decision-diagram manager, if it has one."""
+        net = getattr(self, "symbolic_net", None)
+        if net is None:
+            return None
+        manager = getattr(net, "bdd", None)
+        if manager is None:
+            manager = getattr(net, "zdd", None)
+        return manager
+
+    def _dump_payload(self) -> str:
+        """Serialize the fixpoint roots (BDD sessions; ZDD overrides)."""
+        return dump_functions({"reached": self.reached,
+                               "frontier": self.frontier})
+
+    def _load_payload(self, payload: str) -> None:
+        """Install serialized fixpoint roots (BDD sessions; ZDD
+        overrides)."""
+        roots = load_functions(payload, self._manager())
+        self.reached = roots["reached"]
+        self.frontier = roots["frontier"]
+
+    def _maybe_checkpoint(self) -> None:
+        if self._store is not None and self._store.due(self.iterations):
+            self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
+        """Save the current fixpoint state, cadence-independent.
+
+        Called at the cadence points, on budget exhaustion, at an
+        iteration-limit abort and on normal completion (so a finished
+        traversal can be reloaded by a later run).  A repeat call at an
+        already-saved iteration is a no-op.
+        """
+        store = self._store
+        if store is None:
+            return
+        if store.writes > 0 and store._last_iteration == self.iterations:
+            return
+        store.save(CheckpointData(
+            spec_hash=self._spec_hash,
+            net_hash=self._net_hash,
+            kind=self._checkpoint_kind,
+            iteration=self.iterations,
+            order=self._manager().order(),
+            payload=self._dump_payload(),
+            extra={"backend": self.backend_name,
+                   "engine": self.spec.engine_id,
+                   "at_fixpoint": self.at_fixpoint()}))
+
+    def _try_resume(self) -> None:
+        """Reload saved state, or fall back to a cold start.
+
+        Every rejection path — no file, truncation, corruption, a
+        spec/net/kind mismatch, a reload failure — lands in the same
+        place: ``extras["resume"]`` records the fallback and the session
+        starts cold.  Resume must never be less robust than not
+        resuming.
+        """
+        path = str(self._store.path)
+        try:
+            data = self._store.load()
+            self._store.validate(data, spec_hash=self._spec_hash,
+                                 net_hash=self._net_hash,
+                                 kind=self._checkpoint_kind)
+            self._restore(data)
+        except CheckpointError as exc:
+            self._resume_info = {"status": "cold-start", "path": path,
+                                 "reason": exc.reason,
+                                 "error": str(exc)}
+            return
+        self._resume_info = {"status": "resumed", "path": path,
+                             "iteration": self.iterations}
+
+    def _restore(self, data: CheckpointData) -> None:
+        """Install a validated checkpoint into the fresh manager."""
+        manager = self._manager()
+        if set(data.order) != set(manager.order()):
+            raise CheckpointError(
+                "checkpoint variable order does not name this "
+                "manager's variables", reason="mismatch")
+        try:
+            # Restore the saved order first: the payload then rebuilds
+            # on the fast hash-consing path and the resumed run
+            # continues with the order the ancestor had sifted to.
+            manager.set_order(data.order)
+            self._load_payload(data.payload)
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint state could not be reloaded: "
+                f"{type(exc).__name__}: {exc}",
+                reason="malformed") from exc
+        self.iterations = data.iteration
 
     # -- subclass surface ----------------------------------------------
 
@@ -167,6 +329,11 @@ class SolverSession:
         extras = dict(extras)
         extras["build_seconds"] = self.build_seconds
         extras["fixpoint_seconds"] = self.fixpoint_seconds
+        if self._resume_info is not None:
+            extras["resume"] = dict(self._resume_info)
+        if self._store is not None:
+            extras["checkpoint"] = {"path": str(self._store.path),
+                                    "writes": self._store.writes}
         return AnalysisResult(
             spec=self.spec,
             engine=self.spec.engine_id,
@@ -217,7 +384,7 @@ class _BddFunctionalSession(SolverSession):
         self.reached = symnet.initial
         self.frontier = symnet.initial
         super().__init__(BddFunctionalBackend.name, spec,
-                         time.perf_counter() - start)
+                         time.perf_counter() - start, net=net)
 
     def at_fixpoint(self) -> bool:
         return self.frontier.is_zero()
@@ -286,7 +453,7 @@ class _BddRelationalSession(SolverSession):
         self.reached = self.symbolic_net.initial
         self.frontier = self.symbolic_net.initial
         super().__init__(BddRelationalBackend.name, spec,
-                         time.perf_counter() - start)
+                         time.perf_counter() - start, net=net)
 
     def at_fixpoint(self) -> bool:
         return self.frontier.is_zero()
@@ -327,6 +494,8 @@ class BddRelationalBackend(SolverBackend):
 # ----------------------------------------------------------------------
 
 class _ZddSession(SolverSession):
+    _checkpoint_kind = "zdd"
+
     def __init__(self, net: PetriNet, spec: AnalysisSpec) -> None:
         start = time.perf_counter()
         engine_name = spec.resolved_engine
@@ -350,7 +519,7 @@ class _ZddSession(SolverSession):
         self.reached = self.zdd.ref(self.symbolic_net.initial)
         self.frontier = self.zdd.ref(self.symbolic_net.initial)
         super().__init__(ZddBackend.name, spec,
-                         time.perf_counter() - start)
+                         time.perf_counter() - start, net=net)
 
     def at_fixpoint(self) -> bool:
         return self.frontier == self.zdd.empty()
@@ -367,6 +536,21 @@ class _ZddSession(SolverSession):
         # Safe point: garbage collection / dynamic reordering, exactly
         # as the BDD sessions checkpoint each iteration.
         zdd.checkpoint()
+
+    def _dump_payload(self) -> str:
+        return dump_zdd_nodes(self.zdd, {"reached": self.reached,
+                                         "frontier": self.frontier})
+
+    def _load_payload(self, payload: str) -> None:
+        # Raw node ids: pin the restored roots before releasing the
+        # initial-marking ones (the session refs its roots for life).
+        roots = load_zdd_nodes(payload, self.zdd)
+        self.zdd.ref(roots["reached"])
+        self.zdd.ref(roots["frontier"])
+        self.zdd.deref(self.reached)
+        self.zdd.deref(self.frontier)
+        self.reached = roots["reached"]
+        self.frontier = roots["frontier"]
 
     def _peak_nodes(self) -> int:
         self.zdd.live_nodes()  # fold the current occupancy into the peak
@@ -406,7 +590,7 @@ class _KBoundedSession(SolverSession):
         self.reached = self.symbolic_net.initial
         self.frontier = self.symbolic_net.initial
         super().__init__(KBoundedBackend.name, spec,
-                         time.perf_counter() - start)
+                         time.perf_counter() - start, net=net)
 
     def at_fixpoint(self) -> bool:
         return self.frontier.is_zero()

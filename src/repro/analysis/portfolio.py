@@ -21,6 +21,13 @@ The race is robust by construction:
   does not follow the worker protocol is recorded and skipped; after
   :data:`MAX_QUEUE_POISON` strikes the queue is considered unusable and
   the race aborts cleanly.
+* **Checkpoint-resume retries** — with ``spec.checkpoint_path`` set,
+  every member checkpoints to its own file
+  (:func:`member_checkpoint_path`); a member that crashes or times out
+  while such a checkpoint exists is restarted from it, up to
+  :data:`MEMBER_MAX_RETRIES` times with linear backoff, instead of
+  being written off.  Retry events are surfaced in the race telemetry
+  (``extras["portfolio"]["retries"]``).
 * **Graceful degradation** — when the platform rules out worker
   processes (no usable start method, semaphores unavailable, spawn
   failures), the race falls back to running members serially in
@@ -41,13 +48,16 @@ The winning member's result is returned with portfolio extras::
         "mode": "process",                 # or "serial"
         "members": [{"member": ..., "outcome": "won" | "cancelled" |
                      "crash" | "timeout" | "error" | "spawn" |
-                     "skipped", "seconds": ...}, ...],
+                     "skipped", "seconds": ..., "attempts": ...}, ...],
         "failures": [MemberFailure.to_dict(), ...],
+        "retries": [{"member": ..., "attempt": ..., "reason": ...,
+                     "backoff": ..., "checkpoint": ...}, ...],
     }
 """
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
 import time
 from dataclasses import dataclass
@@ -62,7 +72,7 @@ from .spec import (DEFAULT_PORTFOLIO_MEMBERS, PORTFOLIO_MEMBERS,
 
 __all__ = [
     "PortfolioBackend", "PortfolioError", "MemberFailure",
-    "WorkerHarness", "member_spec",
+    "WorkerHarness", "member_spec", "member_checkpoint_path",
 ]
 
 # How long the parent sleeps on the queue per loop pass: bounds the
@@ -78,6 +88,11 @@ DEAD_WORKER_GRACE_POLLS = 2
 MAX_QUEUE_POISON = 3
 # Seconds to wait for a terminated loser before escalating to kill().
 JOIN_TIMEOUT = 2.0
+# When the portfolio checkpoints (``spec.checkpoint_path``), a member
+# that crashes or times out while holding a checkpoint is restarted
+# from it — at most this many times, with a linear backoff per attempt.
+MEMBER_MAX_RETRIES = 2
+RETRY_BACKOFF_SECONDS = 0.5
 
 
 class PortfolioError(RuntimeError):
@@ -124,6 +139,20 @@ class MemberFailure:
 # Member catalog
 # ----------------------------------------------------------------------
 
+def member_checkpoint_path(spec: AnalysisSpec,
+                           member: str) -> Optional[str]:
+    """Where one member checkpoints: ``<portfolio path>.<member>``.
+
+    Members race in separate processes, so they cannot share one file;
+    suffixing the portfolio's ``checkpoint_path`` keeps every member's
+    checkpoint alongside it and lets the race resume a crashed member
+    from *its own* last safe point.
+    """
+    if spec.checkpoint_path is None:
+        return None
+    return f"{spec.checkpoint_path}.{member}"
+
+
 def member_spec(spec: AnalysisSpec, member: str) -> AnalysisSpec:
     """The single-engine spec a portfolio member runs.
 
@@ -131,10 +160,16 @@ def member_spec(spec: AnalysisSpec, member: str) -> AnalysisSpec:
     portfolio spec (scheme / frontier handling for the BDD members, the
     functional sweep knobs for ``bdd-functional``, ``k_bound`` for
     ``kbounded``, reordering and ``max_iterations`` for everyone).
+    Durability knobs thread through too: each member checkpoints to
+    :func:`member_checkpoint_path` on the portfolio's cadence.
     """
     shared: Dict[str, Any] = dict(
         reorder=spec.reorder, reorder_threshold=spec.reorder_threshold,
-        max_iterations=spec.max_iterations)
+        max_iterations=spec.max_iterations,
+        checkpoint_path=member_checkpoint_path(spec, member),
+        checkpoint_every=spec.checkpoint_every,
+        checkpoint_every_seconds=spec.checkpoint_every_seconds,
+        resume=spec.resume)
     bdd: Dict[str, Any] = dict(
         scheme=spec.scheme, simplify_frontier=spec.simplify_frontier,
         **shared)
@@ -263,7 +298,12 @@ class WorkerHarness:
 # ----------------------------------------------------------------------
 
 class _MemberState:
-    """Book-keeping for one spawned member."""
+    """Book-keeping for one spawned member.
+
+    ``handle is None`` with ``outcome is None`` means the member is
+    awaiting a checkpoint-resume restart at ``restart_at``; ``attempt``
+    counts launches (1 = the original run).
+    """
 
     def __init__(self, member: str, handle, started: float,
                  deadline: Optional[float]) -> None:
@@ -274,6 +314,8 @@ class _MemberState:
         self.outcome: Optional[str] = None
         self.seconds: Optional[float] = None
         self.dead_polls = 0
+        self.attempt = 1
+        self.restart_at: Optional[float] = None
 
     def resolve(self, outcome: str, now: float) -> None:
         self.outcome = outcome
@@ -291,6 +333,8 @@ class _Race:
         self.members = spec.resolved_members
         self.failures: List[MemberFailure] = []
         self.outcomes: List[Dict[str, Any]] = []
+        self.retries: List[Dict[str, Any]] = []
+        self._discarded: List[Any] = []  # handles of retried attempts
         self.winner: Optional[str] = None
         self.winner_result: Optional[AnalysisResult] = None
         self.mode = "process"
@@ -323,7 +367,7 @@ class _Race:
         self.seconds = self.harness.now() - start
         self.outcomes = [
             {"member": s.member, "outcome": s.outcome or "cancelled",
-             "seconds": s.seconds}
+             "seconds": s.seconds, "attempts": s.attempt}
             for s in states.values()]
 
     def _spawn_all(self, result_queue) -> Dict[str, _MemberState]:
@@ -359,9 +403,17 @@ class _Race:
             if not live:
                 break
             now = self.harness.now()
+            for state in live:
+                if (state.handle is None and state.restart_at is not None
+                        and now >= state.restart_at):
+                    self._respawn(state, result_queue)
+            live = [s for s in states.values() if s.outcome is None]
+            if not live:
+                break
             if global_deadline is not None and now >= global_deadline:
                 for state in live:
-                    state.handle.terminate()
+                    if state.handle is not None:
+                        state.handle.terminate()
                     state.resolve("timeout", now)
                     self.failures.append(MemberFailure(
                         state.member, "timeout",
@@ -373,6 +425,8 @@ class _Race:
             for state in live:
                 if state.deadline is not None:
                     timeout = min(timeout, state.deadline - now)
+                if state.restart_at is not None:
+                    timeout = min(timeout, state.restart_at - now)
             try:
                 message = result_queue.get(timeout=max(timeout, 0.005))
             except queue_module.Empty:
@@ -399,11 +453,61 @@ class _Race:
         now = self.harness.now()
         for state in states.values():
             if state.outcome is None:
-                state.handle.terminate()
+                if state.handle is not None:
+                    state.handle.terminate()
                 state.resolve("error", now)
                 self.failures.append(MemberFailure(
                     state.member, "error",
                     "race aborted: result queue unusable"))
+
+    def _schedule_retry(self, state: _MemberState, reason: str,
+                        now: float) -> bool:
+        """Queue a checkpoint-resume restart for a failed member.
+
+        Only fires when the member actually has a checkpoint to resume
+        from (the file under :func:`member_checkpoint_path` exists) and
+        its retry budget (:data:`MEMBER_MAX_RETRIES`) is not exhausted.
+        Returns whether a restart was scheduled; the caller keeps the
+        :class:`MemberFailure` record either way, so retried attempts
+        stay visible in the telemetry.
+        """
+        path = member_checkpoint_path(self.spec, state.member)
+        if path is None or not os.path.exists(path):
+            return False
+        if state.attempt > MEMBER_MAX_RETRIES:
+            return False
+        backoff = RETRY_BACKOFF_SECONDS * state.attempt
+        if state.handle is not None:
+            self._discarded.append(state.handle)
+        state.handle = None
+        state.deadline = None
+        state.dead_polls = 0
+        state.restart_at = now + backoff
+        self.retries.append({
+            "member": state.member, "attempt": state.attempt,
+            "reason": reason, "backoff": backoff,
+            "checkpoint": path})
+        state.attempt += 1
+        return True
+
+    def _respawn(self, state: _MemberState, result_queue) -> None:
+        """Restart a retried member, resuming from its checkpoint."""
+        member = state.member
+        mspec = member_spec(self.spec, member).replace(resume=True)
+        now = self.harness.now()
+        state.restart_at = None
+        state.started = now
+        state.deadline = (now + self.spec.member_timeout
+                          if self.spec.member_timeout else None)
+        try:
+            state.handle = self.harness.spawn(
+                member, _worker_main,
+                (member, dumps(self.net), mspec.to_dict(),
+                 result_queue))
+        except Exception as exc:
+            self.failures.append(MemberFailure(
+                member, "spawn", f"{type(exc).__name__}: {exc}"))
+            state.resolve("spawn", now)
 
     def _dispatch(self, message, states: Dict[str, _MemberState]) -> bool:
         """Apply one queue message; ``False`` if it was malformed."""
@@ -441,15 +545,16 @@ class _Race:
             self, states: Dict[str, _MemberState]) -> None:
         now = self.harness.now()
         for state in states.values():
-            if state.outcome is not None:
+            if state.outcome is not None or state.handle is None:
                 continue
             if state.deadline is not None and now >= state.deadline:
                 state.handle.terminate()
-                state.resolve("timeout", now)
                 self.failures.append(MemberFailure(
                     state.member, "timeout",
                     f"member timeout after "
                     f"{self.spec.member_timeout}s"))
+                if not self._schedule_retry(state, "timeout", now):
+                    state.resolve("timeout", now)
             elif not state.handle.is_alive():
                 # Grace: the worker may have flushed its verdict into
                 # the queue on the way out; give the next polls a
@@ -457,11 +562,12 @@ class _Race:
                 state.dead_polls += 1
                 if state.dead_polls > DEAD_WORKER_GRACE_POLLS:
                     exitcode = state.handle.exitcode
-                    state.resolve("crash", now)
                     self.failures.append(MemberFailure(
                         state.member, "crash",
                         f"worker died without reporting "
                         f"(exitcode {exitcode})", exitcode=exitcode))
+                    if not self._schedule_retry(state, "crash", now):
+                        state.resolve("crash", now)
 
     def _classify_unresolved(self, states: Dict[str, _MemberState]) -> None:
         """Settle members the verdict outran.
@@ -475,6 +581,11 @@ class _Race:
         for state in states.values():
             if state.outcome is not None:
                 continue
+            if state.handle is None:
+                # Awaiting a checkpoint-resume restart when the verdict
+                # arrived: the retry is moot, not a failure.
+                state.resolve("cancelled", now)
+                continue
             exitcode = None if state.handle.is_alive() \
                 else state.handle.exitcode
             if exitcode not in (None, 0):
@@ -487,20 +598,21 @@ class _Race:
                 state.resolve("cancelled", now)
 
     def _reap(self, states: Dict[str, _MemberState]) -> None:
-        """Terminate and join every worker — losers included, always."""
-        for state in states.values():
-            handle = state.handle
-            if handle is None:
-                continue
+        """Terminate and join every worker — losers included, always.
+
+        Handles discarded by checkpoint-resume retries are reaped too:
+        the replaced attempt was terminated when its retry was
+        scheduled, but it still needs joining here.
+        """
+        handles = [s.handle for s in states.values()
+                   if s.handle is not None] + self._discarded
+        for handle in handles:
             try:
                 if handle.is_alive():
                     handle.terminate()
             except Exception:
                 pass
-        for state in states.values():
-            handle = state.handle
-            if handle is None:
-                continue
+        for handle in handles:
             try:
                 handle.join(JOIN_TIMEOUT)
                 if handle.is_alive():
@@ -598,6 +710,7 @@ class _PortfolioSession(SolverSession):
                 "mode": race.mode,
                 "members": race.outcomes,
                 "failures": [f.to_dict() for f in race.failures],
+                "retries": list(race.retries),
             },
             "winner_extras": dict(winner.extras),
             "build_seconds": winner.extras.get("build_seconds", 0.0),

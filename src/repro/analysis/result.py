@@ -58,6 +58,13 @@ class AnalysisResult:
         ``extras["fixpoint_seconds"]``).
     reorder_count:
         Dynamic-reordering passes run (0 on the ZDD backend).
+    status:
+        ``"complete"`` (the fixpoint converged) or ``"partial"`` (a
+        resource budget aborted the run at a safe point; ``markings``
+        and ``reachable`` are then a genuine under-approximation of the
+        reachable set, ``extras["budget"]`` carries the exhaustion
+        telemetry and — when checkpointing — a final checkpoint is on
+        disk to resume from).
     extras:
         Per-backend statistics (JSON-serializable values only).
     reachable:
@@ -77,12 +84,15 @@ class AnalysisResult:
     reorder_count: int
     extras: Dict[str, Any] = field(default_factory=dict)
     reachable: Optional[Any] = None
+    status: str = "complete"
 
     def __repr__(self) -> str:
+        partial = "" if self.status == "complete" \
+            else f" status={self.status}"
         return (f"<AnalysisResult engine={self.engine} "
                 f"markings={self.markings} V={self.variables} "
                 f"nodes={self.final_nodes} iters={self.iterations} "
-                f"t={self.seconds:.3f}s>")
+                f"t={self.seconds:.3f}s{partial}>")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable dump (drops the ``reachable`` handle)."""
@@ -97,6 +107,7 @@ class AnalysisResult:
             "peak_nodes": self.peak_nodes,
             "seconds": self.seconds,
             "reorder_count": self.reorder_count,
+            "status": self.status,
             "extras": dict(self.extras),
         }
 
@@ -123,5 +134,6 @@ class AnalysisResult:
             peak_nodes=data["peak_nodes"],
             seconds=data["seconds"],
             reorder_count=data["reorder_count"],
+            status=data.get("status", "complete"),
             extras=dict(data.get("extras", {})),
         )

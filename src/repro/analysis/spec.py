@@ -43,6 +43,7 @@ __all__ = [
     "CHAIN_ORDERS", "DEFAULT_FORM", "DEFAULT_RELATIONAL_ENGINE",
     "DEFAULT_CLUSTER_SIZE", "DEFAULT_REORDER_THRESHOLD",
     "PORTFOLIO_MEMBERS", "DEFAULT_PORTFOLIO_MEMBERS",
+    "NONSEMANTIC_FIELDS",
 ]
 
 ClusterSize = Union[int, str]
@@ -77,6 +78,19 @@ DEFAULT_FORM: Dict[str, str] = {"bdd": "functional", "zdd": "relational"}
 DEFAULT_RELATIONAL_ENGINE = "chained"
 DEFAULT_CLUSTER_SIZE: ClusterSize = "auto"
 DEFAULT_REORDER_THRESHOLD = 2_000
+
+# Fields that do not change the analysis trajectory: the durability and
+# budget knobs, plus ``max_iterations`` (bounds how far a run gets, not
+# the states it visits).  The checkpoint spec fingerprint
+# (:func:`repro.analysis.checkpoint.spec_fingerprint`) excludes them so
+# a ``resume=True`` run — or one retrying with a larger iteration
+# allowance or different budget — still matches the checkpoint its
+# ancestor wrote.
+NONSEMANTIC_FIELDS = (
+    "checkpoint_path", "checkpoint_every", "checkpoint_every_seconds",
+    "resume", "node_budget", "deadline", "max_iterations",
+    "timeout", "member_timeout",
+)
 
 
 class SpecError(ValueError):
@@ -167,6 +181,36 @@ class AnalysisSpec:
         fixpoint cannot be preempted), so setting either on another
         backend is a :class:`SpecError`; the serial degraded mode
         cannot enforce them and reports the members it let run.
+    checkpoint_path, checkpoint_every, checkpoint_every_seconds:
+        Durability: when ``checkpoint_path`` is set, the fixpoint state
+        (reached + frontier, variable order, iteration count, spec/net
+        hashes) is written atomically to that path every
+        ``checkpoint_every`` iterations and/or
+        ``checkpoint_every_seconds`` seconds (both unset: every
+        iteration).  On the portfolio backend each member checkpoints
+        to ``<checkpoint_path>.<member>`` and a crashed or timed-out
+        member holding a checkpoint is restarted from it with bounded
+        retries.  Cadence knobs without a path are a
+        :class:`SpecError`.
+    resume:
+        Start from the checkpoint at ``checkpoint_path`` when one
+        exists and its spec/net hashes match; otherwise (missing,
+        corrupt, truncated or mismatched — any
+        :class:`~repro.analysis.checkpoint.CheckpointError`) fall back
+        to a cold start, recorded in ``extras["resume"]``.  Requires
+        ``checkpoint_path``.
+    node_budget, deadline:
+        In-process resource budgets enforced at the manager's safe
+        points: a live-node cap (force GC, then force a reorder pass,
+        then give up — the degradation ladder) and a wall-clock
+        allowance in seconds measured from session build.  Exhaustion
+        raises :class:`~repro.dd.ResourceBudgetExceeded` inside the
+        engine; the session converts it into a *partial*
+        :class:`~repro.analysis.result.AnalysisResult`
+        (``status="partial"``, telemetry in ``extras["budget"]``) and,
+        when checkpointing, writes a final checkpoint first.  The
+        portfolio backend rejects them (its members are whole worker
+        processes — use ``timeout``/``member_timeout`` there).
     """
 
     scheme: str = "improved"
@@ -185,6 +229,12 @@ class AnalysisSpec:
     portfolio_members: Optional[Tuple[str, ...]] = None
     timeout: Optional[float] = None
     member_timeout: Optional[float] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_every_seconds: Optional[float] = None
+    resume: bool = False
+    node_budget: Optional[int] = None
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         # JSON round trips hand lists back; normalize before validation
@@ -348,6 +398,35 @@ class AnalysisSpec:
             raise SpecError(
                 f"max_iterations must be positive, got "
                 f"{self.max_iterations}")
+        if self.checkpoint_path is not None and not self.checkpoint_path:
+            raise SpecError("checkpoint_path must not be empty")
+        for option in ("checkpoint_every", "checkpoint_every_seconds"):
+            value = getattr(self, option)
+            if value is None:
+                continue
+            if self.checkpoint_path is None:
+                raise SpecError(
+                    f"{option} is a checkpoint cadence; it needs "
+                    f"checkpoint_path to be set")
+            if value < 1 if option == "checkpoint_every" else value <= 0:
+                raise SpecError(
+                    f"{option} must be positive, got {value}")
+        if self.resume and self.checkpoint_path is None:
+            raise SpecError(
+                "resume needs checkpoint_path: there is nothing to "
+                "resume from")
+        for option in ("node_budget", "deadline"):
+            value = getattr(self, option)
+            if value is None:
+                continue
+            if self.backend == "portfolio":
+                raise SpecError(
+                    f"{option} guards an in-process manager; portfolio "
+                    f"members are whole worker processes — bound them "
+                    f"with timeout/member_timeout instead")
+            if value < 1 if option == "node_budget" else value <= 0:
+                raise SpecError(
+                    f"{option} must be positive, got {value}")
 
     def warnings(self) -> Tuple[SpecWarning, ...]:
         """Structured inapplicable-option warnings for this spec.
@@ -443,7 +522,9 @@ class AnalysisSpec:
         resolves per backend), ``cluster_size``, ``strategy``,
         ``chain_order``, ``no_reorder``, ``simplify_frontier``,
         ``k_bound``, ``portfolio_members`` (comma-separated member
-        ids), ``timeout``, ``member_timeout``.
+        ids), ``timeout``, ``member_timeout``, ``checkpoint`` (the
+        checkpoint path), ``checkpoint_every``, ``resume``,
+        ``node_budget``, ``deadline``.
         """
         values: Dict[str, Any] = {}
         if getattr(args, "scheme", None) is not None:
@@ -476,6 +557,16 @@ class AnalysisSpec:
             values["timeout"] = args.timeout
         if getattr(args, "member_timeout", None) is not None:
             values["member_timeout"] = args.member_timeout
+        if getattr(args, "checkpoint", None) is not None:
+            values["checkpoint_path"] = args.checkpoint
+        if getattr(args, "checkpoint_every", None) is not None:
+            values["checkpoint_every"] = args.checkpoint_every
+        if getattr(args, "resume", False):
+            values["resume"] = True
+        if getattr(args, "node_budget", None) is not None:
+            values["node_budget"] = args.node_budget
+        if getattr(args, "deadline", None) is not None:
+            values["deadline"] = args.deadline
         return cls(**values)
 
     def to_dict(self) -> Dict[str, Any]:

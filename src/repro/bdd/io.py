@@ -1,4 +1,4 @@
-"""Serialization of BDD functions.
+"""Serialization of decision-diagram functions and families.
 
 Saves one or more functions — e.g. a computed reachability set — to a
 compact, order-independent text format and reloads them into any manager
@@ -7,25 +7,48 @@ topological order (children first), so loading is a single linear pass of
 hash-consing ``_mk`` calls; the round trip therefore re-canonicalizes
 under the target manager's variable order automatically.
 
-Format (one record per line)::
+BDD format (one record per line)::
 
     bddio 1
     var <name> <name> ...
     node <id> <var-name> <low-id> <high-id>
     root <label> <id>
 
-The ids ``0``/``1`` are the constants; other ids are file-local.
+ZDD format (:func:`dump_zdd_nodes` / :func:`load_zdd_nodes`)::
+
+    zddio 1
+    elem <name> <name> ...
+    node <id> <elem-name> <low-id> <high-id>
+    root <label> <id>
+
+The ids ``0``/``1`` are the terminals (``ZERO``/``ONE`` for BDDs,
+``EMPTY``/``BASE`` for ZDDs); other ids are file-local.  Both loaders
+reject malformed records with a structured error
+(:class:`~repro.bdd.manager.BDDError` / :class:`~repro.bdd.zdd.ZDDError`)
+naming the offending line — never a bare ``ValueError`` mid-parse.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Union
 
 from .function import Function
 from .manager import BDD, BDDError, ONE, ZERO
+from .zdd import BASE, EMPTY, ZDD, ZDDError
 
 _HEADER = "bddio 1"
+_ZDD_HEADER = "zddio 1"
+
+
+def _int_field(value: str, line: str, error_class) -> int:
+    """Parse one integer field, or fail with the record in the message."""
+    try:
+        return int(value)
+    except ValueError:
+        raise error_class(
+            f"malformed integer field {value!r} in record {line!r}"
+        ) from None
 
 
 def dump_functions(functions: Dict[str, Function]) -> str:
@@ -86,8 +109,10 @@ def load_functions(text: str, bdd: BDD) -> Dict[str, Function]:
         elif kind == "node":
             if len(fields) != 5:
                 raise BDDError(f"malformed node line: {line!r}")
-            file_id, var_name = int(fields[1]), fields[2]
-            low, high = int(fields[3]), int(fields[4])
+            file_id = _int_field(fields[1], line, BDDError)
+            var_name = fields[2]
+            low = _int_field(fields[3], line, BDDError)
+            high = _int_field(fields[4], line, BDDError)
             try:
                 children = (node_map[low], node_map[high])
             except KeyError as exc:
@@ -96,7 +121,8 @@ def load_functions(text: str, bdd: BDD) -> Dict[str, Function]:
         elif kind == "root":
             if len(fields) != 3:
                 raise BDDError(f"malformed root line: {line!r}")
-            label, file_id = fields[1], int(fields[2])
+            label, file_id = fields[1], _int_field(fields[2], line,
+                                                  BDDError)
             if file_id not in node_map:
                 raise BDDError(f"unknown root id in {line!r}")
             roots[label] = Function(bdd, node_map[file_id])
@@ -128,3 +154,109 @@ def load_functions_file(path: Union[str, Path],
                         bdd: BDD) -> Dict[str, Function]:
     """Read labeled functions from a file."""
     return load_functions(Path(path).read_text(), bdd)
+
+
+# ----------------------------------------------------------------------
+# ZDD families
+# ----------------------------------------------------------------------
+
+def dump_zdd_nodes(zdd: ZDD, roots: Dict[str, int]) -> str:
+    """Serialize labeled ZDD families (raw node ids) to the text format.
+
+    The mirror of :func:`dump_functions` for set families: nodes are
+    emitted children-first under the manager's current element order, so
+    :func:`load_zdd_nodes` is a single linear rebuild pass.
+    """
+    if not roots:
+        raise ZDDError("nothing to dump")
+    lines = [_ZDD_HEADER,
+             "elem " + " ".join(zdd.order())]
+    written: Dict[int, int] = {EMPTY: 0, BASE: 1}
+    counter = 2
+
+    def emit(node: int) -> int:
+        nonlocal counter
+        known = written.get(node)
+        if known is not None:
+            return known
+        low = emit(zdd._low[node])
+        high = emit(zdd._high[node])
+        written[node] = counter
+        lines.append(f"node {counter} {zdd.var_name(zdd._var[node])} "
+                     f"{low} {high}")
+        counter += 1
+        return written[node]
+
+    for label, node in roots.items():
+        if any(ch.isspace() for ch in label):
+            raise ZDDError(f"root label must not contain spaces: {label!r}")
+        lines.append(f"root {label} {emit(node)}")
+    return "\n".join(lines) + "\n"
+
+
+def load_zdd_nodes(text: str, zdd: ZDD) -> Dict[str, int]:
+    """Parse the ZDD text format into raw node ids on the manager.
+
+    Every element named in the file must already be declared on ``zdd``.
+    Its order may differ from the dumping manager's: a node whose
+    element sits below one of its children under the target order cannot
+    be hash-consed directly, so it is rebuilt semantically as
+    ``low ∪ ({{elem}} ⊔ high)`` — the family a ZDD node denotes —
+    through the level-aware ``union``/``product`` operations (the same
+    fallback the order-monotone ``rename`` uses).
+
+    The returned node ids are unreferenced; callers that keep them past
+    the next safe point must :meth:`~repro.dd.manager.DDManager.ref`
+    them.
+    """
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != _ZDD_HEADER:
+        raise ZDDError("not a zddio v1 stream")
+    node_map: Dict[int, int] = {0: EMPTY, 1: BASE}
+    roots: Dict[str, int] = {}
+    for line in lines[1:]:
+        fields = line.split()
+        kind = fields[0]
+        if kind == "elem":
+            for name in fields[1:]:
+                zdd.var_index(name)  # raises if missing
+        elif kind == "node":
+            if len(fields) != 5:
+                raise ZDDError(f"malformed node line: {line!r}")
+            file_id = _int_field(fields[1], line, ZDDError)
+            elem_name = fields[2]
+            low = _int_field(fields[3], line, ZDDError)
+            high = _int_field(fields[4], line, ZDDError)
+            try:
+                children = (node_map[low], node_map[high])
+            except KeyError as exc:
+                raise ZDDError(f"forward reference in {line!r}") from exc
+            node_map[file_id] = _mk_zdd_ordered(zdd, elem_name, *children)
+        elif kind == "root":
+            if len(fields) != 3:
+                raise ZDDError(f"malformed root line: {line!r}")
+            label, file_id = fields[1], _int_field(fields[2], line,
+                                                  ZDDError)
+            if file_id not in node_map:
+                raise ZDDError(f"unknown root id in {line!r}")
+            roots[label] = node_map[file_id]
+        else:
+            raise ZDDError(f"unknown record {kind!r}")
+    if not roots:
+        raise ZDDError("stream contains no roots")
+    return roots
+
+
+def _mk_zdd_ordered(zdd: ZDD, elem_name: str, low: int, high: int) -> int:
+    """Rebuild one ZDD node under the target element order.
+
+    Fast path: when the element still sits above both children, plain
+    hash-consing ``_mk`` reproduces the node.  Order-crossing case: the
+    denoted family ``family(low) ∪ {s ∪ {elem} : s ∈ family(high)}`` is
+    rebuilt through ``union``/``product``, which compare levels.
+    """
+    var = zdd.var_index(elem_name)
+    vlevel = zdd._var2level[var]
+    if vlevel < zdd._level(low) and vlevel < zdd._level(high):
+        return zdd._mk(var, low, high)
+    return zdd.union(low, zdd.product(zdd._mk(var, EMPTY, BASE), high))

@@ -27,6 +27,13 @@ Examples
     python -m repro.cli analyze muller4.pnet --image chained --cluster-size 8
     python -m repro.cli analyze muller4.pnet --engine zdd --image chained
     python -m repro.cli analyze --net phil --n 6 --backend portfolio
+    python -m repro.cli analyze --net phil --n 8 --checkpoint run.ckpt
+    python -m repro.cli analyze --net phil --n 8 --checkpoint run.ckpt \
+        --resume
+
+``analyze`` exit codes: 0 success, 1 portfolio race failure, 2 bad
+spec, 3 partial result (a ``--node-budget`` / ``--deadline`` resource
+budget was exhausted; the printed marking count is a lower bound).
 """
 
 from __future__ import annotations
@@ -162,6 +169,35 @@ def _build_parser() -> argparse.ArgumentParser:
                           "portfolio race; a member past it is "
                           "terminated and the race continues with the "
                           "survivors")
+    ana.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="checkpoint the fixpoint state to this file "
+                          "(written atomically at safe points; with "
+                          "--engine portfolio each member checkpoints "
+                          "to PATH.<member>)")
+    ana.add_argument("--checkpoint-every", type=int, default=None,
+                     metavar="N",
+                     help="checkpoint at most once per N completed "
+                          "iterations (default 1 with --checkpoint)")
+    ana.add_argument("--resume", action="store_true",
+                     help="resume from the checkpoint at --checkpoint "
+                          "PATH when it matches this net and "
+                          "configuration; any damaged or mismatched "
+                          "checkpoint falls back to a cold start "
+                          "(reported, never fatal)")
+    ana.add_argument("--node-budget", type=int, default=None,
+                     metavar="N",
+                     help="abort at a safe point once the manager holds "
+                          "more than N live nodes even after forced GC "
+                          "and reordering; the run returns a partial "
+                          "result (exit code 3) and, with --checkpoint, "
+                          "a final checkpoint to resume from")
+    ana.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget for a single-engine run, "
+                          "checked at safe points; past it the run "
+                          "returns a partial result (exit code 3); "
+                          "for the portfolio race use --timeout / "
+                          "--member-timeout instead")
     ana.add_argument("--k-bound", type=int, default=None, metavar="K",
                      help="analyze the net as k-bounded with "
                           "ceil(log2(k+1)) count bits per place (the "
@@ -299,16 +335,44 @@ def _cmd_analyze(args) -> int:
           f"peak={result.peak_nodes} "
           f"iterations={result.iterations} "
           f"time={result.seconds:.2f}s")
+    resume = result.extras.get("resume")
+    if resume is not None:
+        if resume["status"] == "resumed":
+            print(f"resume: continued from {resume['path']} at "
+                  f"iteration {resume['iteration']}")
+        else:
+            print(f"resume: cold start ({resume['reason']}: "
+                  f"{resume['error']})", file=sys.stderr)
     if spec.backend == "portfolio":
         race = result.extras["portfolio"]
         print(f"portfolio: winner={race['winner']} mode={race['mode']}")
         for member in race["members"]:
             clock = (f" {member['seconds']:.2f}s"
                      if member["seconds"] is not None else "")
-            print(f"  {member['member']}: {member['outcome']}{clock}")
+            attempts = (f" (attempt {member['attempts']})"
+                        if member.get("attempts", 1) > 1 else "")
+            print(f"  {member['member']}: {member['outcome']}"
+                  f"{clock}{attempts}")
+        for retry in race.get("retries", ()):
+            print(f"  {retry['member']}: retried after "
+                  f"{retry['reason']} — resuming attempt "
+                  f"{retry['attempt'] + 1} from {retry['checkpoint']}")
         for failure in race["failures"]:
             member = failure["member"] or "<queue>"
             print(f"  {member}: {failure['kind']} — {failure['detail']}")
+    if result.status == "partial":
+        budget = result.extras.get("budget", {})
+        ladder = []
+        if budget.get("gc_freed") is not None:
+            ladder.append(f"gc freed {budget['gc_freed']}")
+        if budget.get("reorder_forced"):
+            ladder.append("forced reorder")
+        tried = f" after {', '.join(ladder)}" if ladder else ""
+        print(f"partial: {budget.get('kind', 'budget')} budget "
+              f"exhausted{tried}; the marking count is a lower bound"
+              + (f"; resume from {spec.checkpoint_path}"
+                 if spec.checkpoint_path else ""),
+              file=sys.stderr)
     if args.deadlocks:
         report = analysis.checker().find_deadlocks()
         if report.holds:
@@ -316,7 +380,7 @@ def _cmd_analyze(args) -> int:
                   f"{sorted(report.witness.support)}")
         else:
             print("deadlocks: none reachable")
-    return 0
+    return 3 if result.status == "partial" else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -24,10 +24,10 @@ gets reference counting, garbage collection, sifting and reorder hooks
 from the same code the BDD manager always had.
 """
 
-from .manager import DDError, DDManager
+from .manager import DDError, DDManager, ResourceBudgetExceeded
 from .reorder import random_order, sift, sift_to_convergence
 
 __all__ = [
-    "DDManager", "DDError",
+    "DDManager", "DDError", "ResourceBudgetExceeded",
     "sift", "sift_to_convergence", "random_order",
 ]

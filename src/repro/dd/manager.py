@@ -41,9 +41,10 @@ callers use :meth:`ref` / :meth:`deref`).
 from __future__ import annotations
 
 import sys
+import time
 from contextlib import contextmanager
-from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
-                    Sequence, Tuple)
+from typing import (Any, Callable, Dict, FrozenSet, Iterable, List,
+                    Optional, Sequence, Tuple)
 
 # Recursions descend one level per call; deep orders need deep stacks.
 _MIN_RECURSION_LIMIT = 100_000
@@ -53,6 +54,46 @@ if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
 
 class DDError(Exception):
     """Base error for invalid decision-diagram manager operations."""
+
+
+class ResourceBudgetExceeded(DDError):
+    """A resource budget could not be met even after degradation.
+
+    Raised from :meth:`DDManager.checkpoint` safe points when the
+    manager exhausts its configured live-node budget (after forcing a
+    garbage collection and then a reorder pass — the degradation
+    ladder) or overruns its wall-clock deadline.  ``kind`` is
+    ``"nodes"`` or ``"deadline"``; :meth:`telemetry` returns the
+    structured numbers for surfacing in partial results.
+    """
+
+    def __init__(self, message: str, *, kind: str,
+                 live_nodes: Optional[int] = None,
+                 node_budget: Optional[int] = None,
+                 elapsed: Optional[float] = None,
+                 deadline: Optional[float] = None,
+                 gc_freed: Optional[int] = None,
+                 reorder_forced: bool = False) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.live_nodes = live_nodes
+        self.node_budget = node_budget
+        self.elapsed = elapsed
+        self.deadline = deadline
+        self.gc_freed = gc_freed
+        self.reorder_forced = reorder_forced
+
+    def telemetry(self) -> Dict[str, Any]:
+        """JSON-serializable budget numbers (for result extras)."""
+        return {
+            "kind": self.kind,
+            "live_nodes": self.live_nodes,
+            "node_budget": self.node_budget,
+            "elapsed": self.elapsed,
+            "deadline": self.deadline,
+            "gc_freed": self.gc_freed,
+            "reorder_forced": self.reorder_forced,
+        }
 
 
 class DDManager:
@@ -128,6 +169,16 @@ class DDManager:
         # keep rename mappings order-monotone).  ``None`` sifts
         # variables individually.
         self.sift_groups: Optional[Sequence[Tuple[int, ...]]] = None
+
+        # Resource budgets, enforced at safe points only (see
+        # :meth:`set_resource_budget` / :meth:`checkpoint`).
+        self.node_budget: Optional[int] = None
+        self._budget_clock: Callable[[], float] = time.monotonic
+        self._budget_started: Optional[float] = None
+        self._budget_deadline: Optional[float] = None
+        self._deadline_seconds: Optional[float] = None
+        self.budget_gc_rescues = 0
+        self.budget_reorder_rescues = 0
 
         if var_names is not None:
             for name in var_names:
@@ -343,8 +394,41 @@ class DDManager:
             self.auto_reorder = True
             self.reorder_threshold = reorder_threshold
 
+    def set_resource_budget(self, node_budget: Optional[int] = None,
+                            deadline_seconds: Optional[float] = None,
+                            clock: Optional[Callable[[], float]] = None
+                            ) -> None:
+        """Arm resource budgets, enforced at every safe point.
+
+        ``node_budget`` caps the live-node count; past it the safe
+        point walks the degradation ladder — force a garbage
+        collection, then force a sifting pass — and raises
+        :class:`ResourceBudgetExceeded` only if the diagram genuinely
+        cannot fit.  ``deadline_seconds`` is a wall-clock allowance
+        measured from this call; a safe point past it raises
+        immediately (an in-flight operation cannot be preempted, so
+        enforcement granularity is one traversal iteration).  ``clock``
+        injects a virtual clock for tests.  Passing ``None`` for both
+        disarms the budgets.
+        """
+        if node_budget is not None and node_budget < 1:
+            raise self._error_class(
+                f"node_budget must be positive, got {node_budget}")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise self._error_class(
+                f"deadline_seconds must be positive, got "
+                f"{deadline_seconds}")
+        if clock is not None:
+            self._budget_clock = clock
+        self.node_budget = node_budget
+        self._deadline_seconds = deadline_seconds
+        self._budget_started = self._budget_clock()
+        self._budget_deadline = (self._budget_started + deadline_seconds
+                                 if deadline_seconds is not None else None)
+
     def checkpoint(self) -> None:
-        """Safe point hook: garbage collect and maybe reorder."""
+        """Safe point hook: garbage collect, maybe reorder, enforce
+        budgets."""
         live = self.live_nodes()
         if self.auto_reorder and live > self.reorder_threshold:
             self.collect_garbage()
@@ -353,6 +437,49 @@ class DDManager:
             self.reorder_threshold = max(self.reorder_threshold,
                                          2 * self.live_nodes())
             self.reorder_count += 1
+        self._enforce_budget()
+
+    def _enforce_budget(self) -> None:
+        """The degradation ladder behind :meth:`set_resource_budget`.
+
+        Deadline first (no remedial action can buy time back), then the
+        node budget: recheck after a forced GC, recheck after a forced
+        reorder pass, and only then give up with the full telemetry.
+        """
+        if self._budget_deadline is not None:
+            now = self._budget_clock()
+            if now >= self._budget_deadline:
+                elapsed = now - self._budget_started
+                raise ResourceBudgetExceeded(
+                    f"wall-clock deadline exceeded: {elapsed:.3f}s "
+                    f"elapsed of a {self._deadline_seconds}s allowance",
+                    kind="deadline", elapsed=elapsed,
+                    deadline=self._deadline_seconds,
+                    live_nodes=self.live_nodes(),
+                    node_budget=self.node_budget)
+        if self.node_budget is None:
+            return
+        if self.live_nodes() <= self.node_budget:
+            return
+        gc_freed = self.collect_garbage()
+        if self.live_nodes() <= self.node_budget:
+            self.budget_gc_rescues += 1
+            return
+        from .reorder import sift
+        sift(self, groups=self.sift_groups)
+        self.reorder_count += 1
+        live = self.live_nodes()
+        if live <= self.node_budget:
+            self.budget_reorder_rescues += 1
+            return
+        raise ResourceBudgetExceeded(
+            f"live-node budget exceeded: {live} live nodes against a "
+            f"budget of {self.node_budget} (after forced GC freed "
+            f"{gc_freed} nodes and a forced reorder pass)",
+            kind="nodes", live_nodes=live, node_budget=self.node_budget,
+            gc_freed=gc_freed, reorder_forced=True,
+            elapsed=(self._budget_clock() - self._budget_started
+                     if self._budget_started is not None else None))
 
     # ------------------------------------------------------------------
     # Reorder notification

@@ -30,7 +30,12 @@ from ..petri.smc import find_smcs
 
 @dataclass
 class ExperimentRow:
-    """One table row: an instance measured under one engine."""
+    """One table row: an instance measured under one engine.
+
+    ``status`` mirrors the underlying result: ``"partial"`` rows come
+    from budget-aborted runs, so their marking count is a lower bound
+    and must not be compared against complete rows.
+    """
 
     instance: str
     engine: str
@@ -39,6 +44,7 @@ class ExperimentRow:
     nodes: int
     seconds: float
     peak_nodes: int = 0
+    status: str = "complete"
 
     def density(self) -> float:
         """Optimal bits over used variables (Section 3)."""
@@ -80,7 +86,9 @@ def engine_label(spec: AnalysisSpec) -> str:
 
 def run(name: str, net: PetriNet, spec: AnalysisSpec,
         label: Optional[str] = None,
-        encoding_factory: Optional[Callable] = None) -> ExperimentRow:
+        encoding_factory: Optional[Callable] = None,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False) -> ExperimentRow:
     """Measure one instance under one spec — the single entry point.
 
     Construction time (encoding, SMC discovery, relation building) is
@@ -89,8 +97,14 @@ def run(name: str, net: PetriNet, spec: AnalysisSpec,
     :class:`~repro.analysis.result.AnalysisResult` extras.  ``label``
     overrides the :func:`engine_label` column name;
     ``encoding_factory`` (``net -> Encoding``) the BDD backends' scheme
-    lookup.
+    lookup.  ``checkpoint_path`` / ``resume`` thread durability through
+    without touching the measured spec's semantics: long paper-scale
+    sweeps (``REPRO_FULL``) survive being killed and pick up where the
+    last safe point left off.
     """
+    if checkpoint_path is not None:
+        spec = spec.replace(checkpoint_path=checkpoint_path,
+                            resume=resume)
     result = analyze(net, spec, encoding_factory=encoding_factory)
     return ExperimentRow(instance=name,
                          engine=label or engine_label(spec),
@@ -98,7 +112,8 @@ def run(name: str, net: PetriNet, spec: AnalysisSpec,
                          variables=result.variables,
                          nodes=result.final_nodes,
                          seconds=result.seconds,
-                         peak_nodes=result.peak_nodes)
+                         peak_nodes=result.peak_nodes,
+                         status=result.status)
 
 
 def run_sparse(name: str, net: PetriNet, reorder: bool = True,

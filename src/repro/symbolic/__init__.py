@@ -26,8 +26,9 @@ from .relational import RelationalNet
 from .transition import SymbolicNet, cluster_by_support
 from .traversal import (IMAGE_ENGINES, ChainedImageEngine, ImageEngine,
                         MonolithicImageEngine, PartitionedImageEngine,
-                        TraversalResult, make_image_engine, reachable_set,
-                        traverse, traverse_relational)
+                        TraversalLimitError, TraversalResult,
+                        make_image_engine, reachable_set, traverse,
+                        traverse_relational)
 from .zdd_relational import (ZddRelationPartition, ZddRelationalNet,
                              ZddSparseRelation, ZddStateOps)
 from .zdd_traversal import (ZDD_IMAGE_ENGINES, ChainedZddEngine,
@@ -40,6 +41,7 @@ __all__ = [
     "SymbolicNet", "RelationalNet", "RelationPartition", "PartitionedNet",
     "cluster_by_support",
     "traverse", "traverse_relational", "reachable_set", "TraversalResult",
+    "TraversalLimitError",
     "IMAGE_ENGINES", "ImageEngine", "make_image_engine",
     "MonolithicImageEngine", "PartitionedImageEngine", "ChainedImageEngine",
     "ModelChecker", "CheckReport",

@@ -222,8 +222,10 @@ def traverse_kbounded(knet: KBoundedNet,
     iterations = 0
     while not frontier.is_zero():
         if max_iterations is not None and iterations >= max_iterations:
-            raise RuntimeError(
-                f"traversal exceeded {max_iterations} iterations")
+            from .traversal import TraversalLimitError
+            raise TraversalLimitError(
+                f"traversal exceeded {max_iterations} iterations",
+                reached=reached, frontier=frontier, iterations=iterations)
         successors = knet.image_all(frontier)
         frontier = successors - reached
         reached = reached | successors

@@ -35,6 +35,28 @@ from .relational import RelationalNet
 from .transition import SymbolicNet
 
 
+class TraversalLimitError(RuntimeError):
+    """A fixpoint overran ``max_iterations``.
+
+    Subclasses ``RuntimeError`` for compatibility with callers that
+    caught the old generic exception, but carries the partial state the
+    old message discarded: ``reached`` and ``frontier`` are the sets at
+    the moment of the overrun (a :class:`~repro.bdd.Function` on the
+    BDD paths, a raw node id on the ZDD path, ``None`` when no state
+    applies) and ``iterations`` the completed step count.  The partial
+    reached set is a genuine under-approximation — every marking in it
+    is reachable — so callers can checkpoint it or report progress
+    instead of losing the work.
+    """
+
+    def __init__(self, message: str, *, reached=None, frontier=None,
+                 iterations: int = 0) -> None:
+        super().__init__(message)
+        self.reached = reached
+        self.frontier = frontier
+        self.iterations = iterations
+
+
 @dataclass
 class TraversalResult:
     """Statistics of one symbolic reachability computation.
@@ -77,7 +99,8 @@ def traverse(symnet: SymbolicNet, use_toggle: bool = False,
         Fire transitions with the Section 5.2 toggle operator instead of
         quantify-and-force (equivalent on safe nets, usually faster).
     max_iterations:
-        Abort (raising ``RuntimeError``) beyond this many frontier steps.
+        Abort beyond this many frontier steps with a
+        :class:`TraversalLimitError` carrying the partial reached set.
     on_iteration:
         Observer called as ``on_iteration(step, reached)`` after each
         step — handy for tracing and tests.
@@ -113,8 +136,9 @@ def traverse(symnet: SymbolicNet, use_toggle: bool = False,
                    else list(symnet.net.transitions))
     while not frontier.is_zero():
         if max_iterations is not None and iterations >= max_iterations:
-            raise RuntimeError(
-                f"traversal exceeded {max_iterations} iterations")
+            raise TraversalLimitError(
+                f"traversal exceeded {max_iterations} iterations",
+                reached=reached, frontier=frontier, iterations=iterations)
         work = frontier
         if simplify_frontier:
             work = frontier.restrict(frontier | ~reached)
@@ -206,8 +230,9 @@ def traverse_relational(relnet: RelationalNet, monolithic: bool = False,
     iterations = 0
     while not frontier.is_zero():
         if max_iterations is not None and iterations >= max_iterations:
-            raise RuntimeError(
-                f"traversal exceeded {max_iterations} iterations")
+            raise TraversalLimitError(
+                f"traversal exceeded {max_iterations} iterations",
+                reached=reached, frontier=frontier, iterations=iterations)
         reached, frontier = image_engine.advance(reached, frontier)
         iterations += 1
         bdd.checkpoint()

@@ -240,8 +240,9 @@ def traverse_zdd(zddnet: "Union[ZddNet, ZddRelationalNet]",
         Partition granularity for the partitioned/chained engines: a
         positive integer or ``"auto"``.
     max_iterations:
-        Abort (raising ``RuntimeError``) beyond this many frontier
-        steps.
+        Abort beyond this many frontier steps with a
+        :class:`~repro.symbolic.traversal.TraversalLimitError` carrying
+        the partial reached family (a raw node id on this manager).
     """
     if isinstance(engine, ImageEngine):
         if engine.relnet is not zddnet:
@@ -262,8 +263,10 @@ def traverse_zdd(zddnet: "Union[ZddNet, ZddRelationalNet]",
     iterations = 0
     while frontier != zdd.empty():
         if max_iterations is not None and iterations >= max_iterations:
-            raise RuntimeError(
-                f"traversal exceeded {max_iterations} iterations")
+            from .traversal import TraversalLimitError
+            raise TraversalLimitError(
+                f"traversal exceeded {max_iterations} iterations",
+                reached=reached, frontier=frontier, iterations=iterations)
         new_reached, new_frontier = image_engine.advance(reached, frontier)
         zdd.ref(new_reached)
         zdd.ref(new_frontier)

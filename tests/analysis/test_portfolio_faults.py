@@ -414,3 +414,167 @@ class TestRealProcesses:
                              member_spec(parent, member))
             assert direct.markings == result.markings, member
         assert multiprocessing.active_children() == []
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-resume retries
+# ----------------------------------------------------------------------
+
+
+class RespawningHarness(FakeHarness):
+    """Like FakeHarness, but each spawn attempt pops a fresh handle
+    from a per-member list — the retry path respawns members, and a
+    fake must not resurrect the dead handle of the failed attempt."""
+
+    def __init__(self, clock, events=(), handle_queues=None,
+                 spawn_cost=0.0):
+        super().__init__(clock, events=events, handles={},
+                         spawn_cost=spawn_cost)
+        self.handle_queues = dict(handle_queues or {})
+        self.all_handles = []
+
+    def spawn(self, member, target, args):
+        self.clock.t += self.spawn_cost
+        self.spawned.append(member)
+        pending = self.handle_queues.get(member)
+        handle = pending.pop(0) if pending else FakeHandle(self.clock)
+        self.handles[member] = handle
+        self.all_handles.append((member, handle))
+        return handle
+
+
+def race_with_checkpoint(harness, tmp_path, members,
+                         checkpointed=(), **spec_overrides):
+    """Run a fake race with --checkpoint set; ``checkpointed`` members
+    get a pre-existing member checkpoint file (existence is what makes
+    them retry-eligible)."""
+    path = tmp_path / "race.ckpt"
+    for member in checkpointed:
+        (tmp_path / f"race.ckpt.{member}").write_text("stub\n")
+    spec = AnalysisSpec(backend="portfolio",
+                        portfolio_members=members,
+                        checkpoint_path=str(path), **spec_overrides)
+    backend = PortfolioBackend(harness=harness)
+    return backend.build(figure1_net(), spec).run()
+
+
+class TestCheckpointRetries:
+    def test_crash_with_checkpoint_is_retried_and_wins(
+            self, payload_for, tmp_path):
+        clock = VirtualClock()
+        dying = FakeHandle(clock, dies_at=0.2, exitcode=-signal.SIGKILL)
+        revived = FakeHandle(clock)
+        harness = RespawningHarness(
+            clock,
+            events=[payload_for("bdd-chained", 2.5)],
+            handle_queues={"bdd-chained": [dying, revived]})
+        result = race_with_checkpoint(
+            harness, tmp_path, ("bdd-chained",),
+            checkpointed=("bdd-chained",))
+        race = result.extras["portfolio"]
+        assert race["winner"] == "bdd-chained"
+        assert result.markings == 8
+        # The member was spawned twice and won on its second attempt.
+        assert harness.spawned == ["bdd-chained", "bdd-chained"]
+        rows = {r["member"]: r for r in race["members"]}
+        assert rows["bdd-chained"]["outcome"] == "won"
+        assert rows["bdd-chained"]["attempts"] == 2
+        # The retry event is in the telemetry, with the crash on file.
+        assert len(race["retries"]) == 1
+        retry = race["retries"][0]
+        assert retry["member"] == "bdd-chained"
+        assert retry["reason"] == "crash"
+        assert retry["attempt"] == 1
+        assert retry["checkpoint"].endswith(".bdd-chained")
+        assert any(f["kind"] == "crash" for f in race["failures"])
+        # The resumed spec really asks for a resume.
+        assert dying.terminated or not dying.is_alive()
+
+    def test_member_timeout_with_checkpoint_is_retried(
+            self, payload_for, tmp_path):
+        clock = VirtualClock()
+        hung = FakeHandle(clock)   # never finishes on its own
+        revived = FakeHandle(clock)
+        harness = RespawningHarness(
+            clock,
+            events=[payload_for("bdd-chained", 1.3)],
+            handle_queues={"bdd-chained": [hung, revived]})
+        result = race_with_checkpoint(
+            harness, tmp_path, ("bdd-chained",),
+            checkpointed=("bdd-chained",),
+            member_timeout=0.5)
+        race = result.extras["portfolio"]
+        assert race["winner"] == "bdd-chained"
+        assert hung.terminated  # the hung attempt was really stopped
+        assert len(race["retries"]) == 1
+        assert race["retries"][0]["reason"] == "timeout"
+        rows = {r["member"]: r for r in race["members"]}
+        assert rows["bdd-chained"]["attempts"] == 2
+
+    def test_no_checkpoint_file_means_no_retry(self, tmp_path):
+        # checkpoint_path is set, but the member never wrote its file:
+        # nothing to resume from, so the crash resolves immediately.
+        clock = VirtualClock()
+        harness = RespawningHarness(
+            clock,
+            handle_queues={"bdd-chained": [
+                FakeHandle(clock, dies_at=0.1, exitcode=-9)]})
+        with pytest.raises(PortfolioError):
+            race_with_checkpoint(harness, tmp_path, ("bdd-chained",),
+                                 checkpointed=())
+        assert harness.spawned == ["bdd-chained"]
+
+    def test_retries_are_bounded(self, tmp_path):
+        # Every attempt crashes: the original plus MEMBER_MAX_RETRIES
+        # retries, then the member is written off and the race fails.
+        from repro.analysis.portfolio import MEMBER_MAX_RETRIES
+        clock = VirtualClock()
+        handles = [FakeHandle(clock, dies_at=0.1 + 2.0 * i, exitcode=-9)
+                   for i in range(MEMBER_MAX_RETRIES + 1)]
+        harness = RespawningHarness(
+            clock, handle_queues={"bdd-chained": list(handles)})
+        with pytest.raises(PortfolioError) as excinfo:
+            race_with_checkpoint(harness, tmp_path, ("bdd-chained",),
+                                 checkpointed=("bdd-chained",))
+        assert len(harness.spawned) == MEMBER_MAX_RETRIES + 1
+        crashes = [f for f in excinfo.value.failures
+                   if f.kind == "crash"]
+        assert len(crashes) == MEMBER_MAX_RETRIES + 1
+        for handle in handles:
+            assert not handle.is_alive()
+
+    def test_winner_cancels_a_pending_retry(self, payload_for,
+                                            tmp_path):
+        # bdd-chained crashes and is waiting out its backoff when
+        # zdd-chained wins: the pending retry resolves as cancelled.
+        clock = VirtualClock()
+        harness = RespawningHarness(
+            clock,
+            events=[payload_for("zdd-chained", 0.55)],
+            handle_queues={"bdd-chained": [
+                FakeHandle(clock, dies_at=0.1, exitcode=-9)]})
+        result = race_with_checkpoint(
+            harness, tmp_path, ("bdd-chained", "zdd-chained"),
+            checkpointed=("bdd-chained",))
+        race = result.extras["portfolio"]
+        assert race["winner"] == "zdd-chained"
+        rows = {r["member"]: r for r in race["members"]}
+        assert rows["bdd-chained"]["outcome"] == "cancelled"
+        assert len(race["retries"]) == 1
+        # Only the two original spawns: the retry never launched.
+        assert sorted(harness.spawned) == ["bdd-chained", "zdd-chained"]
+
+    def test_member_specs_carry_per_member_checkpoints(self, tmp_path):
+        from repro.analysis import member_checkpoint_path
+        spec = AnalysisSpec(backend="portfolio",
+                            checkpoint_path=str(tmp_path / "r.ckpt"),
+                            checkpoint_every=3)
+        mspec = member_spec(spec, "zdd-chained")
+        assert mspec.checkpoint_path == str(tmp_path / "r.ckpt") \
+            + ".zdd-chained"
+        assert mspec.checkpoint_path == member_checkpoint_path(
+            spec, "zdd-chained")
+        assert mspec.checkpoint_every == 3
+        # Without a portfolio checkpoint, members get none either.
+        assert member_spec(AnalysisSpec(backend="portfolio"),
+                           "zdd-chained").checkpoint_path is None

@@ -122,3 +122,129 @@ class TestErrors:
         bdd = BDD(var_names=["a"])
         with pytest.raises(BDDError):
             load_functions("bddio 1\nfrob x\n", bdd)
+
+
+class TestReorderedManagerReload:
+    def test_reload_into_a_sifted_manager(self, source):
+        """Satellite: dump, let dynamic reordering permute the target,
+        reload — the rebuilt functions are semantically identical."""
+        from repro.dd import sift
+        bdd, funcs = source
+        text = dump_functions(funcs)
+        target = BDD(var_names=["a", "b", "c"])
+        # Populate the target and sift it so its level permutation no
+        # longer matches the dump's.
+        junk = (variable(target, "c") & variable(target, "a")) \
+            | variable(target, "b")
+        sift(target)
+        target.set_order(["b", "c", "a"])
+        loaded = load_functions(text, target)
+        for label in funcs:
+            assert (eval_everywhere(loaded[label], ["a", "b", "c"])
+                    == eval_everywhere(funcs[label], ["a", "b", "c"]))
+        target.assert_consistent()
+
+    def test_dump_from_a_reordered_source(self, source):
+        bdd, funcs = source
+        bdd.set_order(["c", "b", "a"])
+        text = dump_functions(funcs)
+        target = BDD(var_names=["a", "b", "c"])
+        loaded = load_functions(text, target)
+        for label in funcs:
+            assert (eval_everywhere(loaded[label], ["a", "b", "c"])
+                    == eval_everywhere(funcs[label], ["a", "b", "c"]))
+
+
+class TestMalformedRecords:
+    """Satellite: corrupt integer fields fail with a clear error."""
+
+    GOOD = "bddio 1\nvar a\nnode 2 a 0 1\nroot f 2\n"
+
+    def test_good_baseline_loads(self):
+        bdd = BDD(var_names=["a"])
+        loaded = load_functions(self.GOOD, bdd)["f"]
+        assert eval_everywhere(loaded, ["a"]) == (False, True)
+
+    @pytest.mark.parametrize("bad_line", [
+        "node x a 0 1",       # non-integer node id
+        "node 2 a zero 1",    # non-integer low child
+        "node 2 a 0 one",     # non-integer high child
+    ])
+    def test_malformed_node_record(self, bad_line):
+        bdd = BDD(var_names=["a"])
+        text = self.GOOD.replace("node 2 a 0 1", bad_line)
+        with pytest.raises(BDDError) as excinfo:
+            load_functions(text, bdd)
+        assert "malformed integer field" in str(excinfo.value)
+        assert bad_line in str(excinfo.value)
+
+    def test_malformed_root_record(self):
+        bdd = BDD(var_names=["a"])
+        text = self.GOOD.replace("root f 2", "root f two")
+        with pytest.raises(BDDError) as excinfo:
+            load_functions(text, bdd)
+        assert "malformed integer field" in str(excinfo.value)
+
+    def test_malformed_zdd_node_record(self):
+        from repro.bdd import ZDD, ZDDError
+        from repro.bdd.io import load_zdd_nodes
+        zdd = ZDD(var_names=["e"])
+        text = "zddio 1\nelem e\nnode 2 e 0 NaN\nroot s 2\n"
+        with pytest.raises(ZDDError) as excinfo:
+            load_zdd_nodes(text, zdd)
+        assert "malformed integer field" in str(excinfo.value)
+
+
+class TestZddRoundTrip:
+    FAMILY = frozenset([
+        frozenset(), frozenset(["a"]), frozenset(["a", "c"]),
+        frozenset(["b", "c"]), frozenset(["a", "b", "c"])])
+
+    def _zdd_with_family(self, names):
+        from repro.bdd import ZDD
+        zdd = ZDD(var_names=names)
+        sets = frozenset(
+            frozenset(zdd.var_index(n) for n in s) for s in self.FAMILY)
+        return zdd, zdd.ref(zdd.from_sets(sets)), sets
+
+    def _extract(self, zdd, node):
+        names = zdd.order()
+        return frozenset(frozenset(s) for s in zdd.iter_sets(node))
+
+    def test_same_order(self):
+        from repro.bdd import ZDD
+        from repro.bdd.io import dump_zdd_nodes, load_zdd_nodes
+        zdd, node, sets = self._zdd_with_family(["a", "b", "c"])
+        text = dump_zdd_nodes(zdd, {"fam": node})
+        target = ZDD(var_names=["a", "b", "c"])
+        loaded = load_zdd_nodes(text, target)["fam"]
+        target.ref(loaded)
+        by_name = frozenset(
+            frozenset(target.var_name(v) for v in s)
+            for s in target.iter_sets(loaded))
+        want = frozenset(
+            frozenset(zdd.var_name(v) for v in s)
+            for s in zdd.iter_sets(node))
+        assert by_name == want
+
+    def test_different_target_order(self):
+        from repro.bdd import ZDD
+        from repro.bdd.io import dump_zdd_nodes, load_zdd_nodes
+        zdd, node, sets = self._zdd_with_family(["a", "b", "c"])
+        text = dump_zdd_nodes(zdd, {"fam": node})
+        target = ZDD(var_names=["c", "a", "b"])
+        loaded = load_zdd_nodes(text, target)["fam"]
+        target.ref(loaded)
+        by_name = frozenset(
+            frozenset(target.var_name(v) for v in s)
+            for s in target.iter_sets(loaded))
+        want = frozenset(
+            frozenset(zdd.var_name(v) for v in s)
+            for s in zdd.iter_sets(node))
+        assert by_name == want
+        target.assert_consistent()
+
+    def test_zdd_header_rejected_by_bdd_loader(self):
+        bdd = BDD(var_names=["a"])
+        with pytest.raises(BDDError):
+            load_functions("zddio 1\nelem a\nroot f 0\n", bdd)

@@ -194,3 +194,107 @@ class TestZddReordering:
             s for s in fam1 if qvars <= s)
         assert extract(zdd, zdd.and_exists(u, v, qvars)) == frozenset(
             (a | b) - qvars for a in fam1 for b in fam2)
+
+
+class TestResourceBudgets:
+    """The safe-point degradation ladder behind set_resource_budget."""
+
+    def _crowded_bdd(self, num_vars=8):
+        """A BDD holding a function with no dead nodes to reclaim."""
+        from repro.bdd import variable
+        bdd = BDD(var_names=[f"x{i}" for i in range(num_vars)])
+        acc = variable(bdd, "x0")
+        for i in range(1, num_vars):
+            acc = acc ^ variable(bdd, f"x{i}")
+        return bdd, acc
+
+    def test_checkpoint_within_budget_is_silent(self):
+        bdd, _ = self._crowded_bdd()
+        bdd.set_resource_budget(node_budget=10_000)
+        bdd.checkpoint()  # must not raise
+
+    def test_node_budget_exhaustion_raises_with_telemetry(self):
+        from repro.dd import ResourceBudgetExceeded
+        bdd, func = self._crowded_bdd()
+        bdd.set_resource_budget(node_budget=2)
+        with pytest.raises(ResourceBudgetExceeded) as excinfo:
+            bdd.checkpoint()
+        exc = excinfo.value
+        assert exc.kind == "nodes"
+        assert exc.node_budget == 2
+        assert exc.live_nodes > 2
+        assert exc.reorder_forced
+        telemetry = exc.telemetry()
+        assert telemetry["kind"] == "nodes"
+        assert telemetry["node_budget"] == 2
+        # The ladder ran a real reorder pass before giving up.
+        assert bdd.reorder_count >= 1
+
+    def test_forced_gc_rescues_a_dying_budget(self):
+        # Dead nodes put the manager over budget; a forced collection
+        # brings it back under, so the safe point must NOT raise.
+        from repro.bdd import variable
+        bdd = BDD(var_names=[f"x{i}" for i in range(10)])
+        keep = variable(bdd, "x0")
+        for _ in range(5):
+            acc = variable(bdd, "x1")
+            for i in range(2, 10):
+                acc = acc ^ variable(bdd, f"x{i}")
+            del acc  # garbage: reclaimable at the next collection
+        bdd.set_resource_budget(node_budget=max(bdd.live_nodes() // 2, 4))
+        bdd.checkpoint()
+        assert bdd.budget_gc_rescues >= 1
+        assert keep.node != 0  # the referenced function survived
+
+    def test_deadline_raises_on_a_virtual_clock(self):
+        from repro.dd import ResourceBudgetExceeded
+        clock = {"t": 0.0}
+        bdd, _ = self._crowded_bdd()
+        bdd.set_resource_budget(deadline_seconds=10.0,
+                                clock=lambda: clock["t"])
+        bdd.checkpoint()  # within the allowance
+        clock["t"] = 10.5
+        with pytest.raises(ResourceBudgetExceeded) as excinfo:
+            bdd.checkpoint()
+        exc = excinfo.value
+        assert exc.kind == "deadline"
+        assert exc.deadline == 10.0
+        assert exc.elapsed >= 10.0
+
+    def test_deadline_outranks_node_budget(self):
+        # The ladder checks the deadline first: remedial GC/reordering
+        # cannot buy wall-clock time back.
+        from repro.dd import ResourceBudgetExceeded
+        clock = {"t": 100.0}
+        bdd, _ = self._crowded_bdd()
+        bdd.set_resource_budget(node_budget=1, deadline_seconds=5.0,
+                                clock=lambda: clock["t"])
+        clock["t"] = 200.0
+        with pytest.raises(ResourceBudgetExceeded) as excinfo:
+            bdd.checkpoint()
+        assert excinfo.value.kind == "deadline"
+
+    def test_budget_validation(self):
+        bdd = BDD(var_names=["a"])
+        with pytest.raises(DDError):
+            bdd.set_resource_budget(node_budget=0)
+        with pytest.raises(DDError):
+            bdd.set_resource_budget(deadline_seconds=0.0)
+
+    def test_disarming_budgets(self):
+        bdd, _ = self._crowded_bdd()
+        bdd.set_resource_budget(node_budget=2)
+        bdd.set_resource_budget()  # both None: disarm
+        bdd.checkpoint()  # must not raise
+
+    def test_zdd_manager_shares_the_budget_kernel(self):
+        from repro.dd import ResourceBudgetExceeded
+        zdd = ZDD(var_names=NAMES)
+        node = zdd.ref(zdd.from_sets(frozenset(
+            [frozenset([0, 1]), frozenset([2, 3]), frozenset([4, 5]),
+             frozenset([0, 2, 4]), frozenset([1, 3, 5])])))
+        zdd.set_resource_budget(node_budget=1)
+        with pytest.raises(ResourceBudgetExceeded) as excinfo:
+            zdd.checkpoint()
+        assert excinfo.value.kind == "nodes"
+        assert zdd.count(node) == 5  # the family survived the ladder

@@ -104,3 +104,40 @@ def test_dense_uses_fewer_variables_everywhere(make_net):
         sparse = SparseEncoding(net)
         improved = ImprovedEncoding(net)
         assert improved.num_variables < sparse.num_variables, name
+
+
+def test_limit_error_carries_partial_state():
+    """Satellite: the overrun raises TraversalLimitError (a
+    RuntimeError subclass, so old except-clauses still catch it) whose
+    partial reached set is a genuine under-approximation."""
+    from repro.symbolic import TraversalLimitError
+    net = figure4_net()
+    symnet = SymbolicNet(SparseEncoding(net))
+    with pytest.raises(TraversalLimitError) as excinfo:
+        traverse(symnet, max_iterations=1)
+    exc = excinfo.value
+    assert isinstance(exc, RuntimeError)
+    assert exc.iterations == 1
+    assert exc.reached is not None
+    partial = exc.reached.satcount(symnet.encoding.num_variables)
+    total = traverse(symnet).reachable.satcount(
+        symnet.encoding.num_variables)
+    assert 0 < partial < total
+
+
+def test_limit_error_from_relational_and_zdd_and_kbounded():
+    from repro.symbolic import (KBoundedNet, RelationalNet,
+                                TraversalLimitError, ZddNet,
+                                traverse_kbounded, traverse_relational,
+                                traverse_zdd)
+    net = figure4_net()
+    with pytest.raises(TraversalLimitError) as rel:
+        traverse_relational(RelationalNet(SparseEncoding(net)),
+                            max_iterations=1)
+    assert rel.value.reached is not None
+    with pytest.raises(TraversalLimitError) as zdd:
+        traverse_zdd(ZddNet(net), max_iterations=1)
+    assert zdd.value.reached is not None
+    with pytest.raises(TraversalLimitError) as kb:
+        traverse_kbounded(KBoundedNet(net, 1), max_iterations=1)
+    assert kb.value.reached is not None

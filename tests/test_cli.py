@@ -191,3 +191,61 @@ class TestAnalyzePortfolio:
         err = capsys.readouterr().err
         assert "error:" in err
         assert "timeout" in err
+
+
+class TestDurabilityFlags:
+    def test_checkpoint_then_resume(self, muller_file, tmp_path, capsys):
+        path = str(tmp_path / "run.ckpt")
+        assert main(["analyze", str(muller_file),
+                     "--checkpoint", path]) == 0
+        import os
+        assert os.path.exists(path)
+        first = capsys.readouterr().out
+        assert main(["analyze", str(muller_file),
+                     "--checkpoint", path, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume: continued from" in out
+        # Same verdict either way.
+        assert (first.split("markings=")[1].split()[0]
+                == out.split("markings=")[1].split()[0])
+
+    def test_resume_from_damaged_checkpoint_cold_starts(
+            self, muller_file, tmp_path, capsys):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("garbage\n")
+        assert main(["analyze", str(muller_file),
+                     "--checkpoint", str(path), "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "cold start" in captured.err
+        assert "markings=" in captured.out
+
+    def test_node_budget_partial_exits_3(self, tmp_path, capsys):
+        net = str(tmp_path / "phil6.pnet")
+        main(["generate", "phil", "6", "-o", net])
+        capsys.readouterr()
+        path = str(tmp_path / "phil6.ckpt")
+        assert main(["analyze", net, "--node-budget", "50",
+                     "--checkpoint", path]) == 3
+        captured = capsys.readouterr()
+        assert "partial" in captured.err
+        assert "lower bound" in captured.err
+        import os
+        assert os.path.exists(path)
+        # Resuming with the budget lifted completes with exit 0.
+        assert main(["analyze", net, "--checkpoint", path,
+                     "--resume"]) == 0
+
+    def test_deadline_partial_exits_3(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file),
+                     "--deadline", "0.000001"]) == 3
+        assert "deadline" in capsys.readouterr().err
+
+    def test_checkpoint_every_requires_checkpoint(self, muller_file,
+                                                  capsys):
+        assert main(["analyze", str(muller_file),
+                     "--checkpoint-every", "5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, muller_file, capsys):
+        assert main(["analyze", str(muller_file), "--resume"]) == 2
+        assert "error" in capsys.readouterr().err
