@@ -229,6 +229,29 @@ class CheckpointStore:
         self._last_iteration = 0
         self._last_time = clock()
         self.writes = 0
+        self._tmp_serial = 0
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove leftover ``<name>.tmp*`` files from dead writers.
+
+        A process killed between the tmp write and the atomic rename
+        strands its tmp file forever (the unique suffix means no later
+        write reuses the name).  Swept on every save and load: the
+        sealed checkpoint itself is never touched, and a sweep racing a
+        live writer at worst deletes a tmp file whose rename then fails
+        — the existing sealed checkpoint survives either way.
+        """
+        prefix = self.path.name + ".tmp"
+        try:
+            entries = list(self.path.parent.iterdir())
+        except OSError:
+            return
+        for entry in entries:
+            if entry.name.startswith(prefix):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
 
     def due(self, iteration: int) -> bool:
         """Whether the cadence calls for a save at this iteration."""
@@ -241,9 +264,19 @@ class CheckpointStore:
         return False
 
     def save(self, data: CheckpointData) -> None:
-        """Write the checkpoint atomically (tmp file + rename)."""
+        """Write the checkpoint atomically (tmp file + rename).
+
+        The tmp name is unique per process and write, so a crash
+        between write and rename cannot be overwritten into a torn
+        sealed file by a later writer — it just leaves a stale tmp,
+        which :meth:`_sweep_stale_tmp` collects on the next save or
+        load.
+        """
+        self._sweep_stale_tmp()
         text = dump_checkpoint(data)
-        tmp = self.path.with_name(self.path.name + ".tmp")
+        self._tmp_serial += 1
+        tmp = self.path.with_name(
+            f"{self.path.name}.tmp.{os.getpid()}.{self._tmp_serial}")
         try:
             with open(tmp, "w", encoding="utf-8") as handle:
                 handle.write(text)
@@ -259,7 +292,13 @@ class CheckpointStore:
         self._last_time = self._clock()
 
     def load(self) -> CheckpointData:
-        """Read and verify the checkpoint on disk."""
+        """Read and verify the checkpoint on disk.
+
+        Also sweeps stale tmp files: resume is the first thing a
+        restarted run does, so a crashed ancestor's leftovers are
+        collected before the new run writes its own checkpoints.
+        """
+        self._sweep_stale_tmp()
         try:
             text = self.path.read_text(encoding="utf-8")
         except FileNotFoundError:

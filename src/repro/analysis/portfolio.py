@@ -180,6 +180,15 @@ def member_spec(spec: AnalysisSpec, member: str) -> AnalysisSpec:
     if member in ("bdd-chained", "bdd-partitioned", "bdd-monolithic"):
         return AnalysisSpec(form="relational",
                             engine=member.split("-", 1)[1], **bdd)
+    if member == "bdd-partitioned-mp":
+        # The member itself runs in a daemonic worker process, which
+        # cannot spawn children — its pool degrades to the serial
+        # partitioned sweep there (recorded in extras["parallel"]).
+        # Running it standalone (or in the portfolio's serial degraded
+        # mode) does use worker processes, sized by the portfolio's
+        # workers setting.
+        return AnalysisSpec(form="relational", engine="partitioned-mp",
+                            workers=spec.workers, **bdd)
     if member == "zdd-chained":
         return AnalysisSpec(backend="zdd", form="relational",
                             engine="chained", **shared)

@@ -51,7 +51,8 @@ ClusterSize = Union[int, str]
 SCHEMES = ("sparse", "dense", "improved")
 BACKEND_FAMILIES = ("bdd", "zdd", "portfolio")
 FORMS = ("functional", "relational")
-RELATIONAL_ENGINES = ("monolithic", "partitioned", "chained")
+RELATIONAL_ENGINES = ("monolithic", "partitioned", "chained",
+                      "partitioned-mp")
 STRATEGIES = ("bfs", "chaining")
 CHAIN_ORDERS = ("net", "support")
 
@@ -62,7 +63,8 @@ CHAIN_ORDERS = ("net", "support")
 # mid-race.
 PORTFOLIO_MEMBERS = (
     "bdd-functional", "bdd-chained", "bdd-partitioned",
-    "bdd-monolithic", "zdd-chained", "zdd-classic", "kbounded",
+    "bdd-monolithic", "bdd-partitioned-mp", "zdd-chained",
+    "zdd-classic", "kbounded",
 )
 # No single engine wins everywhere (the point of the race): the paper's
 # functional sweep, both relational-product families and the count-bit
@@ -89,7 +91,7 @@ DEFAULT_REORDER_THRESHOLD = 2_000
 NONSEMANTIC_FIELDS = (
     "checkpoint_path", "checkpoint_every", "checkpoint_every_seconds",
     "resume", "node_budget", "deadline", "max_iterations",
-    "timeout", "member_timeout",
+    "timeout", "member_timeout", "workers",
 )
 
 
@@ -211,6 +213,16 @@ class AnalysisSpec:
         when checkpointing, writes a final checkpoint first.  The
         portfolio backend rejects them (its members are whole worker
         processes — use ``timeout``/``member_timeout`` there).
+    workers:
+        Worker-process pool size for the ``partitioned-mp`` engine: a
+        positive integer or ``"auto"`` (the CPU count, capped at the
+        block count).  Requires ``engine="partitioned-mp"`` — or the
+        portfolio backend, which threads it to its
+        ``bdd-partitioned-mp`` member; anywhere else it is a
+        :class:`SpecError` (the serial engines have no pool to size).
+        Non-semantic: the pool evaluates the same partitioned step, so
+        the trajectory — and the checkpoint fingerprint — is identical
+        at any worker count.
     """
 
     scheme: str = "improved"
@@ -235,6 +247,7 @@ class AnalysisSpec:
     resume: bool = False
     node_budget: Optional[int] = None
     deadline: Optional[float] = None
+    workers: Optional[Union[int, str]] = None
 
     def __post_init__(self) -> None:
         # JSON round trips hand lists back; normalize before validation
@@ -282,6 +295,16 @@ class AnalysisSpec:
         """The clustering granularity, defaulted when unset."""
         return self.cluster_size if self.cluster_size is not None \
             else DEFAULT_CLUSTER_SIZE
+
+    @property
+    def resolved_workers(self) -> Union[int, str]:
+        """The worker-pool sizing, defaulted to ``"auto"`` when unset.
+
+        CPU-count resolution happens inside the pool
+        (:func:`repro.symbolic.parallel.resolve_workers`), where the
+        block count is known.
+        """
+        return self.workers if self.workers is not None else "auto"
 
     @property
     def resolved_members(self) -> Tuple[str, ...]:
@@ -366,6 +389,20 @@ class AnalysisSpec:
                     f"engine={self.engine!r} is a relational image "
                     f"engine; it requires form='relational' (got "
                     f"form={self.form!r})")
+        if self.workers is not None:
+            if self.workers != "auto" and (
+                    not isinstance(self.workers, int)
+                    or isinstance(self.workers, bool)
+                    or self.workers < 1):
+                raise SpecError(
+                    f"workers must be a positive integer or 'auto', "
+                    f"got {self.workers!r}")
+            if (self.backend != "portfolio"
+                    and self.resolved_engine != "partitioned-mp"):
+                raise SpecError(
+                    f"workers sizes the partitioned-mp worker pool; "
+                    f"the {self.resolved_engine!r} engine runs in "
+                    f"process and has no pool to size")
         if self.cluster_size is not None:
             try:
                 validate_cluster_size(self.cluster_size)
@@ -489,6 +526,10 @@ class AnalysisSpec:
             if self.k_bound is not None and "kbounded" not in members:
                 warn("k_bound", "no kbounded member in the portfolio "
                                 "to apply the bound to")
+            if (self.workers is not None
+                    and "bdd-partitioned-mp" not in members):
+                warn("workers", "no bdd-partitioned-mp member in the "
+                                "portfolio to size a worker pool for")
         if self.k_bound is not None and self.backend != "portfolio":
             if self.scheme != "improved":
                 warn("scheme", "the k-bounded engine uses count-bit "
@@ -524,7 +565,7 @@ class AnalysisSpec:
         ``k_bound``, ``portfolio_members`` (comma-separated member
         ids), ``timeout``, ``member_timeout``, ``checkpoint`` (the
         checkpoint path), ``checkpoint_every``, ``resume``,
-        ``node_budget``, ``deadline``.
+        ``node_budget``, ``deadline``, ``workers``.
         """
         values: Dict[str, Any] = {}
         if getattr(args, "scheme", None) is not None:
@@ -567,6 +608,8 @@ class AnalysisSpec:
             values["node_budget"] = args.node_budget
         if getattr(args, "deadline", None) is not None:
             values["deadline"] = args.deadline
+        if getattr(args, "workers", None) is not None:
+            values["workers"] = args.workers
         return cls(**values)
 
     def to_dict(self) -> Dict[str, Any]:

@@ -94,7 +94,11 @@ def load_functions(text: str, bdd: BDD) -> Dict[str, Function]:
     (its order may differ — functions are rebuilt canonically).
     """
     lines = [line.strip() for line in text.splitlines() if line.strip()]
-    if not lines or lines[0] != _HEADER:
+    if not lines:
+        raise BDDError(
+            "empty bddio stream: expected a 'bddio 1' header "
+            "(truncated or blank dump?)")
+    if lines[0] != _HEADER:
         raise BDDError("not a bddio v1 stream")
     node_map: Dict[int, int] = {0: ZERO, 1: ONE}
     roots: Dict[str, Function] = {}
@@ -210,7 +214,11 @@ def load_zdd_nodes(text: str, zdd: ZDD) -> Dict[str, int]:
     them.
     """
     lines = [line.strip() for line in text.splitlines() if line.strip()]
-    if not lines or lines[0] != _ZDD_HEADER:
+    if not lines:
+        raise ZDDError(
+            "empty zddio stream: expected a 'zddio 1' header "
+            "(truncated or blank dump?)")
+    if lines[0] != _ZDD_HEADER:
         raise ZDDError("not a zddio v1 stream")
     node_map: Dict[int, int] = {0: EMPTY, 1: BASE}
     roots: Dict[str, int] = {}

@@ -1,0 +1,710 @@
+"""Multiprocess partitioned image evaluation (the ``partitioned-mp``
+engine).
+
+The disjunctive partition of Eq. 3 makes the per-block images within one
+fixpoint step independent:
+
+    img(X) = U_b img_b(X)
+
+so the blocks can be evaluated by a pool of worker processes and the
+parent only unions the results.  :class:`ParallelSweep` implements that
+pool for *both* relational nets (BDD
+:class:`~repro.symbolic.relational.RelationalNet` and ZDD
+:class:`~repro.symbolic.zdd_relational.ZddRelationalNet`), reusing the
+:mod:`repro.bdd.io` serialization formats as the wire protocol:
+
+* Each worker holds a *warm* manager — a fresh ``BDD``/``ZDD`` declared
+  with the parent's variable order, kept alive across iterations.
+* Blocks are *pinned* to workers (largest serialized payload first,
+  greedily onto the least-loaded worker), so each block's relation is
+  shipped and rebuilt exactly once; per step only the current state set
+  travels to the workers and one image family travels back.
+* The parent deserializes the per-worker images and unions them — the
+  same successor set the serial partitioned engine computes, in the
+  same single step, so the fixpoint trajectory (and therefore the
+  checkpoint story) is identical.
+
+Durability contract (PR 7):
+
+* Checkpoints are written only at step barriers — this module never
+  touches the checkpoint layer; one :meth:`ParallelSweep.image` call is
+  one complete step, and the session checkpoints after it returns.
+* A worker that dies mid-step is detected by the poll loop; its pinned
+  blocks are evaluated *serially in the parent* for that step (the
+  parent keeps its own partitions — serialization ships copies), the
+  crash is recorded as a structured entry, and the worker is respawned
+  (bounded retries) or retired with its blocks re-pinned elsewhere.
+* Per-worker ``peak_live_nodes`` / ``reorder_count`` are collected with
+  every reply and aggregated into the session's
+  :class:`~repro.analysis.result.AnalysisResult` (detail under
+  ``extras["parallel"]``).
+
+Environments that cannot run worker processes (sandboxes without
+semaphores, daemonic parents such as portfolio members) degrade to the
+serial partitioned sweep, recorded as ``mode="serial-fallback"`` — the
+same graceful degradation the PR 6 portfolio race has.
+
+The chained engine stays serial by design: its sweep feeds each block
+the states accumulated by the previous blocks, which is exactly the
+dependency the disjunctive form does not have.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import weakref
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bdd.io import (dump_functions, dump_zdd_nodes, load_functions,
+                      load_zdd_nodes)
+from .partition import (ClusterSize, PartitionedImageEngine,
+                        PartitionedNet)
+
+__all__ = [
+    "ParallelSweep", "SweepHarness", "ParallelPartitionedImageEngine",
+    "POLL_INTERVAL", "DEAD_WORKER_GRACE_POLLS", "MAX_QUEUE_POISON",
+    "MAX_RESPAWNS", "JOIN_TIMEOUT", "resolve_workers",
+]
+
+#: Result-queue poll granularity (seconds): crash detection latency.
+POLL_INTERVAL = 0.1
+#: Consecutive empty polls with a dead process before declaring a crash
+#: (its final reply may still be buffered in the queue).
+DEAD_WORKER_GRACE_POLLS = 2
+#: Undecodable replies tolerated before the pool gives up on the queue.
+MAX_QUEUE_POISON = 3
+#: Times one worker slot is restarted after a crash before it is
+#: retired and its blocks re-pinned onto the surviving workers.
+MAX_RESPAWNS = 1
+#: Grace given to a stopping worker before terminate/kill.
+JOIN_TIMEOUT = 2.0
+
+
+def resolve_workers(workers) -> int:
+    """Resolve a ``workers`` setting (``"auto"`` | int) to a count.
+
+    ``"auto"`` takes the machine's CPU count; explicit counts pass
+    through.  The pool additionally caps the count at the number of
+    partition blocks when it first pins them.
+    """
+    if workers in (None, "auto"):
+        return max(1, os.cpu_count() or 1)
+    return int(workers)
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point
+# ----------------------------------------------------------------------
+
+def _decode_bdd_block(manager, payload):
+    """Rebuild one pinned BDD block from its wire form."""
+    _, relation_text, quantify, rename = payload
+    relation = load_functions(relation_text, manager)["relation"]
+    return (relation.size(), relation, tuple(quantify), dict(rename))
+
+
+def _decode_zdd_block(manager, payload):
+    """Rebuild one pinned ZDD block; produce families come back
+    referenced (the worker holds them across steps)."""
+    _, produce_text, consumes, rename_pairs = payload
+    produced = load_zdd_nodes(produce_text, manager)
+    members = []
+    size = 0
+    for index, consume_names in enumerate(consumes):
+        produce = manager.ref(produced[f"m{index}"])
+        consume = tuple(manager.var_index(name) for name in consume_names)
+        members.append((consume, produce))
+        size += manager.size(produce)
+    rename = {manager.var_index(nxt): manager.var_index(cur)
+              for nxt, cur in rename_pairs}
+    return (size, tuple(members), rename)
+
+
+def _eval_bdd_blocks(manager, blocks, states_text: str) -> str:
+    from ..bdd import false
+    states = load_functions(states_text, manager)["states"]
+    result = false(manager)
+    # Smallest blocks first: smaller intermediate union BDDs (the same
+    # ordering fix the serial image_partitioned applies).
+    for _, relation, quantify, rename in sorted(blocks,
+                                                key=lambda b: b[0]):
+        if not quantify:
+            image = states & relation
+        else:
+            image = states.and_exists(relation, quantify).rename(rename)
+        result = result | image
+    return dump_functions({"image": result})
+
+
+def _eval_zdd_blocks(manager, blocks, states_text: str) -> str:
+    from ..bdd.zdd import EMPTY
+    states = load_zdd_nodes(states_text, manager)["states"]
+    result = EMPTY
+    for _, members, rename in sorted(blocks, key=lambda b: b[0]):
+        accumulated = EMPTY
+        for consume, produce in members:
+            matched = manager.supset(states, consume)
+            if matched == EMPTY:
+                continue
+            accumulated = manager.union(
+                accumulated,
+                manager.and_exists(matched, produce, consume))
+        if accumulated == EMPTY:
+            continue
+        result = manager.union(result, manager.rename(accumulated, rename))
+    return dump_zdd_nodes(manager, {"image": result})
+
+
+def _sweep_worker_main(worker_id: int, kind: str, order, task_queue,
+                       result_queue) -> None:
+    """One pool worker: a warm manager plus the pinned-block cache.
+
+    Top level so it pickles under every start method.  Protocol (tasks):
+
+    * ``("pin", payloads)`` — replace the pinned block set,
+    * ``("step", step_id, states_text)`` — evaluate every pinned block
+      on the shipped state set; reply ``("image", worker_id, step_id,
+      image_text, stats)``,
+    * ``("stop",)`` — exit.
+
+    Garbage is collected at the worker's own safe points: after a pin
+    replacement and after each step reply, when only the pinned
+    relations are live.  A worker that hits an unexpected error dies
+    silently — the parent's crash detection treats it exactly like a
+    SIGKILL and falls back to serial evaluation of its blocks.
+    """
+    try:
+        from ..bdd import BDD, ZDD
+        manager = (BDD(var_names=list(order)) if kind == "bdd"
+                   else ZDD(var_names=list(order)))
+        decode = _decode_bdd_block if kind == "bdd" else _decode_zdd_block
+        evaluate = _eval_bdd_blocks if kind == "bdd" else _eval_zdd_blocks
+        blocks: List[Tuple] = []
+        while True:
+            task = task_queue.get()
+            tag = task[0]
+            if tag == "stop":
+                break
+            if tag == "pin":
+                if kind == "zdd":
+                    for _, members, _rename in blocks:
+                        for _consume, produce in members:
+                            manager.deref(produce)
+                blocks = [decode(manager, payload) for payload in task[1]]
+                manager.checkpoint()
+            elif tag == "step":
+                step_id, states_text = task[1], task[2]
+                image_text = evaluate(manager, blocks, states_text)
+                manager.live_nodes()  # fold occupancy into the peak
+                stats = {"peak_live_nodes": manager.peak_live_nodes,
+                         "reorder_count": manager.reorder_count,
+                         "blocks": len(blocks)}
+                result_queue.put(("image", worker_id, step_id,
+                                  image_text, stats))
+                manager.checkpoint()
+    except BaseException:
+        # Dying silently is the protocol: the parent's poll loop
+        # detects the dead process and evaluates our blocks serially.
+        pass
+
+
+# ----------------------------------------------------------------------
+# The harness seam
+# ----------------------------------------------------------------------
+
+class SweepHarness:
+    """Process primitives the pool runs on — the injection seam.
+
+    The default spawns real daemonic ``multiprocessing`` processes;
+    tests substitute fakes (or force :meth:`available` to ``False`` to
+    pin the serial degradation).  Mirrors the portfolio's
+    :class:`~repro.analysis.portfolio.WorkerHarness` surface, with
+    ``cpu_count`` added for ``workers="auto"`` resolution.
+    """
+
+    def __init__(self, start_method: Optional[str] = None) -> None:
+        self.start_method = start_method
+        self._ctx = None
+
+    def _context(self):
+        if self._ctx is None:
+            import multiprocessing
+            self._ctx = (multiprocessing.get_context(self.start_method)
+                         if self.start_method
+                         else multiprocessing.get_context())
+        return self._ctx
+
+    def available(self) -> bool:
+        """Whether worker processes can run at all.
+
+        Daemonic parents (e.g. a portfolio member process) cannot have
+        children; sandboxes commonly refuse the semaphores a
+        ``multiprocessing.Queue`` needs.  Probing here lets the sweep
+        degrade to serial instead of crashing mid-build.
+        """
+        try:
+            import multiprocessing
+            if multiprocessing.current_process().daemon:
+                return False
+            probe = self._context().Queue()
+        except Exception:
+            return False
+        try:
+            probe.close()
+            probe.join_thread()
+        except Exception:
+            pass
+        return True
+
+    def cpu_count(self) -> int:
+        return os.cpu_count() or 1
+
+    def create_queue(self):
+        return self._context().Queue()
+
+    def spawn(self, worker_id: int, target, args):
+        process = self._context().Process(
+            target=target, args=args, name=f"sweep-worker-{worker_id}",
+            daemon=True)
+        process.start()
+        return process
+
+    def poll_interval(self) -> float:
+        return POLL_INTERVAL
+
+
+# ----------------------------------------------------------------------
+# Wire codecs (parent side)
+# ----------------------------------------------------------------------
+
+class _BddCodec:
+    """Parent-side serialization for BDD relational nets."""
+
+    kind = "bdd"
+
+    def __init__(self, relnet) -> None:
+        self.relnet = relnet
+
+    def order(self) -> List[str]:
+        return self.relnet.bdd.order()
+
+    def dump_state(self, states) -> str:
+        return dump_functions({"states": states})
+
+    def load_image(self, text: str):
+        return load_functions(text, self.relnet.bdd)["image"]
+
+    def block_payload(self, block) -> Tuple:
+        return ("bdd", dump_functions({"relation": block.relation}),
+                tuple(block.quantify), dict(block.rename))
+
+    def block_key(self, block) -> Tuple:
+        # Transitions pin the membership, the relation's node id pins
+        # the built relation: metadata refreshes (same node, new
+        # quantify sort) must not force a re-ship, recluster rebuilds
+        # (new node) must.
+        return (block.transitions, block.relation.node)
+
+
+class _ZddCodec:
+    """Parent-side serialization for ZDD relational nets."""
+
+    kind = "zdd"
+
+    def __init__(self, relnet) -> None:
+        self.relnet = relnet
+
+    def order(self) -> List[str]:
+        return self.relnet.zdd.order()
+
+    def dump_state(self, states) -> str:
+        return dump_zdd_nodes(self.relnet.zdd, {"states": states})
+
+    def load_image(self, text: str):
+        return load_zdd_nodes(text, self.relnet.zdd)["image"]
+
+    def block_payload(self, block) -> Tuple:
+        zdd = self.relnet.zdd
+        produces = {f"m{index}": member.produce
+                    for index, member in enumerate(block.members)}
+        consumes = tuple(
+            tuple(zdd.var_name(index) for index in member.consume)
+            for member in block.members)
+        rename_pairs = tuple(
+            (zdd.var_name(nxt), zdd.var_name(cur))
+            for nxt, cur in sorted(block.rename.items()))
+        return ("zdd", dump_zdd_nodes(zdd, produces), consumes,
+                rename_pairs)
+
+    def block_key(self, block) -> Tuple:
+        # ZDD sparse relations are built once at net construction;
+        # block identity is its membership.
+        return (block.transitions,)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+
+class _WorkerSlot:
+    """One pool slot: its process, queue and pinned-block bookkeeping."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.process = None
+        self.task_queue = None
+        self.payloads: List[Tuple] = []
+        self.transitions: List[Tuple[str, ...]] = []
+        self.respawns = 0
+        self.stats: Optional[Dict[str, Any]] = None
+        self.steps = 0
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+def _reap(processes) -> None:
+    """Terminate → join-grace → kill every process (finalizer-safe)."""
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:
+            pass
+    for process in processes:
+        try:
+            process.join(JOIN_TIMEOUT)
+            if process.is_alive():
+                process.kill()
+                process.join(JOIN_TIMEOUT)
+        except Exception:
+            pass
+
+
+class ParallelSweep:
+    """A persistent worker pool evaluating partition blocks in parallel.
+
+    Parameters
+    ----------
+    relnet:
+        A :class:`~repro.symbolic.relational.RelationalNet` or
+        :class:`~repro.symbolic.zdd_relational.ZddRelationalNet`; the
+        manager flavour selects the wire codec (``bddio`` / ``zddio``).
+    workers:
+        Pool size: a positive integer or ``"auto"`` (the CPU count).
+        The pool never spawns more workers than there are blocks.
+    harness:
+        Process-primitive seam (see :class:`SweepHarness`); tests
+        inject fakes or force the serial degradation here.
+
+    The pool is lazy: processes spawn on the first :meth:`image` call,
+    when the block set is known.  When worker processes are unavailable
+    the sweep silently runs the serial partitioned image instead and
+    reports ``mode="serial-fallback"`` in :meth:`stats`.
+    """
+
+    def __init__(self, relnet: PartitionedNet,
+                 workers: "int | str" = "auto",
+                 harness: Optional[SweepHarness] = None) -> None:
+        self.relnet = relnet
+        self.requested_workers = workers
+        self.harness = harness if harness is not None else SweepHarness()
+        if getattr(relnet, "bdd", None) is not None:
+            self.codec = _BddCodec(relnet)
+        elif getattr(relnet, "zdd", None) is not None:
+            self.codec = _ZddCodec(relnet)
+        else:
+            raise TypeError(
+                f"ParallelSweep needs a BDD or ZDD relational net, got "
+                f"{type(relnet).__name__}")
+        self.mode: Optional[str] = None  # decided on first image()
+        self.slots: List[_WorkerSlot] = []
+        self.crashes: List[Dict[str, Any]] = []
+        self.steps = 0
+        self.pin_ships = 0
+        self.ship_bytes = 0
+        self.poison = 0
+        self._result_queue = None
+        self._pinned_keys: Optional[Tuple] = None
+        self._processes: List = []   # every process ever spawned
+        self._finalizer = weakref.finalize(self, _reap, self._processes)
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _activate(self, block_count: int) -> None:
+        """Decide the mode and spawn the pool (first image call)."""
+        count = min(resolve_workers(self.requested_workers),
+                    max(1, block_count))
+        if count < 1 or not self.harness.available():
+            self.mode = "serial-fallback"
+            return
+        try:
+            self._result_queue = self.harness.create_queue()
+            for worker_id in range(count):
+                slot = _WorkerSlot(worker_id)
+                self._spawn(slot)
+                self.slots.append(slot)
+        except Exception:
+            _reap([s.process for s in self.slots if s.process is not None])
+            self.slots = []
+            self.mode = "serial-fallback"
+            return
+        self.mode = "process"
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        # A fresh task queue per (re)spawn: a dead worker's undrained
+        # tasks must not leak into its replacement.
+        slot.task_queue = self.harness.create_queue()
+        slot.process = self.harness.spawn(
+            slot.worker_id, _sweep_worker_main,
+            (slot.worker_id, self.codec.kind, self.codec.order(),
+             slot.task_queue, self._result_queue))
+        self._processes.append(slot.process)
+
+    def close(self) -> None:
+        """Stop the pool: polite stop, then terminate → join → kill."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self.slots:
+            if slot.alive():
+                try:
+                    slot.task_queue.put(("stop",))
+                except Exception:
+                    pass
+        _reap([s.process for s in self.slots if s.process is not None])
+
+    # -- pinning -------------------------------------------------------
+
+    def _ensure_pinned(self, blocks) -> None:
+        keys = tuple(self.codec.block_key(block) for block in blocks)
+        if keys == self._pinned_keys:
+            return
+        payloads = [(self.codec.block_key(block),
+                     self.codec.block_payload(block),
+                     block.transitions) for block in blocks]
+        # Largest serialized payload first, greedily onto the least
+        # loaded worker (LPT): the pool load-balances by shipped size,
+        # the best static proxy for per-step image cost.
+        payloads.sort(key=lambda entry: len(entry[1][1]), reverse=True)
+        live = [slot for slot in self.slots if slot.alive()]
+        if not live:
+            self.mode = "serial-fallback"
+            return
+        loads = {slot.worker_id: 0 for slot in live}
+        assigned = {slot.worker_id: [] for slot in live}
+        for _key, payload, transitions in payloads:
+            target = min(live, key=lambda slot: loads[slot.worker_id])
+            assigned[target.worker_id].append((payload, transitions))
+            loads[target.worker_id] += len(payload[1])
+        for slot in live:
+            entries = assigned[slot.worker_id]
+            slot.payloads = [payload for payload, _ in entries]
+            slot.transitions = [transitions for _, transitions in entries]
+            self._pin(slot)
+        self._pinned_keys = keys
+
+    def _pin(self, slot: _WorkerSlot) -> None:
+        slot.task_queue.put(("pin", list(slot.payloads)))
+        self.pin_ships += 1
+        self.ship_bytes += sum(len(p[1]) for p in slot.payloads)
+
+    # -- the parallel image --------------------------------------------
+
+    def image(self, states, blocks):
+        """The partitioned image of one step, evaluated by the pool.
+
+        Semantically identical to
+        :meth:`~repro.symbolic.partition.PartitionedNet.
+        image_partitioned`; one call is one complete step barrier —
+        no checkpoint is ever written while it runs.
+        """
+        if self.mode is None:
+            self._activate(len(blocks))
+        if self.mode != "serial-fallback":
+            self._ensure_pinned(blocks)
+        if self.mode == "serial-fallback":
+            return self.relnet.image_partitioned(states, blocks)
+        self.steps += 1
+        step_id = self.steps
+        states_text = self.codec.dump_state(states)
+        pending: Dict[int, _WorkerSlot] = {}
+        crashed: List[int] = []
+        for slot in self.slots:
+            if not slot.payloads:
+                continue
+            if slot.alive():
+                slot.task_queue.put(("step", step_id, states_text))
+                pending[slot.worker_id] = slot
+            else:
+                # Died between steps: its blocks take the same fallback
+                # path as a mid-step crash.
+                crashed.append(slot.worker_id)
+        result = self.relnet.state_empty()
+        if not pending:
+            # The whole pool is gone: this and every further step runs
+            # serially in the parent.
+            self.mode = "serial-fallback"
+            return self.relnet.image_partitioned(states, blocks)
+        replies, collected_crashes = self._collect(step_id, pending)
+        crashed.extend(collected_crashes)
+        for worker_id, image_text in sorted(replies.items()):
+            result = self.relnet.state_union(
+                result, self.codec.load_image(image_text))
+        for worker_id in crashed:
+            result = self.relnet.state_union(
+                result, self._fallback(worker_id, step_id, states, blocks))
+        return result
+
+    def _collect(self, step_id: int, pending: Dict[int, _WorkerSlot]):
+        """Poll replies for this step; detect dead workers."""
+        replies: Dict[int, str] = {}
+        crashed: List[int] = []
+        grace: Dict[int, int] = {}
+        while pending:
+            try:
+                message = self._result_queue.get(
+                    timeout=self.harness.poll_interval())
+            except queue.Empty:
+                for worker_id, slot in list(pending.items()):
+                    if slot.alive():
+                        continue
+                    grace[worker_id] = grace.get(worker_id, 0) + 1
+                    if grace[worker_id] >= DEAD_WORKER_GRACE_POLLS:
+                        crashed.append(worker_id)
+                        del pending[worker_id]
+                continue
+            except Exception:
+                self.poison += 1
+                if self.poison >= MAX_QUEUE_POISON:
+                    crashed.extend(pending)
+                    pending.clear()
+                continue
+            if (not isinstance(message, tuple) or len(message) != 5
+                    or message[0] != "image"):
+                continue
+            _tag, worker_id, reply_step, image_text, stats = message
+            if reply_step != step_id or worker_id not in pending:
+                continue  # stale reply from before a crash recovery
+            slot = pending.pop(worker_id)
+            slot.stats = stats
+            slot.steps += 1
+            replies[worker_id] = image_text
+        return replies, crashed
+
+    def _fallback(self, worker_id: int, step_id: int, states, blocks):
+        """Serially evaluate a crashed worker's blocks, then recover.
+
+        The parent owns the partitions the worker held copies of, so the
+        lost images are recomputed in-process; the crash is recorded and
+        the slot is respawned (bounded) or retired — retirement forces a
+        re-pin of every block over the surviving workers.
+        """
+        slot = self.slots[worker_id]
+        by_transitions = {block.transitions: block for block in blocks}
+        lost = [by_transitions[transitions]
+                for transitions in slot.transitions
+                if transitions in by_transitions]
+        result = self.relnet.state_empty()
+        for block in lost:
+            result = self.relnet.state_union(
+                result, self.relnet.image_partition(states, block))
+        self.crashes.append({
+            "worker": worker_id,
+            "step": step_id,
+            "blocks": len(lost),
+            "action": ("respawn" if slot.respawns < MAX_RESPAWNS
+                       else "retire"),
+        })
+        if slot.respawns < MAX_RESPAWNS:
+            slot.respawns += 1
+            try:
+                self._spawn(slot)
+                self._pin(slot)
+            except Exception:
+                slot.process = None
+                self._retire(slot)
+        else:
+            self._retire(slot)
+        return result
+
+    def _retire(self, slot: _WorkerSlot) -> None:
+        """Drop a slot for good and force a re-pin over the survivors
+        (the whole pool gone → permanent serial fallback)."""
+        slot.payloads = []
+        slot.transitions = []
+        self._pinned_keys = None
+        if not any(s.alive() for s in self.slots):
+            self.mode = "serial-fallback"
+
+    # -- stats ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregated pool telemetry for ``extras["parallel"]``."""
+        per_worker = []
+        for slot in self.slots:
+            entry = {"worker": slot.worker_id,
+                     "blocks": len(slot.payloads),
+                     "steps": slot.steps,
+                     "respawns": slot.respawns}
+            if slot.stats is not None:
+                entry.update(slot.stats)
+            per_worker.append(entry)
+        return {
+            "mode": self.mode or "idle",
+            "workers": len(self.slots),
+            "requested_workers": self.requested_workers,
+            "steps": self.steps,
+            "pin_ships": self.pin_ships,
+            "ship_bytes": self.ship_bytes,
+            "crashes": list(self.crashes),
+            "per_worker": per_worker,
+            "peak_live_nodes": sum(
+                (slot.stats or {}).get("peak_live_nodes", 0)
+                for slot in self.slots),
+            "reorder_count": sum(
+                (slot.stats or {}).get("reorder_count", 0)
+                for slot in self.slots),
+        }
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+class ParallelPartitionedImageEngine(PartitionedImageEngine):
+    """``partitioned-mp``: the partitioned step, blocks evaluated by a
+    :class:`ParallelSweep` worker pool.
+
+    Semantically identical to :class:`~repro.symbolic.partition.
+    PartitionedImageEngine` — same partitions, same one-step union — so
+    the fixpoint trajectory and every checkpoint are bit-for-bit
+    comparable with the serial engine.  Call :meth:`close` when the
+    traversal ends (sessions do this at every exit path); the pool also
+    carries a ``weakref.finalize`` safety net and its processes are
+    daemonic, so nothing outlives the parent either way.
+    """
+
+    name = "partitioned-mp"
+
+    def __init__(self, relnet: PartitionedNet,
+                 cluster_size: ClusterSize = 1,
+                 simplify_frontier: bool = False,
+                 workers: "int | str" = "auto",
+                 harness: Optional[SweepHarness] = None) -> None:
+        super().__init__(relnet, cluster_size, simplify_frontier)
+        self.sweep = ParallelSweep(relnet, workers, harness)
+
+    def advance(self, reached, frontier):
+        work = self._simplify(reached, frontier)
+        successors = self.sweep.image(work, self.partitions)
+        return self._absorb(reached, successors)
+
+    def close(self) -> None:
+        self.sweep.close()
+
+    def parallel_stats(self):
+        """Pool telemetry (see :meth:`ParallelSweep.stats`)."""
+        return self.sweep.stats()

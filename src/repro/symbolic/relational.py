@@ -255,6 +255,9 @@ class RelationalNet(PartitionedNet):
     def _relation_size(self, transition: str) -> int:
         return self.sparse_relations()[transition][0].size()
 
+    def block_size(self, block: "RelationPartition") -> int:
+        return block.relation.size()
+
     def _make_block(self, group: Tuple[str, ...],
                     label: str) -> RelationPartition:
         """Pad, merge and annotate one cluster of sparse relations."""

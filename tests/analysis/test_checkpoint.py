@@ -154,6 +154,56 @@ class TestStore:
             store.load()
         assert excinfo.value.reason == "missing"
 
+    def test_crash_between_tmp_write_and_rename_is_swept(self, tmp_path,
+                                                         monkeypatch):
+        """Crash simulation: the process dies after writing the tmp
+        file but before the atomic rename.  The stale tmp must not
+        damage the sealed checkpoint and must be swept by the next
+        writer (the restarted process)."""
+        import repro.analysis.checkpoint as checkpoint_module
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path)
+        store.save(sample_data(iteration=3))
+
+        def die_before_rename(src, dst):
+            raise KeyboardInterrupt("simulated SIGKILL before rename")
+
+        monkeypatch.setattr(checkpoint_module.os, "replace",
+                            die_before_rename)
+        with pytest.raises(KeyboardInterrupt):
+            store.save(sample_data(iteration=9))
+        monkeypatch.undo()
+        stale = [p.name for p in tmp_path.iterdir()
+                 if p.name.startswith("run.ckpt.tmp")]
+        assert stale, "the simulated crash should strand a tmp file"
+        # The sealed checkpoint survived the crash untouched.
+        assert parse_checkpoint(path.read_text()).iteration == 3
+
+        # The restarted process sweeps the leftovers on its first save.
+        restarted = CheckpointStore(path)
+        restarted.save(sample_data(iteration=11))
+        assert list(tmp_path.iterdir()) == [path]
+        assert restarted.load().iteration == 11
+
+    def test_stale_tmp_swept_on_resume_load(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(path).save(sample_data(iteration=5))
+        (tmp_path / "run.ckpt.tmp.999.7").write_text("torn leftovers")
+        loaded = CheckpointStore(path).load()
+        assert loaded.iteration == 5
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_tmp_sweep_leaves_unrelated_files_alone(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        other = tmp_path / "other.ckpt.tmp.1.1"
+        other.write_text("someone else's tmp")
+        sibling = tmp_path / "run.ckpt2"
+        sibling.write_text("a different checkpoint")
+        CheckpointStore(path).save(sample_data())
+        survivors = {p.name for p in tmp_path.iterdir()}
+        assert survivors == {"run.ckpt", "other.ckpt.tmp.1.1",
+                             "run.ckpt2"}
+
     def test_iteration_cadence(self, tmp_path):
         store = CheckpointStore(tmp_path / "run.ckpt", every=3)
         assert not store.due(1)

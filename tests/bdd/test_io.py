@@ -4,9 +4,10 @@ import itertools
 
 import pytest
 
-from repro.bdd import BDD, BDDError, variable
-from repro.bdd.io import (dump_functions, load_functions,
-                          load_functions_file, save_functions)
+from repro.bdd import BDD, BDDError, ZDD, ZDDError, variable
+from repro.bdd.io import (dump_functions, dump_zdd_nodes, load_functions,
+                          load_functions_file, load_zdd_nodes,
+                          save_functions)
 
 
 @pytest.fixture
@@ -99,6 +100,21 @@ class TestErrors:
         bdd = BDD(var_names=["a"])
         with pytest.raises(BDDError):
             load_functions("garbage", bdd)
+
+    @pytest.mark.parametrize("text", ["", "   \n\t\n  "])
+    def test_empty_stream_has_clear_structured_error(self, text):
+        """An empty or whitespace-only dump (truncated ship, zero-byte
+        file) must raise the structured format error naming the
+        problem — never an IndexError/KeyError escape."""
+        bdd = BDD(var_names=["a"])
+        with pytest.raises(BDDError, match="empty bddio stream"):
+            load_functions(text, bdd)
+
+    @pytest.mark.parametrize("text", ["", "   \n\t\n  "])
+    def test_empty_zdd_stream_has_clear_structured_error(self, text):
+        zdd = ZDD(var_names=["a"])
+        with pytest.raises(ZDDError, match="empty zddio stream"):
+            load_zdd_nodes(text, zdd)
 
     def test_missing_variable_in_target(self, source):
         bdd, funcs = source

@@ -278,3 +278,111 @@ def test_kill_and_resume_matches_oracle(name, make_net, explicit_counts,
     assert resumed.extras["resume"]["status"] == "resumed"
     assert resumed.markings == explicit_counts[name]
     assert resumed.status == "complete"
+
+
+# ---------------------------------------------------------------------------
+# Parallel partitioned-mp differential: the worker pool vs the serial
+# partitioned engine vs the explicit oracle, on every generator family.
+
+from repro.symbolic import ParallelPartitionedImageEngine, ParallelZddEngine
+
+
+def _sweep_workers_available():
+    import multiprocessing
+    if multiprocessing.current_process().daemon:
+        return False
+    return _workers_available()
+
+
+@pytest.mark.parametrize("name", SMALL_NETS)
+def test_partitioned_mp_agrees_small(name, make_net):
+    """Acceptance: ``partitioned-mp`` with workers=2 (BDD and ZDD)
+    computes the identical reachable marking *set* as the serial
+    partitioned engine and the explicit oracle on every family."""
+    if not _sweep_workers_available():
+        pytest.skip("multiprocessing unavailable in this environment")
+    net = make_net(name)
+    explicit = explicit_marking_set(net)
+    assert explicit
+
+    serial_net = RelationalNet(ImprovedEncoding(make_net(name)))
+    serial = traverse_relational(serial_net, engine="partitioned",
+                                 cluster_size="auto")
+    assert serial.marking_count == len(explicit), (name, "serial")
+
+    relnet = RelationalNet(ImprovedEncoding(make_net(name)))
+    engine = ParallelPartitionedImageEngine(relnet, cluster_size="auto",
+                                            workers=2)
+    try:
+        result = traverse_relational(relnet, engine=engine)
+        stats = engine.parallel_stats()
+    finally:
+        engine.close()
+    assert stats["mode"] == "process", (name, stats)
+    assert result.marking_count == serial.marking_count
+    assert_bdd_set_matches(relnet, result.reachable,
+                           result.marking_count, explicit,
+                           (name, "bdd/partitioned-mp"))
+
+    zrelnet = ZddRelationalNet(make_net(name))
+    zengine = ParallelZddEngine(zrelnet, cluster_size="auto", workers=2)
+    try:
+        zresult = traverse_zdd(zrelnet, engine=zengine)
+        zstats = zengine.parallel_stats()
+    finally:
+        zengine.close()
+    assert zstats["mode"] == "process", (name, zstats)
+    assert zresult.marking_count == len(explicit), \
+        (name, "zdd/partitioned-mp")
+    decoded = {m.support for m in zrelnet.markings_of(zresult.reachable)}
+    assert decoded == explicit, (name, "zdd/partitioned-mp")
+
+
+def test_partitioned_mp_sigkill_worker_falls_back_serial(make_net,
+                                                         explicit_counts):
+    """Satellite acceptance: SIGKILL one pool worker mid-fixpoint; its
+    blocks are evaluated serially in the parent (structured crash
+    record), the slot respawns (then retires on a second kill) and the
+    reached set still lands exactly on the oracle."""
+    if not _sweep_workers_available():
+        pytest.skip("multiprocessing unavailable in this environment")
+    name = "phil3"
+    relnet = RelationalNet(ImprovedEncoding(make_net(name)))
+    engine = ParallelPartitionedImageEngine(relnet, cluster_size="auto",
+                                            workers=2)
+    try:
+        reached = frontier = engine.initial
+        reached, frontier = engine.advance(reached, frontier)
+        sweep = engine.sweep
+        assert sweep.mode == "process"
+
+        def kill_worker_zero():
+            victim = sweep.slots[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(10.0)
+            assert not victim.is_alive()
+
+        # First kill: the dead worker's blocks fall back to serial
+        # evaluation this step and the slot respawns.
+        kill_worker_zero()
+        assert not frontier.is_zero(), "net fixpointed too early for " \
+                                       "the kill to be observable"
+        reached, frontier = engine.advance(reached, frontier)
+        stats = engine.parallel_stats()
+        assert len(stats["crashes"]) == 1
+        crash = stats["crashes"][0]
+        assert crash["worker"] == 0
+        assert crash["action"] == "respawn"
+        assert crash["blocks"] > 0
+
+        # Second kill: past MAX_RESPAWNS the slot retires and its
+        # blocks re-pin onto the survivor.
+        kill_worker_zero()
+        while not frontier.is_zero():
+            reached, frontier = engine.advance(reached, frontier)
+        stats = engine.parallel_stats()
+        assert [c["action"] for c in stats["crashes"]] \
+            == ["respawn", "retire"]
+    finally:
+        engine.close()
+    assert relnet.count_markings(reached) == explicit_counts[name]

@@ -1,0 +1,228 @@
+"""Unit tests for the ``partitioned-mp`` worker pool
+(:mod:`repro.symbolic.parallel`): serial degradation through an
+injected harness, block pinning, the satellite order-independence fix
+for ``image_partitioned`` and the ``workers`` spec field's validation
+surface.
+
+The real-process differential matrix (workers=2 vs the serial
+partitioned engine vs the explicit oracle on every generator family,
+plus the SIGKILL fallback test) lives in ``test_engine_diff.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import AnalysisSpec, SpecError, member_spec
+from repro.analysis.checkpoint import spec_fingerprint
+from repro.encoding import ImprovedEncoding
+from repro.symbolic import (ParallelPartitionedImageEngine,
+                            ParallelZddEngine, RelationalNet,
+                            SweepHarness, ZddRelationalNet,
+                            traverse_relational, traverse_zdd)
+from repro.symbolic.parallel import resolve_workers
+
+
+class _NoWorkersHarness(SweepHarness):
+    """Pins the serial degradation: no process is ever spawned."""
+
+    def available(self):
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Serial degradation
+
+
+def test_bdd_serial_fallback_matches_oracle(make_net, explicit_counts):
+    relnet = RelationalNet(ImprovedEncoding(make_net("phil3")))
+    engine = ParallelPartitionedImageEngine(
+        relnet, cluster_size="auto", workers=2,
+        harness=_NoWorkersHarness())
+    try:
+        result = traverse_relational(relnet, engine=engine)
+    finally:
+        engine.close()
+    assert result.marking_count == explicit_counts["phil3"]
+    assert result.engine == "relational/partitioned-mp"
+    stats = engine.parallel_stats()
+    assert stats["mode"] == "serial-fallback"
+    assert stats["crashes"] == []
+    assert stats["pin_ships"] == 0
+
+
+def test_zdd_serial_fallback_matches_oracle(make_net, explicit_counts):
+    relnet = ZddRelationalNet(make_net("slot2"))
+    engine = ParallelZddEngine(relnet, cluster_size="auto", workers=2,
+                               harness=_NoWorkersHarness())
+    try:
+        result = traverse_zdd(relnet, engine=engine)
+    finally:
+        engine.close()
+    assert result.marking_count == explicit_counts["slot2"]
+    assert engine.parallel_stats()["mode"] == "serial-fallback"
+
+
+def test_close_is_idempotent(make_net):
+    relnet = RelationalNet(ImprovedEncoding(make_net("figure1")))
+    engine = ParallelPartitionedImageEngine(
+        relnet, workers=1, harness=_NoWorkersHarness())
+    engine.close()
+    engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: image_partitioned ordering
+
+
+def test_image_partitioned_is_order_independent(make_net):
+    """Shuffling the block list never changes the computed image."""
+    relnet = RelationalNet(ImprovedEncoding(make_net("phil3")))
+    blocks = relnet.partitions("auto")
+    assert len(blocks) > 1
+    states = relnet.initial
+    baseline = relnet.image_partitioned(states, blocks)
+    rng = random.Random(7)
+    for _ in range(5):
+        shuffled = list(blocks)
+        rng.shuffle(shuffled)
+        assert relnet.image_partitioned(states, shuffled) == baseline
+
+
+def test_image_partitioned_unions_smallest_first(make_net):
+    """The serial sweep applies blocks by ascending relation size, so
+    intermediate union BDDs stay small regardless of declaration
+    order."""
+    relnet = RelationalNet(ImprovedEncoding(make_net("slot2")))
+    blocks = relnet.partitions(1)
+    visited = []
+    original = relnet.image_partition
+
+    def spy(states, block):
+        visited.append(block)
+        return original(states, block)
+
+    relnet.image_partition = spy
+    try:
+        relnet.image_partitioned(relnet.initial, list(reversed(blocks)))
+    finally:
+        del relnet.image_partition
+    sizes = [relnet.block_size(block) for block in visited]
+    assert sizes == sorted(sizes)
+    assert len(visited) == len(blocks)
+
+
+def test_zdd_block_size_counts_member_relations(make_net):
+    relnet = ZddRelationalNet(make_net("slot2"))
+    for block in relnet.partitions("auto"):
+        assert relnet.block_size(block) == sum(
+            relnet.zdd.size(member.relation) for member in block.members)
+
+
+# ---------------------------------------------------------------------------
+# Pinning (real processes)
+
+
+def _workers_available():
+    import multiprocessing
+    if multiprocessing.current_process().daemon:
+        return False
+    try:
+        probe = multiprocessing.get_context().Queue()
+        probe.close()
+        probe.join_thread()
+    except Exception:
+        return False
+    return True
+
+
+def test_blocks_are_pinned_once_without_reordering(make_net,
+                                                   explicit_counts):
+    """With a static variable order the relations ship exactly once:
+    one pin per worker, however many fixpoint steps run."""
+    if not _workers_available():
+        pytest.skip("multiprocessing unavailable in this environment")
+    relnet = RelationalNet(ImprovedEncoding(make_net("phil3")))
+    engine = ParallelPartitionedImageEngine(relnet, cluster_size="auto",
+                                            workers=2)
+    try:
+        result = traverse_relational(relnet, engine=engine)
+        stats = engine.parallel_stats()
+    finally:
+        engine.close()
+    assert result.marking_count == explicit_counts["phil3"]
+    assert stats["mode"] == "process"
+    assert stats["steps"] > 1
+    assert stats["pin_ships"] == stats["workers"]
+    assert stats["peak_live_nodes"] > 0
+    assert all(worker["steps"] == stats["steps"]
+               for worker in stats["per_worker"])
+
+
+# ---------------------------------------------------------------------------
+# resolve_workers / spec surface
+
+
+def test_resolve_workers():
+    assert resolve_workers(3) == 3
+    assert resolve_workers(1) == 1
+    assert resolve_workers("auto") >= 1
+    assert resolve_workers(None) >= 1
+
+
+def test_spec_workers_requires_partitioned_mp():
+    for spec_kwargs in (
+            dict(form="relational", engine="chained"),
+            dict(),                       # functional BDD default
+            dict(backend="zdd"),          # zdd default engine
+            dict(k_bound=2)):
+        with pytest.raises(SpecError, match="workers"):
+            AnalysisSpec(workers=2, **spec_kwargs)
+
+
+def test_spec_workers_value_validation():
+    for bad in (0, -1, 1.5, "many", True):
+        with pytest.raises(SpecError, match="workers"):
+            AnalysisSpec(form="relational", engine="partitioned-mp",
+                         workers=bad)
+    spec = AnalysisSpec(form="relational", engine="partitioned-mp",
+                        workers=2)
+    assert spec.resolved_workers == 2
+    assert AnalysisSpec(form="relational",
+                        engine="partitioned-mp").resolved_workers == "auto"
+
+
+def test_spec_workers_engine_ids():
+    assert AnalysisSpec(form="relational",
+                        engine="partitioned-mp").engine_id \
+        == "relational/partitioned-mp"
+    assert AnalysisSpec(backend="zdd", form="relational",
+                        engine="partitioned-mp").engine_id \
+        == "zdd/partitioned-mp"
+
+
+def test_spec_workers_is_nonsemantic_for_checkpoints():
+    """Any worker count computes the same trajectory, so the checkpoint
+    fingerprint must not depend on it (a resume may change workers)."""
+    base = AnalysisSpec(form="relational", engine="partitioned-mp")
+    assert spec_fingerprint(base) \
+        == spec_fingerprint(base.replace(workers=4))
+
+
+def test_spec_workers_portfolio_warns_without_mp_member():
+    spec = AnalysisSpec(backend="portfolio", workers=2)
+    assert any(w.option == "workers" for w in spec.warnings())
+    with_member = AnalysisSpec(
+        backend="portfolio", workers=2,
+        portfolio_members=("bdd-partitioned-mp", "zdd-chained"))
+    assert not any(w.option == "workers"
+                   for w in with_member.warnings())
+
+
+def test_portfolio_member_spec_threads_workers():
+    parent = AnalysisSpec(
+        backend="portfolio", workers=3,
+        portfolio_members=("bdd-partitioned-mp", "zdd-chained"))
+    member = member_spec(parent, "bdd-partitioned-mp")
+    assert member.resolved_engine == "partitioned-mp"
+    assert member.workers == 3
