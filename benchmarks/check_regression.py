@@ -3,9 +3,11 @@
 Runs the benchmarks in quick mode (the two smallest instances each) and
 compares image-fixpoint times against the committed
 ``BENCH_relprod.json`` baseline — the BDD chained rows, the ZDD chained
-rows, and the ``partitioned-mp`` workers-2/serial ratio (the latter
+rows, the ``partitioned-mp`` workers-2/serial ratio (the latter
 only on machines where the ratio is evidence: >= 2 CPUs and a live
-worker pool on both sides, see :func:`check_parallel`).  Engine rows are read through :func:`image_seconds`, which
+worker pool on both sides, see :func:`check_parallel`), and the
+analysis service's cache-hit speedup (an absolute >= 10x floor, see
+:func:`check_service`).  Engine rows are read through :func:`image_seconds`, which
 understands both the native benchmark row shape and the serialized
 ``repro.analysis.AnalysisResult`` schema.  Raw wall-clock is
 meaningless across machines, so times are normalised by a baseline
@@ -36,12 +38,14 @@ os.environ.setdefault("REPRO_QUICK", "1")
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_relprod  # noqa: E402  (needs REPRO_QUICK set first)
+import bench_service  # noqa: E402
 import bench_zdd_relprod  # noqa: E402
 
 TOLERANCE = 0.25
 MIN_SECONDS = 0.1
 MIN_SECONDS_ZDD = 0.02
 ATTEMPTS = 3
+HIT_SPEEDUP_MIN = 10.0
 
 
 def parallel_ratio(rows: dict) -> float:
@@ -200,6 +204,58 @@ def check_parallel(baseline: dict) -> "tuple[list, int, int]":
     return failures, checked, shared
 
 
+def check_service(baseline: dict) -> "tuple[list, int, int]":
+    """Gate the analysis service: a cache hit must stay >= 10x faster
+    than the cold solve (the ISSUE 9 acceptance bound — an absolute
+    floor, not a drift check, since the hit path is a dictionary lookup
+    plus a digest check and any ratio below 10x means real work leaked
+    into it).  Instances whose committed cold solve sat under the noise
+    floor are skipped: a millisecond-scale cold solve cannot bound a
+    microsecond-scale hit with any statistical honesty.
+    """
+    failures = []
+    checked = 0
+    shared = 0
+    section = baseline.get("service") or {}
+    instances = section.get("instances", {})
+    for name, factory in bench_service.CONFIGS:
+        committed = instances.get(name)
+        if committed is None:
+            print(f"service/{name}: not in committed baseline, skipped")
+            continue
+        shared += 1
+        if committed["cold_seconds"] < MIN_SECONDS:
+            print(f"service/{name}: committed cold solve took "
+                  f"{committed['cold_seconds']:.3f}s (< {MIN_SECONDS}s "
+                  f"noise floor), skipped")
+            continue
+        speedup = 0.0
+        for attempt in range(1, ATTEMPTS + 1):
+            fresh = bench_service.measure_service(factory)
+            if fresh["cold_seconds"] < MIN_SECONDS:
+                # This machine solves too fast to bound the ratio;
+                # treat like the committed-side noise-floor skip.
+                speedup = None
+                break
+            speedup = max(speedup, fresh["hit_speedup"])
+            if speedup >= HIT_SPEEDUP_MIN:
+                break
+        if speedup is None:
+            print(f"service/{name}: fresh cold solve below the noise "
+                  f"floor on this machine, skipped")
+            continue
+        verdict = "OK" if speedup >= HIT_SPEEDUP_MIN else "REGRESSION"
+        print(f"service/{name}: cache hit speedup "
+              f"{committed['hit_speedup']:.0f}x committed -> "
+              f"{speedup:.0f}x fresh "
+              f"(floor {HIT_SPEEDUP_MIN:.0f}x, {attempt} attempt(s)) "
+              f"{verdict}")
+        checked += 1
+        if verdict == "REGRESSION":
+            failures.append(f"service/{name}")
+    return failures, checked, shared
+
+
 def main() -> int:
     try:
         with open(bench_relprod.JSON_PATH) as handle:
@@ -251,6 +307,11 @@ def main() -> int:
     failures += par_failures
     checked += par_checked
     shared += par_shared
+
+    svc_failures, svc_checked, svc_shared = check_service(baseline)
+    failures += svc_failures
+    checked += svc_checked
+    shared += svc_shared
 
     if not shared:
         print("no instances shared between quick mode and the baseline; "

@@ -41,16 +41,17 @@ from .checkpoint import (CheckpointData, CheckpointError, CheckpointStore,
 from .facade import Analysis, analyze
 from .portfolio import (MemberFailure, PortfolioBackend, PortfolioError,
                         WorkerHarness, member_checkpoint_path, member_spec)
-from .result import SCHEMA_VERSION, AnalysisResult
+from .result import SCHEMA_MINOR, SCHEMA_VERSION, AnalysisResult
 from .spec import (BACKEND_FAMILIES, CHAIN_ORDERS, DEFAULT_CLUSTER_SIZE,
                    DEFAULT_FORM, DEFAULT_PORTFOLIO_MEMBERS,
                    DEFAULT_RELATIONAL_ENGINE, FORMS, NONSEMANTIC_FIELDS,
                    PORTFOLIO_MEMBERS, RELATIONAL_ENGINES, SCHEMES,
-                   STRATEGIES, AnalysisSpec, SpecError, SpecWarning)
+                   SEMANTIC_FIELDS, STRATEGIES, AnalysisSpec, SpecError,
+                   SpecWarning)
 
 __all__ = [
     "AnalysisSpec", "SpecError", "SpecWarning",
-    "AnalysisResult", "SCHEMA_VERSION",
+    "AnalysisResult", "SCHEMA_VERSION", "SCHEMA_MINOR",
     "SolverBackend", "SolverSession", "backend_for", "BACKENDS",
     "BddFunctionalBackend", "BddRelationalBackend", "ZddBackend",
     "KBoundedBackend",
@@ -64,5 +65,5 @@ __all__ = [
     "STRATEGIES", "CHAIN_ORDERS", "DEFAULT_FORM",
     "DEFAULT_RELATIONAL_ENGINE", "DEFAULT_CLUSTER_SIZE",
     "PORTFOLIO_MEMBERS", "DEFAULT_PORTFOLIO_MEMBERS",
-    "NONSEMANTIC_FIELDS",
+    "NONSEMANTIC_FIELDS", "SEMANTIC_FIELDS",
 ]

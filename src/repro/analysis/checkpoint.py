@@ -47,7 +47,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..petri.net import PetriNet
-from .spec import NONSEMANTIC_FIELDS, AnalysisSpec
+from .spec import AnalysisSpec
 
 __all__ = [
     "CheckpointError", "CheckpointData", "CheckpointStore",
@@ -110,16 +110,17 @@ def net_fingerprint(net: PetriNet) -> str:
 def spec_fingerprint(spec: AnalysisSpec) -> str:
     """Digest of the spec's semantic fields.
 
-    Durability fields (and ``max_iterations``, which bounds how far a
-    run gets but not the trajectory it takes) are excluded: a resumed
-    run differs from its checkpointing ancestor exactly in those, and
-    resuming with a larger iteration allowance from a limit-aborted
-    checkpoint is a supported workflow.
+    A thin alias for :meth:`AnalysisSpec.semantic_fingerprint` — the
+    single definition of "the same analysis" shared with the
+    ``repro.service`` result cache, so a checkpoint and a cache entry
+    can never disagree about spec identity.  Durability fields (and
+    ``max_iterations``, which bounds how far a run gets but not the
+    trajectory it takes) are excluded: a resumed run differs from its
+    checkpointing ancestor exactly in those, and resuming with a larger
+    iteration allowance from a limit-aborted checkpoint is a supported
+    workflow.
     """
-    values = {key: value for key, value in spec.to_dict().items()
-              if key not in NONSEMANTIC_FIELDS}
-    blob = json.dumps(values, sort_keys=True, default=list)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+    return spec.semantic_fingerprint()
 
 
 def dump_checkpoint(data: CheckpointData) -> str:

@@ -31,6 +31,9 @@ apart again (``tests/analysis/test_spec.py`` pins this down).
 
 from __future__ import annotations
 
+import hashlib
+import json
+import logging
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -43,8 +46,10 @@ __all__ = [
     "CHAIN_ORDERS", "DEFAULT_FORM", "DEFAULT_RELATIONAL_ENGINE",
     "DEFAULT_CLUSTER_SIZE", "DEFAULT_REORDER_THRESHOLD",
     "PORTFOLIO_MEMBERS", "DEFAULT_PORTFOLIO_MEMBERS",
-    "NONSEMANTIC_FIELDS",
+    "NONSEMANTIC_FIELDS", "SEMANTIC_FIELDS",
 ]
+
+log = logging.getLogger(__name__)
 
 ClusterSize = Union[int, str]
 
@@ -83,15 +88,28 @@ DEFAULT_REORDER_THRESHOLD = 2_000
 
 # Fields that do not change the analysis trajectory: the durability and
 # budget knobs, plus ``max_iterations`` (bounds how far a run gets, not
-# the states it visits).  The checkpoint spec fingerprint
-# (:func:`repro.analysis.checkpoint.spec_fingerprint`) excludes them so
-# a ``resume=True`` run — or one retrying with a larger iteration
-# allowance or different budget — still matches the checkpoint its
-# ancestor wrote.
+# the states it visits).  :meth:`AnalysisSpec.semantic_fingerprint` —
+# the one identity both the checkpoint headers and the
+# ``repro.service`` result cache key on — excludes them, so a
+# ``resume=True`` run, one retrying with a larger iteration allowance
+# or different budget, or one sized to a different worker pool still
+# matches the checkpoint/cache entry its ancestor wrote.  Every spec
+# field must appear in exactly one of the two tuples below;
+# ``tests/analysis/test_spec.py`` enumerates the full field list so a
+# new field cannot silently fracture (or silently merge) cache and
+# checkpoint identity.
 NONSEMANTIC_FIELDS = (
     "checkpoint_path", "checkpoint_every", "checkpoint_every_seconds",
     "resume", "node_budget", "deadline", "max_iterations",
     "timeout", "member_timeout", "workers",
+)
+# The complement: every field that *does* pick the trajectory (and so
+# the result).  Declared explicitly rather than computed so adding a
+# spec field forces a conscious classification decision here.
+SEMANTIC_FIELDS = (
+    "scheme", "backend", "form", "engine", "cluster_size", "strategy",
+    "chain_order", "use_toggle", "reorder", "reorder_threshold",
+    "simplify_frontier", "k_bound", "portfolio_members",
 )
 
 
@@ -617,13 +635,51 @@ class AnalysisSpec:
         :meth:`from_dict`)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def semantic_fields(self) -> Dict[str, Any]:
+        """The fields that pick the analysis trajectory.
+
+        The :meth:`to_dict` dump minus :data:`NONSEMANTIC_FIELDS` — the
+        durability, budget and pool-sizing knobs, which change how a
+        run is supervised but never which states it visits.
+        """
+        return {key: value for key, value in self.to_dict().items()
+                if key not in NONSEMANTIC_FIELDS}
+
+    def semantic_fingerprint(self) -> str:
+        """Digest of :meth:`semantic_fields` — the spec's identity.
+
+        This is the *single* definition of "the same analysis" for
+        every layer that needs one: checkpoint headers
+        (:func:`repro.analysis.checkpoint.spec_fingerprint` delegates
+        here), the ``repro.service`` result cache key, and its
+        in-flight request dedupe.  Two specs that differ only in
+        non-semantic fields (``workers``, checkpoint paths, budgets,
+        ``max_iterations``) share a fingerprint by construction.
+        """
+        blob = json.dumps(self.semantic_fields(), sort_keys=True,
+                          default=list)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisSpec":
-        """Rebuild a spec from :meth:`to_dict` output."""
+    def from_dict(cls, data: Dict[str, Any],
+                  ignore_unknown: bool = False) -> "AnalysisSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        ``ignore_unknown=True`` drops (and logs) fields this build does
+        not know instead of raising — the forward-compatibility mode
+        :meth:`repro.analysis.result.AnalysisResult.from_dict` uses so
+        a cached result written by a newer build, whose spec may carry
+        new fields, does not poison an older reader.
+        """
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
-            raise SpecError(f"unknown spec fields: {sorted(unknown)}")
+            if not ignore_unknown:
+                raise SpecError(f"unknown spec fields: {sorted(unknown)}")
+            log.warning("ignoring unknown spec fields %s (written by a "
+                        "newer build?)", sorted(unknown))
+            data = {key: value for key, value in data.items()
+                    if key in known}
         return cls(**data)
 
     def replace(self, **changes) -> "AnalysisSpec":
@@ -631,3 +687,28 @@ class AnalysisSpec:
         values = self.to_dict()
         values.update(changes)
         return type(self)(**values)
+
+
+def _check_field_classification() -> None:
+    """Every spec field must be classified semantic or non-semantic.
+
+    Runs at import so an unclassified (or doubly classified) field is a
+    loud failure in *every* process, not just a test run — a field that
+    slipped past the split would silently fracture or merge cache and
+    checkpoint identity.
+    """
+    declared = set(SEMANTIC_FIELDS) | set(NONSEMANTIC_FIELDS)
+    actual = {f.name for f in fields(AnalysisSpec)}
+    overlap = set(SEMANTIC_FIELDS) & set(NONSEMANTIC_FIELDS)
+    if overlap:
+        raise RuntimeError(
+            f"spec fields classified both semantic and non-semantic: "
+            f"{sorted(overlap)}")
+    if declared != actual:
+        raise RuntimeError(
+            f"spec fields missing a semantic/non-semantic "
+            f"classification: {sorted(actual - declared)}; "
+            f"classified but not on the spec: {sorted(declared - actual)}")
+
+
+_check_field_classification()

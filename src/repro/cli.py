@@ -15,6 +15,22 @@ Subcommands
 ``analyze <net.pnet>``
     Symbolic reachability + deadlock check under a chosen encoding.
 
+``batch <requests.jsonl>``
+    Run a batch of analysis requests through the
+    :class:`~repro.service.AnalysisService` (result cache, in-flight
+    dedupe, warm worker pool) and emit one JSON response line per
+    request with per-request cache telemetry.
+
+``serve``
+    The same loop, long-lived, over stdin/stdout: one JSONL request in,
+    one JSON response out, until EOF.
+
+Request lines for ``batch``/``serve`` name a net by file or family and
+optionally override spec fields::
+
+    {"id": "q1", "net": "muller4.pnet"}
+    {"id": "q2", "family": "phil", "n": 6, "spec": {"backend": "zdd"}}
+
 Examples
 --------
 
@@ -34,13 +50,15 @@ Examples
 ``analyze`` exit codes: 0 success, 1 portfolio race failure, 2 bad
 spec, 3 partial result (a ``--node-budget`` / ``--deadline`` resource
 budget was exhausted; the printed marking count is a lower bound).
+``batch``/``serve`` exit 0 when every request succeeded, 1 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis import (DEFAULT_PORTFOLIO_MEMBERS, PORTFOLIO_MEMBERS,
                        RELATIONAL_ENGINES, Analysis, AnalysisSpec,
@@ -99,6 +117,37 @@ def _workers(value: str):
         raise argparse.ArgumentTypeError(
             f"workers must be >= 1, got {count}")
     return count
+
+
+def _service_workers(value: str):
+    """Parse a service ``--workers``: a non-negative integer or
+    ``auto`` (0 skips worker processes; every miss solves serially)."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer or 'auto', got {value!r}")
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0, got {count}")
+    return count
+
+
+def _add_service_arguments(sub) -> None:
+    sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="persistent result-cache directory (omitted: "
+                          "memory-only cache for this run)")
+    sub.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="per-key checkpoint directory: cache misses "
+                          "run with an injected checkpoint path and "
+                          "resume=True, so a re-solved key resumes its "
+                          "finished fixpoint instead of cold-starting")
+    sub.add_argument("--workers", type=_service_workers, default="auto",
+                     help="worker-pool size (a non-negative integer or "
+                          "'auto' for the CPU count; 0 solves every "
+                          "request serially in-process)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -241,6 +290,27 @@ def _build_parser() -> argparse.ArgumentParser:
                           "enough to profit)")
     ana.add_argument("--deadlocks", action="store_true",
                      help="also report reachable deadlocks")
+
+    batch = sub.add_parser(
+        "batch", help="run a JSONL request batch through the analysis "
+                      "service (cache + dedupe + worker pool)")
+    batch.add_argument("requests", metavar="requests.jsonl",
+                       help="request file, one JSON object per line "
+                            "('-' reads stdin)")
+    batch.add_argument("-o", "--output", default=None,
+                       help="response file (stdout when omitted)")
+    _add_service_arguments(batch)
+    batch.add_argument("--kill-worker-after", type=int, default=None,
+                       metavar="N",
+                       help="fault-injection hook: after N responses "
+                            "have been emitted, SIGKILL one live pool "
+                            "worker (the batch must still complete via "
+                            "respawn or serial fallback)")
+
+    serve = sub.add_parser(
+        "serve", help="long-lived service loop: JSONL requests on "
+                      "stdin, JSON responses on stdout, until EOF")
+    _add_service_arguments(serve)
     return parser
 
 
@@ -404,6 +474,169 @@ def _cmd_analyze(args) -> int:
     return 3 if result.status == "partial" else 0
 
 
+# ----------------------------------------------------------------------
+# The service front ends: batch and serve
+# ----------------------------------------------------------------------
+
+def _request_net(request: Dict[str, Any]):
+    """Resolve one request line's net: a ``.pnet`` path or a family."""
+    if "net" in request:
+        return load(request["net"])
+    family = request.get("family")
+    if family == "figure1":
+        return figure1_net()
+    if family == "jjreg":
+        return jj_register(request.get("variant", "a"),
+                           bits=int(request["n"]))
+    if family in FAMILIES:
+        if "n" not in request:
+            raise SpecError(f"family {family!r} needs a size ('n')")
+        return FAMILIES[family](int(request["n"]))
+    raise SpecError(
+        f"request names no net: give 'net' (a .pnet path) or 'family' "
+        f"(one of {sorted(FAMILIES) + ['figure1', 'jjreg']})")
+
+
+def _parse_request(line: str, index: int):
+    """One JSONL request line -> (id, net, spec)."""
+    request = json.loads(line)
+    if not isinstance(request, dict):
+        raise SpecError("request line must be a JSON object")
+    request_id = request.get("id", index)
+    spec_fields = request.get("spec") or {}
+    if not isinstance(spec_fields, dict):
+        raise SpecError("'spec' must be a JSON object of field "
+                        "overrides")
+    return request_id, _request_net(request), \
+        AnalysisSpec.from_dict(spec_fields)
+
+
+def _error_response(request_id, kind: str, detail: str) -> Dict[str, Any]:
+    return {"id": request_id, "status": "error",
+            "error": {"kind": kind, "detail": detail}}
+
+
+def _resolve_response(request_id, handle) -> Dict[str, Any]:
+    """Block on one handle; wrap the outcome in a response envelope.
+
+    Service telemetry rides in the envelope, never inside ``result`` —
+    a cache hit's payload stays bit-identical to the original solve's.
+    """
+    from .service import ServiceError
+    try:
+        payload = handle.result_dict()
+    except ServiceError as exc:
+        response = _error_response(request_id, exc.kind, str(exc))
+        response["service"] = handle.info
+        return response
+    return {"id": request_id, "status": "ok", "service": handle.info,
+            "result": payload}
+
+
+def _kill_one_worker(service) -> Optional[int]:
+    """SIGKILL one live pool worker (the batch fault-injection hook)."""
+    import os
+    import signal
+    pids = service.pool.worker_pids()
+    if not pids:
+        return None
+    os.kill(pids[0], signal.SIGKILL)
+    return pids[0]
+
+
+def _cmd_batch(args) -> int:
+    from .service import AnalysisService
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.requests, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    out = open(args.output, "w", encoding="utf-8") if args.output \
+        else sys.stdout
+    failed = 0
+    try:
+        with AnalysisService(cache_dir=args.cache_dir,
+                             workers=args.workers,
+                             checkpoint_dir=args.checkpoint_dir) \
+                as service:
+            # Submit everything first: duplicates within the batch
+            # dedupe against the in-flight solve instead of waiting
+            # for its cache entry.
+            handles = []
+            for index, line in enumerate(lines):
+                if not line.strip():
+                    continue
+                try:
+                    request_id, net, spec = _parse_request(line, index)
+                except (ValueError, SpecError, OSError, KeyError) as exc:
+                    handles.append((f"line-{index}", None,
+                                    _error_response(
+                                        f"line-{index}",
+                                        type(exc).__name__, str(exc))))
+                    continue
+                try:
+                    handles.append(
+                        (request_id, service.submit(net, spec), None))
+                except Exception as exc:
+                    handles.append((request_id, None,
+                                    _error_response(
+                                        request_id, type(exc).__name__,
+                                        str(exc))))
+            if args.kill_worker_after == 0:
+                _kill_one_worker(service)
+            emitted = 0
+            for request_id, handle, response in handles:
+                if response is None:
+                    response = _resolve_response(request_id, handle)
+                if response["status"] != "ok":
+                    failed += 1
+                out.write(json.dumps(response, sort_keys=True) + "\n")
+                out.flush()
+                emitted += 1
+                if args.kill_worker_after == emitted:
+                    _kill_one_worker(service)
+            stats = service.stats()
+            print(f"batch: {emitted} responses, {failed} failed; "
+                  f"cache hits {stats['cache_hits']} "
+                  f"(memory {stats['cache']['hits_memory']}, "
+                  f"disk {stats['cache']['hits_disk']}), "
+                  f"dedup {stats['dedup_hits']}, "
+                  f"pool solves {stats['pool_solves']}, "
+                  f"serial solves {stats['serial_solves']}, "
+                  f"pool mode {stats['pool']['mode']}",
+                  file=sys.stderr)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 1 if failed else 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import AnalysisService
+    failed = 0
+    with AnalysisService(cache_dir=args.cache_dir, workers=args.workers,
+                         checkpoint_dir=args.checkpoint_dir) as service:
+        for index, line in enumerate(sys.stdin):
+            if not line.strip():
+                continue
+            try:
+                request_id, net, spec = _parse_request(line, index)
+                response = _resolve_response(request_id,
+                                             service.submit(net, spec))
+            except (ValueError, SpecError, OSError, KeyError) as exc:
+                response = _error_response(f"line-{index}",
+                                           type(exc).__name__, str(exc))
+            if response["status"] != "ok":
+                failed += 1
+            sys.stdout.write(json.dumps(response, sort_keys=True) + "\n")
+            sys.stdout.flush()
+        stats = service.stats()
+        print(f"serve: {stats['submits']} requests, {failed} failed; "
+              f"cache hits {stats['cache_hits']}, "
+              f"dedup {stats['dedup_hits']}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -412,6 +645,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "encode": _cmd_encode,
         "analyze": _cmd_analyze,
+        "batch": _cmd_batch,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

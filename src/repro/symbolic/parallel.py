@@ -64,7 +64,7 @@ from .partition import (ClusterSize, PartitionedImageEngine,
 __all__ = [
     "ParallelSweep", "SweepHarness", "ParallelPartitionedImageEngine",
     "POLL_INTERVAL", "DEAD_WORKER_GRACE_POLLS", "MAX_QUEUE_POISON",
-    "MAX_RESPAWNS", "JOIN_TIMEOUT", "resolve_workers",
+    "MAX_RESPAWNS", "JOIN_TIMEOUT", "resolve_workers", "reap_processes",
 ]
 
 #: Result-queue poll granularity (seconds): crash detection latency.
@@ -364,8 +364,13 @@ class _WorkerSlot:
         return self.process is not None and self.process.is_alive()
 
 
-def _reap(processes) -> None:
-    """Terminate → join-grace → kill every process (finalizer-safe)."""
+def reap_processes(processes) -> None:
+    """Terminate → join-grace → kill every process (finalizer-safe).
+
+    Shared by every pool in the tree (:class:`ParallelSweep`, the
+    portfolio harness, ``repro.service``'s analysis pool) so shutdown
+    discipline stays identical everywhere.
+    """
     for process in processes:
         try:
             if process.is_alive():
@@ -428,7 +433,7 @@ class ParallelSweep:
         self._result_queue = None
         self._pinned_keys: Optional[Tuple] = None
         self._processes: List = []   # every process ever spawned
-        self._finalizer = weakref.finalize(self, _reap, self._processes)
+        self._finalizer = weakref.finalize(self, reap_processes, self._processes)
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------
@@ -447,7 +452,7 @@ class ParallelSweep:
                 self._spawn(slot)
                 self.slots.append(slot)
         except Exception:
-            _reap([s.process for s in self.slots if s.process is not None])
+            reap_processes([s.process for s in self.slots if s.process is not None])
             self.slots = []
             self.mode = "serial-fallback"
             return
@@ -474,7 +479,7 @@ class ParallelSweep:
                     slot.task_queue.put(("stop",))
                 except Exception:
                     pass
-        _reap([s.process for s in self.slots if s.process is not None])
+        reap_processes([s.process for s in self.slots if s.process is not None])
 
     # -- pinning -------------------------------------------------------
 

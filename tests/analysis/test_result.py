@@ -105,3 +105,70 @@ class TestRegressionGateSchema:
         # extras breakdown) still yields a timing instead of crashing
         # the gate.
         assert image_seconds({"schema": 99, "seconds": 2.5}) == 2.5
+
+
+class TestForwardCompatibility:
+    """Payloads from a newer build must not poison an older reader.
+
+    The service's result cache is shared between builds; only a
+    *major* schema change may refuse a payload.
+    """
+
+    def test_newer_minor_schema_tolerated_and_logged(self, caplog):
+        import logging
+
+        from repro.analysis import SCHEMA_MINOR
+        payload = sample_result().to_dict()
+        payload["schema_minor"] = SCHEMA_MINOR + 3
+        with caplog.at_level(logging.WARNING, "repro.analysis.result"):
+            restored = AnalysisResult.from_dict(payload)
+        assert restored.markings == 8
+        assert any("schema minor" in record.message
+                   for record in caplog.records)
+
+    def test_unknown_top_level_keys_kept_and_reemitted(self, caplog):
+        import logging
+        payload = sample_result().to_dict()
+        payload["proof_certificate"] = {"kind": "inductive"}
+        with caplog.at_level(logging.WARNING, "repro.analysis.result"):
+            restored = AnalysisResult.from_dict(payload)
+        assert restored.foreign == {
+            "proof_certificate": {"kind": "inductive"}}
+        assert any("unknown fields" in record.message
+                   for record in caplog.records)
+        # Round trip: the foreign field survives re-serialization ...
+        again = restored.to_dict()
+        assert again["proof_certificate"] == {"kind": "inductive"}
+        # ... without clobbering owned keys or fracturing a re-read.
+        assert AnalysisResult.from_dict(again).markings == 8
+
+    def test_unknown_extras_keys_kept_silently(self):
+        payload = sample_result().to_dict()
+        payload["extras"]["experimental_counter"] = 42
+        restored = AnalysisResult.from_dict(payload)
+        assert restored.extras["experimental_counter"] == 42
+
+    def test_unknown_spec_fields_tolerated(self, caplog):
+        import logging
+        payload = sample_result().to_dict()
+        payload["spec"]["holographic_mode"] = True
+        with caplog.at_level(logging.WARNING, "repro.analysis.spec"):
+            restored = AnalysisResult.from_dict(payload)
+        assert restored.spec.engine_id == "relational/chained"
+        assert any("unknown spec fields" in record.message
+                   for record in caplog.records)
+
+    def test_major_mismatch_still_rejected(self):
+        payload = sample_result().to_dict()
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            AnalysisResult.from_dict(payload)
+
+    def test_default_foreign_is_empty_and_not_serialized(self):
+        payload = sample_result().to_dict()
+        restored = AnalysisResult.from_dict(payload)
+        assert restored.foreign == {}
+        assert set(payload) == {
+            "schema", "schema_minor", "spec", "engine", "markings",
+            "iterations", "variables", "final_nodes", "peak_nodes",
+            "seconds", "reorder_count", "status", "extras"}

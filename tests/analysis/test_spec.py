@@ -279,3 +279,90 @@ class TestFromArgs:
             ["analyze", "x.pnet", "--cluster-size", "4"])
         with pytest.raises(SpecError):
             AnalysisSpec.from_args(args)
+
+
+class TestFieldClassification:
+    """Every spec field is explicitly semantic or not — the one split
+    both the checkpoint headers and the service cache key rely on.
+
+    A new field added without classifying it fails the import-time
+    check in :mod:`repro.analysis.spec`; a new field classified
+    *wrongly* fails here, because this test enumerates the expected
+    split by hand.
+    """
+
+    EXPECTED_SEMANTIC = {
+        "scheme", "backend", "form", "engine", "cluster_size",
+        "strategy", "chain_order", "use_toggle", "reorder",
+        "reorder_threshold", "simplify_frontier", "k_bound",
+        "portfolio_members",
+    }
+    EXPECTED_NONSEMANTIC = {
+        "checkpoint_path", "checkpoint_every", "checkpoint_every_seconds",
+        "resume", "node_budget", "deadline", "max_iterations",
+        "timeout", "member_timeout", "workers",
+    }
+
+    def test_every_field_classified_exactly_once(self):
+        import dataclasses
+
+        from repro.analysis import NONSEMANTIC_FIELDS, SEMANTIC_FIELDS
+        all_fields = {f.name for f in dataclasses.fields(AnalysisSpec)}
+        assert set(SEMANTIC_FIELDS) == self.EXPECTED_SEMANTIC
+        assert set(NONSEMANTIC_FIELDS) == self.EXPECTED_NONSEMANTIC
+        assert set(SEMANTIC_FIELDS) | set(NONSEMANTIC_FIELDS) == all_fields
+        assert not set(SEMANTIC_FIELDS) & set(NONSEMANTIC_FIELDS)
+
+    def test_nonsemantic_fields_do_not_change_the_fingerprint(self):
+        base = AnalysisSpec()
+        varied = AnalysisSpec(
+            checkpoint_path="/tmp/x.ckpt", checkpoint_every=7,
+            checkpoint_every_seconds=1.5, resume=True,
+            node_budget=10_000, deadline=3.0, max_iterations=5,
+            workers=4, form="relational", engine="partitioned-mp")
+        # Same semantics modulo the relational switch...
+        rel = AnalysisSpec(form="relational", engine="partitioned-mp")
+        assert varied.semantic_fingerprint() == rel.semantic_fingerprint()
+        # ...and the durability knobs alone change nothing.
+        assert base.semantic_fingerprint() == AnalysisSpec(
+            resume=True, checkpoint_path="a.ckpt",
+            max_iterations=9).semantic_fingerprint()
+        assert base.semantic_fingerprint() != rel.semantic_fingerprint()
+
+    def test_every_semantic_field_fractures_the_fingerprint(self):
+        # Per-field valid spec pairs differing only in that field (some
+        # values need supporting fields: relational engines need the
+        # relational form, members the portfolio backend).
+        pairs = {
+            "scheme": (dict(), dict(scheme="sparse")),
+            "backend": (dict(), dict(backend="zdd")),
+            "form": (dict(), dict(form="relational")),
+            "engine": (dict(form="relational"),
+                       dict(form="relational", engine="partitioned")),
+            "cluster_size": (dict(form="relational", engine="chained"),
+                             dict(form="relational", engine="chained",
+                                  cluster_size=3)),
+            "strategy": (dict(), dict(strategy="bfs")),
+            "chain_order": (dict(), dict(chain_order="net")),
+            "use_toggle": (dict(), dict(use_toggle=False)),
+            "reorder": (dict(), dict(reorder=False)),
+            "reorder_threshold": (dict(), dict(reorder_threshold=999)),
+            "simplify_frontier": (dict(), dict(simplify_frontier=True)),
+            "k_bound": (dict(), dict(k_bound=3)),
+            "portfolio_members": (
+                dict(backend="portfolio"),
+                dict(backend="portfolio",
+                     portfolio_members=("bdd-functional",
+                                        "zdd-chained"))),
+        }
+        from repro.analysis import SEMANTIC_FIELDS
+        assert set(pairs) == set(SEMANTIC_FIELDS)
+        for field, (left, right) in pairs.items():
+            a = AnalysisSpec(**left).semantic_fingerprint()
+            b = AnalysisSpec(**right).semantic_fingerprint()
+            assert a != b, field
+
+    def test_checkpoint_fingerprint_is_the_same_definition(self):
+        from repro.analysis import spec_fingerprint
+        spec = AnalysisSpec(backend="zdd")
+        assert spec_fingerprint(spec) == spec.semantic_fingerprint()
