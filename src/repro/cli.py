@@ -511,6 +511,23 @@ def _parse_request(line: str, index: int):
         AnalysisSpec.from_dict(spec_fields)
 
 
+def _request_line_id(line: str, index: int):
+    """The id a failed request line should be reported under.
+
+    The user-supplied ``"id"`` whenever the line parses as a JSON
+    object carrying one — a missing net file or bad spec must not
+    break request/response correlation — and the positional
+    ``line-{index}`` fallback only when the JSON itself is unusable.
+    """
+    try:
+        request = json.loads(line)
+    except ValueError:
+        return f"line-{index}"
+    if isinstance(request, dict) and "id" in request:
+        return request["id"]
+    return f"line-{index}"
+
+
 def _error_response(request_id, kind: str, detail: str) -> Dict[str, Any]:
     return {"id": request_id, "status": "error",
             "error": {"kind": kind, "detail": detail}}
@@ -569,9 +586,10 @@ def _cmd_batch(args) -> int:
                 try:
                     request_id, net, spec = _parse_request(line, index)
                 except (ValueError, SpecError, OSError, KeyError) as exc:
-                    handles.append((f"line-{index}", None,
+                    error_id = _request_line_id(line, index)
+                    handles.append((error_id, None,
                                     _error_response(
-                                        f"line-{index}",
+                                        error_id,
                                         type(exc).__name__, str(exc))))
                     continue
                 try:
@@ -624,8 +642,9 @@ def _cmd_serve(args) -> int:
                 response = _resolve_response(request_id,
                                              service.submit(net, spec))
             except (ValueError, SpecError, OSError, KeyError) as exc:
-                response = _error_response(f"line-{index}",
-                                           type(exc).__name__, str(exc))
+                response = _error_response(
+                    _request_line_id(line, index),
+                    type(exc).__name__, str(exc))
             if response["status"] != "ok":
                 failed += 1
             sys.stdout.write(json.dumps(response, sort_keys=True) + "\n")

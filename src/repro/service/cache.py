@@ -43,6 +43,7 @@ import hashlib
 import json
 import logging
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -65,6 +66,31 @@ MISS_REASONS = ("absent", "corrupt", "schema", "mismatch", "io")
 #: Default in-memory LRU capacity (results, not bytes — a result dict
 #: is a few KB of statistics).
 DEFAULT_MEMORY_ENTRIES = 128
+
+#: Age past which a tmp file is collected even when a process with its
+#: embedded pid is alive — pid reuse can make a long-dead writer's pid
+#: look live, and no healthy ``put`` holds a tmp file for an hour.
+STALE_TMP_SECONDS = 3600.0
+
+
+def _tmp_writer_pid(name: str) -> Optional[int]:
+    """The pid embedded in a ``<key>.json.tmp.<pid>.<serial>`` name."""
+    _, _, suffix = name.rpartition(".json.tmp.")
+    pid_text = suffix.split(".", 1)[0]
+    try:
+        return int(pid_text)
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # e.g. EPERM: the process exists but isn't ours
+    return True
 
 
 def cache_key(net: PetriNet, spec: AnalysisSpec) -> Tuple[str, str]:
@@ -158,15 +184,35 @@ class ResultCache:
         return self.directory / f"{key[0]}-{key[1]}.json"
 
     def _sweep_stale_tmp(self) -> None:
-        """Collect tmp files stranded by writers killed mid-``put``."""
+        """Collect tmp files stranded by writers killed mid-``put``.
+
+        The disk tier is shared between concurrent services, so a tmp
+        file may belong to a *live* writer about to ``os.replace`` it
+        into place — unlinking those would silently drop that writer's
+        entry.  A tmp file is only stale (and collected) when the pid
+        embedded in its name is no longer alive, or when it is older
+        than :data:`STALE_TMP_SECONDS` (pid-reuse backstop).
+        """
         if self.directory is None:
             return
         try:
             entries = list(self.directory.iterdir())
         except OSError:
             return
+        now = time.time()
         for entry in entries:
-            if ".json.tmp" in entry.name:
+            if ".json.tmp." not in entry.name:
+                continue
+            pid = _tmp_writer_pid(entry.name)
+            stale = pid is not None and pid != os.getpid() \
+                and not _pid_alive(pid)
+            if not stale:
+                try:
+                    age = now - entry.stat().st_mtime
+                except OSError:
+                    continue
+                stale = age > STALE_TMP_SECONDS
+            if stale:
                 try:
                     entry.unlink()
                 except OSError:

@@ -263,6 +263,10 @@ class AnalysisWorkerPool:
         """
         events: List[PoolEvent] = []
         if not self._inflight:
+            # Still sweep for crashes: a worker that dies while idle
+            # must be respawned (or retired), not silently shrink the
+            # pool.
+            self._check_crashes(events)
             return events
         try:
             message = self._result_queue.get(
@@ -293,8 +297,10 @@ class AnalysisWorkerPool:
         return events
 
     def _check_crashes(self, events: List[PoolEvent]) -> None:
+        # Idle slots (empty pending) are checked too: a worker that
+        # crashes between requests still needs its respawn-or-retire.
         for slot in list(self.slots):
-            if slot.retired or not slot.pending or slot.alive():
+            if slot.retired or slot.alive():
                 continue
             count = self._grace.get(slot.worker_id, 0) + 1
             self._grace[slot.worker_id] = count

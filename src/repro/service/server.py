@@ -9,7 +9,11 @@ from — in priority order —
 1. **in-flight dedupe**: a submit whose ``(net, spec)`` cache key
    matches a request already being solved attaches to that solve
    instead of starting another (``dedup`` in the handle's service
-   info);
+   info) — but only when the running solve's budgets
+   (``node_budget``, ``deadline``, ``timeout``, ``member_timeout``,
+   ``max_iterations``) are at least as permissive as the new
+   request's, so a tightly-budgeted solve can never answer an
+   unbudgeted request with a truncated partial result;
 2. **the result cache**: a :class:`~repro.service.cache.ResultCache`
    hit resolves the handle instantly, without spawning or contacting
    any solver;
@@ -27,6 +31,12 @@ entry was evicted, or from a fresh service over the same directory —
 resumes the finished fixpoint instead of cold-starting.  All injected
 fields are non-semantic, so they change neither the cache key nor the
 checkpoint's own spec-hash header.
+
+Only ``status="complete"`` results are cached: budgets are excluded
+from the cache key (they don't change the trajectory), so a partial
+result truncated by a budget must never be stored under the key a full
+solve of the same spec would hit — a budget-limited run is answered
+and forgotten, and the next unbudgeted submit solves for real.
 
 Telemetry never touches result payloads: cache hits must stay
 bit-identical to the originally computed ``AnalysisResult.to_dict()``,
@@ -59,6 +69,33 @@ CHECKPOINT_CADENCE_SECONDS = 3600.0
 
 #: Default wait bound for ``AnalysisHandle.result()`` (seconds).
 DEFAULT_TIMEOUT = 600.0
+
+#: Spec fields that bound how far a solve gets before it is cut off.
+#: All non-semantic (excluded from the cache key), but a solve limited
+#: by one can end with a truncated ``status="partial"`` result — so
+#: dedupe must only attach to a running solve whose budgets cover the
+#: new request's (:func:`_budgets_cover`).
+BUDGET_FIELDS = ("node_budget", "deadline", "timeout",
+                 "member_timeout", "max_iterations")
+
+
+def _budgets_cover(running: AnalysisSpec, wanted: AnalysisSpec) -> bool:
+    """Can a solve running under ``running``'s budgets stand in for a
+    request asking for ``wanted``'s?
+
+    True when every budget on the running spec is at least as
+    permissive as the corresponding one on the wanted spec (``None``
+    means unbounded): the attached handle then receives a result no
+    more truncated than its own solve would have produced.
+    """
+    for field in BUDGET_FIELDS:
+        have = getattr(running, field)
+        want = getattr(wanted, field)
+        if have is None:
+            continue
+        if want is None or have < want:
+            return False
+    return True
 
 
 class ServiceError(Exception):
@@ -177,7 +214,10 @@ class AnalysisService:
         self.pool = AnalysisWorkerPool(workers=workers, harness=harness)
         self._ids = itertools.count(1)
         self._requests: Dict[int, _Request] = {}
-        self._by_key: Dict[Tuple[str, str], int] = {}
+        # Several solves of one key can be in flight at once when their
+        # budgets are incompatible (a tight-budget solve cannot answer
+        # an unbudgeted request), hence a list per key.
+        self._by_key: Dict[Tuple[str, str], List[int]] = {}
         # Telemetry.
         self.submits = 0
         self.cache_hits = 0
@@ -232,14 +272,19 @@ class AnalysisService:
         request_id = next(self._ids)
         handle = AnalysisHandle(self, request_id, key)
 
-        # 1. In-flight dedupe: attach to the running solve.
-        inflight_id = self._by_key.get(key)
-        if inflight_id is not None:
-            self.dedup_hits += 1
-            handle.info["dedup"] = True
-            handle.info["mode"] = "pool"
-            self._requests[inflight_id].handles.append(handle)
-            return handle
+        # 1. In-flight dedupe: attach to a running solve of the same
+        #    key — but only one whose execution budgets cover this
+        #    request's, so a budget-truncated partial result can never
+        #    resolve a handle that asked for more.
+        for inflight_id in self._by_key.get(key, []):
+            inflight = self._requests.get(inflight_id)
+            if inflight is not None \
+                    and _budgets_cover(inflight.exec_spec, spec):
+                self.dedup_hits += 1
+                handle.info["dedup"] = True
+                handle.info["mode"] = "pool"
+                inflight.handles.append(handle)
+                return handle
 
         # 2. Result cache: resolve instantly, no solver involved.
         lookup: CacheLookup = self.cache.get(key)
@@ -259,7 +304,7 @@ class AnalysisService:
                             exec_spec.to_dict()):
             handle.info["mode"] = "pool"
             self._requests[request_id] = request
-            self._by_key[key] = request_id
+            self._by_key.setdefault(key, []).append(request_id)
             return handle
         self._solve_serial(request)
         return handle
@@ -279,19 +324,34 @@ class AnalysisService:
             return
         self._finish(request, result.to_dict())
 
+    def _forget(self, request: _Request) -> None:
+        """Drop a resolved request from the in-flight indexes."""
+        ids = self._by_key.get(request.key)
+        if ids is not None:
+            try:
+                ids.remove(request.request_id)
+            except ValueError:
+                pass
+            if not ids:
+                del self._by_key[request.key]
+        self._requests.pop(request.request_id, None)
+
     def _finish(self, request: _Request,
                 payload: Dict[str, Any]) -> None:
-        self.cache.put(request.key, payload)
-        self._by_key.pop(request.key, None)
-        self._requests.pop(request.request_id, None)
+        # Only complete fixpoints are cacheable: budgets are excluded
+        # from the key, so a budget-truncated partial stored here would
+        # be served to later unbudgeted requests as if it were the full
+        # answer.
+        if payload.get("status") == "complete":
+            self.cache.put(request.key, payload)
+        self._forget(request)
         for handle in request.handles:
             handle._resolve(payload)
 
     def _fail(self, request: _Request, exc: Exception,
               kind: Optional[str] = None) -> None:
         self.errors += 1
-        self._by_key.pop(request.key, None)
-        self._requests.pop(request.request_id, None)
+        self._forget(request)
         error = ServiceError(str(exc),
                              kind=kind or type(exc).__name__)
         for handle in request.handles:
@@ -317,7 +377,9 @@ class AnalysisService:
                 # lost track of the request (should be unreachable; the
                 # orphan path covers worker exhaustion).  Fail loudly
                 # instead of spinning until the timeout.
-                solve_id = self._by_key.get(handle.key)
+                solve_id = next(
+                    (rid for rid, req in self._requests.items()
+                     if handle in req.handles), None)
                 if solve_id is not None:
                     self._apply(("orphan", solve_id))
                 else:
@@ -341,8 +403,7 @@ class AnalysisService:
         elif tag == "orphan":
             # The pool gave the request back (workers exhausted):
             # degrade to a serial in-process solve.
-            self._by_key.pop(request.key, None)
-            self._requests.pop(request_id, None)
+            self._forget(request)
             self._solve_serial(request)
 
     def drain(self, timeout: Optional[float] = None) -> None:

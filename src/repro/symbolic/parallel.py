@@ -64,7 +64,8 @@ from .partition import (ClusterSize, PartitionedImageEngine,
 __all__ = [
     "ParallelSweep", "SweepHarness", "ParallelPartitionedImageEngine",
     "POLL_INTERVAL", "DEAD_WORKER_GRACE_POLLS", "MAX_QUEUE_POISON",
-    "MAX_RESPAWNS", "JOIN_TIMEOUT", "resolve_workers", "reap_processes",
+    "MAX_RESPAWNS", "JOIN_TIMEOUT", "STALLED_QUEUE_POLLS",
+    "resolve_workers", "reap_processes",
 ]
 
 #: Result-queue poll granularity (seconds): crash detection latency.
@@ -77,6 +78,13 @@ MAX_QUEUE_POISON = 3
 #: Times one worker slot is restarted after a crash before it is
 #: retired and its blocks re-pinned onto the surviving workers.
 MAX_RESPAWNS = 1
+#: Consecutive empty polls — with a crash already on record and every
+#: pending worker alive — before the shared result queue is declared
+#: wedged and rebuilt.  A worker killed in the microseconds while its
+#: queue feeder thread holds the queue's write lock leaves the lock
+#: held forever, so every surviving writer blocks on its next reply;
+#: only abandoning the queue recovers the pool.
+STALLED_QUEUE_POLLS = 300
 #: Grace given to a stopping worker before terminate/kill.
 JOIN_TIMEOUT = 2.0
 
@@ -430,6 +438,7 @@ class ParallelSweep:
         self.pin_ships = 0
         self.ship_bytes = 0
         self.poison = 0
+        self.queue_resets = 0
         self._result_queue = None
         self._pinned_keys: Optional[Tuple] = None
         self._processes: List = []   # every process ever spawned
@@ -553,7 +562,8 @@ class ParallelSweep:
             # serially in the parent.
             self.mode = "serial-fallback"
             return self.relnet.image_partitioned(states, blocks)
-        replies, collected_crashes = self._collect(step_id, pending)
+        replies, collected_crashes = self._collect(
+            step_id, pending, suspect=bool(crashed))
         crashed.extend(collected_crashes)
         for worker_id, image_text in sorted(replies.items()):
             result = self.relnet.state_union(
@@ -563,23 +573,42 @@ class ParallelSweep:
                 result, self._fallback(worker_id, step_id, states, blocks))
         return result
 
-    def _collect(self, step_id: int, pending: Dict[int, _WorkerSlot]):
-        """Poll replies for this step; detect dead workers."""
+    def _collect(self, step_id: int, pending: Dict[int, _WorkerSlot],
+                 suspect: bool = False):
+        """Poll replies for this step; detect dead and wedged workers.
+
+        ``suspect`` marks a step that already lost a worker at dispatch.
+        Only after a crash can the shared result queue be wedged (the
+        casualty may have died holding the queue's write lock), so only
+        then does a long silence from live workers trigger
+        :meth:`_reset_wedged_queue` rather than waiting forever.
+        """
         replies: Dict[int, str] = {}
         crashed: List[int] = []
         grace: Dict[int, int] = {}
+        stalled = 0
         while pending:
             try:
                 message = self._result_queue.get(
                     timeout=self.harness.poll_interval())
             except queue.Empty:
+                deaths = False
                 for worker_id, slot in list(pending.items()):
                     if slot.alive():
                         continue
+                    deaths = True
                     grace[worker_id] = grace.get(worker_id, 0) + 1
                     if grace[worker_id] >= DEAD_WORKER_GRACE_POLLS:
                         crashed.append(worker_id)
                         del pending[worker_id]
+                if deaths:
+                    stalled = 0
+                    continue
+                stalled += 1
+                if (suspect or self.crashes) \
+                        and stalled >= STALLED_QUEUE_POLLS:
+                    self._reset_wedged_queue()
+                    stalled = 0
                 continue
             except Exception:
                 self.poison += 1
@@ -587,6 +616,7 @@ class ParallelSweep:
                     crashed.extend(pending)
                     pending.clear()
                 continue
+            stalled = 0
             if (not isinstance(message, tuple) or len(message) != 5
                     or message[0] != "image"):
                 continue
@@ -598,6 +628,31 @@ class ParallelSweep:
             slot.steps += 1
             replies[worker_id] = image_text
         return replies, crashed
+
+    def _reset_wedged_queue(self) -> None:
+        """Recover from a wedged shared result queue.
+
+        A kill can land while the victim's queue feeder thread holds
+        the result queue's write lock; the lock is never released and
+        every surviving worker blocks forever on its next reply.  The
+        only recovery is to abandon the queue: kill every live worker
+        (their feeders may already be blocked on the dead lock) and
+        build a fresh queue — the normal crash path then respawns or
+        retires each slot, and the respawns attach to the new queue.
+        """
+        self.queue_resets += 1
+        for slot in self.slots:
+            if slot.alive():
+                try:
+                    slot.process.kill()
+                except Exception:
+                    pass
+        try:
+            self._result_queue = self.harness.create_queue()
+        except Exception:
+            # No replacement queue: every worker is now dead, so the
+            # dispatch loop degrades to the serial fallback instead.
+            pass
 
     def _fallback(self, worker_id: int, step_id: int, states, blocks):
         """Serially evaluate a crashed worker's blocks, then recover.
@@ -665,6 +720,7 @@ class ParallelSweep:
             "pin_ships": self.pin_ships,
             "ship_bytes": self.ship_bytes,
             "crashes": list(self.crashes),
+            "queue_resets": self.queue_resets,
             "per_worker": per_worker,
             "peak_live_nodes": sum(
                 (slot.stats or {}).get("peak_live_nodes", 0)

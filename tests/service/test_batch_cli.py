@@ -110,6 +110,20 @@ class TestBatch:
         assert responses[1]["error"]["kind"] == "JSONDecodeError"
         assert "klingon" not in responses[2].get("result", {})
         assert responses[3]["error"]["kind"] == "SpecError"
+        # Failures past the JSON parse keep the caller's id — only the
+        # unparseable line falls back to its position.
+        assert [r["id"] for r in responses] \
+            == ["ok", "line-1", "nosuch", "badspec"]
+
+    def test_missing_net_file_error_keeps_request_id(self, tmp_path):
+        requests = write_requests(
+            tmp_path, [{"id": "lost", "net": "no/such/net.pnet"}])
+        out = tmp_path / "responses.jsonl"
+        assert main(["batch", requests, "-o", str(out),
+                     "--workers", "0"]) == 1
+        (response,) = read_responses(out)
+        assert response["id"] == "lost"
+        assert response["status"] == "error"
 
     def test_checkpoint_dir_leaves_resumable_state(self, tmp_path):
         requests = write_requests(tmp_path,

@@ -164,15 +164,49 @@ class TestDurability:
         assert cache.get_for(net, spec).reason == "absent"
         assert cache.stats()["misses"]["absent"] == 1
 
-    def test_put_sweeps_stale_tmp_files(self, solved, tmp_path):
+    # pids are always < pid_max, whose kernel ceiling is 2**22 — this
+    # pid can never name a live process.
+    IMPOSSIBLE_PID = 2 ** 22
+
+    def test_put_sweeps_dead_writers_tmp_files(self, solved, tmp_path):
         net, spec, payload = solved
-        stale = tmp_path / "dead-dead.json.tmp.99999.1"
+        stale = tmp_path / f"dead-dead.json.tmp.{self.IMPOSSIBLE_PID}.1"
         tmp_path.mkdir(exist_ok=True)
         stale.write_text("partial garbage")
         cache = ResultCache(directory=tmp_path)
         cache.put_for(net, spec, payload)
         assert not stale.exists()
         assert cache.get_for(net, spec).hit
+
+    def test_put_spares_live_writers_tmp_files(self, solved, tmp_path):
+        """The disk tier is shared: a tmp file whose writer is alive is
+        mid-``put`` and must not be unlinked from under it."""
+        import os
+        net, spec, payload = solved
+        live = tmp_path / f"peer-peer.json.tmp.{os.getpid()}.7"
+        tmp_path.mkdir(exist_ok=True)
+        live.write_text('{"half": "written')
+        ResultCache(directory=tmp_path).put_for(net, spec, payload)
+        assert live.exists()
+
+    def test_put_sweeps_ancient_tmp_files_regardless_of_pid(
+            self, solved, tmp_path):
+        """pid-reuse backstop: an hour-old tmp file is stranded even
+        when some process now wears its writer's pid."""
+        import os
+        from repro.service.cache import STALE_TMP_SECONDS
+        net, spec, payload = solved
+        tmp_path.mkdir(exist_ok=True)
+        ancient = tmp_path / f"old-old.json.tmp.{os.getpid()}.1"
+        ancient.write_text("partial garbage")
+        unparseable = tmp_path / "old-old.json.tmp.notapid"
+        unparseable.write_text("partial garbage")
+        stamp = time.time() - STALE_TMP_SECONDS - 60
+        os.utime(ancient, (stamp, stamp))
+        os.utime(unparseable, (stamp, stamp))
+        ResultCache(directory=tmp_path).put_for(net, spec, payload)
+        assert not ancient.exists()
+        assert not unparseable.exists()
 
 
 # ---------------------------------------------------------------------------

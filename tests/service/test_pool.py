@@ -102,6 +102,38 @@ def test_sigkilled_worker_is_respawned_and_requests_complete(make_net):
     assert stats["crashes"][0]["action"] == "respawn"
 
 
+def test_idle_worker_crash_is_detected_and_respawned(make_net):
+    """A worker that dies *between* requests (nothing pending) is still
+    respawned — the pool must not silently shrink, and the crash must
+    reach the stats."""
+    net_text = dumps(make_net("figure1"))
+    spec = AnalysisSpec().to_dict()
+    with AnalysisWorkerPool(workers=1) as pool:
+        assert pool.submit("r1", net_text, spec)
+        drain(pool, 1)
+        pids = pool.worker_pids()
+        assert len(pids) == 1
+        # Let the worker go fully quiescent first: SIGKILL landing in
+        # the microseconds while its queue feeder thread still holds
+        # the shared result queue's write lock would wedge the queue
+        # for every later writer — a different failure than the idle
+        # crash under test.
+        time.sleep(0.5)
+        os.kill(pids[0], signal.SIGKILL)
+        deadline = time.monotonic() + 120
+        while pool.stats()["respawns"] < 1:
+            assert time.monotonic() < deadline, \
+                "idle crash never detected"
+            pool.poll()
+        stats = pool.stats()
+        assert stats["crashes"] == [
+            {"worker": 0, "pending": 0, "action": "respawn"}]
+        # The replacement worker serves the next request.
+        assert pool.submit("r2", net_text, spec)
+        (tag, request_id, _), = drain(pool, 1)
+        assert (tag, request_id) == ("result", "r2")
+
+
 def test_worker_retired_after_respawn_budget_orphans_requests(make_net):
     """Kill the worker past MAX_RESPAWNS: the slot is retired and, with
     nobody left, the pending request comes back as an orphan."""

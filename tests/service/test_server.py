@@ -207,6 +207,72 @@ def test_cache_miss_resumes_from_prior_services_checkpoint(baselines,
 
 
 # ---------------------------------------------------------------------------
+# Budgets: partial results must never leak across requests
+
+
+def test_budget_fields_are_a_nonsemantic_subset():
+    """Every dedupe-guarded budget knob must be cache-key-excluded
+    (that exclusion is *why* the guard exists), and semantic fields
+    need no guard — they fracture the key instead."""
+    from repro.analysis.spec import NONSEMANTIC_FIELDS
+    from repro.service.server import BUDGET_FIELDS
+    assert set(BUDGET_FIELDS) <= set(NONSEMANTIC_FIELDS)
+
+
+def test_partial_result_is_not_cached(tmp_path):
+    """Budgets are excluded from the cache key, so a budget-truncated
+    partial stored there would answer a later unbudgeted request with
+    lower-bound statistics.  It must stay uncached."""
+    from repro.petri.generators import philosophers
+    net = philosophers(6)
+    with AnalysisService(cache_dir=str(tmp_path / "cache"),
+                         workers=0) as service:
+        tight = service.submit(net, AnalysisSpec(node_budget=50))
+        partial = tight.result_dict()
+        assert partial["status"] == "partial"
+        # Same cache key, no budget: a miss that solves for real.
+        full = service.submit(net, AnalysisSpec())
+        assert full.key == tight.key
+        assert full.info["cache"] == "miss"
+        payload = full.result_dict()
+        assert payload["status"] == "complete"
+        assert payload["markings"] > partial["markings"]
+        # Only the complete solve was cached.
+        hit = service.submit(net, AnalysisSpec())
+        assert hit.info["cache"] == "hit"
+        assert hit.result_dict() == payload
+
+
+def test_dedupe_only_attaches_to_covering_budgets(tmp_path):
+    """An unbudgeted submit must not attach to an in-flight solve
+    running under a tight budget — it could be resolved with that
+    solve's partial result."""
+    from repro.petri.generators import philosophers
+    net = philosophers(6)
+    with AnalysisService(cache_dir=str(tmp_path / "cache"),
+                         workers=1) as service:
+        tight = service.submit(net, AnalysisSpec(node_budget=50))
+        assert tight.info["dedup"] is False
+        # Unbudgeted: the tight solve does not cover it — fresh solve.
+        full = service.submit(net, AnalysisSpec())
+        assert full.info["dedup"] is False
+        # A tighter budget is covered by the tight in-flight solve...
+        tighter = service.submit(net, AnalysisSpec(node_budget=40))
+        assert tighter.info["dedup"] is True
+        # ...and a looser one by the unbudgeted in-flight solve.
+        loose = service.submit(net, AnalysisSpec(node_budget=10 ** 9))
+        assert loose.info["dedup"] is True
+        assert service.stats()["dedup_hits"] == 2
+
+        assert tight.result_dict()["status"] == "partial"
+        assert tighter.result_dict()["status"] == "partial"
+        full_payload = full.result_dict()
+        assert full_payload["status"] == "complete"
+        assert loose.result_dict() == full_payload
+        assert full_payload["markings"] > tight.result_dict()["markings"]
+
+
+# ---------------------------------------------------------------------------
 # Errors and handle contract
 
 

@@ -369,11 +369,19 @@ def test_partitioned_mp_sigkill_worker_falls_back_serial(make_net,
                                        "the kill to be observable"
         reached, frontier = engine.advance(reached, frontier)
         stats = engine.parallel_stats()
-        assert len(stats["crashes"]) == 1
         crash = stats["crashes"][0]
         assert crash["worker"] == 0
         assert crash["action"] == "respawn"
         assert crash["blocks"] > 0
+        if stats["queue_resets"]:
+            # Rare race: the SIGKILL caught worker 0's queue feeder
+            # thread holding the shared result queue's write lock, so
+            # the survivor could never reply.  The pool declares the
+            # queue wedged, rebuilds it, and recycles the survivor
+            # through the same crash path.
+            assert [c["worker"] for c in stats["crashes"]] == [0, 1]
+        else:
+            assert len(stats["crashes"]) == 1
 
         # Second kill: past MAX_RESPAWNS the slot retires and its
         # blocks re-pin onto the survivor.
@@ -381,8 +389,8 @@ def test_partitioned_mp_sigkill_worker_falls_back_serial(make_net,
         while not frontier.is_zero():
             reached, frontier = engine.advance(reached, frontier)
         stats = engine.parallel_stats()
-        assert [c["action"] for c in stats["crashes"]] \
-            == ["respawn", "retire"]
+        assert [c["action"] for c in stats["crashes"]
+                if c["worker"] == 0] == ["respawn", "retire"]
     finally:
         engine.close()
     assert relnet.count_markings(reached) == explicit_counts[name]

@@ -9,6 +9,7 @@ partitioned engine vs the explicit oracle on every generator family,
 plus the SIGKILL fallback test) lives in ``test_engine_diff.py``.
 """
 
+import queue as std_queue
 import random
 
 import pytest
@@ -20,7 +21,8 @@ from repro.symbolic import (ParallelPartitionedImageEngine,
                             ParallelZddEngine, RelationalNet,
                             SweepHarness, ZddRelationalNet,
                             traverse_relational, traverse_zdd)
-from repro.symbolic.parallel import resolve_workers
+from repro.symbolic.parallel import (STALLED_QUEUE_POLLS, ParallelSweep,
+                                     _WorkerSlot, resolve_workers)
 
 
 class _NoWorkersHarness(SweepHarness):
@@ -117,6 +119,100 @@ def test_zdd_block_size_counts_member_relations(make_net):
     for block in relnet.partitions("auto"):
         assert relnet.block_size(block) == sum(
             relnet.zdd.size(member.relation) for member in block.members)
+
+
+# ---------------------------------------------------------------------------
+# Wedged result queue (fakes)
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.killed = False
+
+    def is_alive(self):
+        return not self.killed
+
+    def kill(self):
+        self.killed = True
+
+
+class _EmptyQueue:
+    """A result queue whose reads always time out — what the parent
+    sees when a killed writer's feeder thread died holding the queue's
+    write lock."""
+
+    def get(self, timeout=None):
+        raise std_queue.Empty
+
+    def put(self, item):
+        pass
+
+
+class _RepliesAfterQueue:
+    """Times out ``empties`` times, then yields the given replies."""
+
+    def __init__(self, empties, replies):
+        self.empties = empties
+        self.replies = list(replies)
+
+    def get(self, timeout=None):
+        if self.empties > 0:
+            self.empties -= 1
+            raise std_queue.Empty
+        if self.replies:
+            return self.replies.pop(0)
+        raise std_queue.Empty
+
+
+class _RebuildHarness(SweepHarness):
+    def __init__(self):
+        super().__init__()
+        self.queues_created = 0
+
+    def create_queue(self):
+        self.queues_created += 1
+        return _EmptyQueue()
+
+    def poll_interval(self):
+        return 0.0
+
+
+def test_wedged_queue_is_rebuilt_and_silent_workers_crashed(make_net):
+    """A step that lost one worker at dispatch (``suspect``) and then
+    hears nothing from the survivors rebuilds the result queue instead
+    of polling forever: the survivors are killed (their feeders may be
+    blocked on the dead writer's lock) and take the normal crash path."""
+    relnet = RelationalNet(ImprovedEncoding(make_net("phil3")))
+    sweep = ParallelSweep(relnet, workers=2, harness=_RebuildHarness())
+    sweep._result_queue = _EmptyQueue()
+    slot = _WorkerSlot(0)
+    slot.process = _FakeProcess()
+    sweep.slots = [slot]
+    replies, crashed = sweep._collect(1, {0: slot}, suspect=True)
+    assert replies == {}
+    assert crashed == [0]
+    assert slot.process.killed
+    assert sweep.queue_resets == 1
+    assert sweep.harness.queues_created == 1
+    assert sweep.stats()["queue_resets"] == 1
+
+
+def test_silent_workers_without_any_crash_are_left_alone(make_net):
+    """With no crash on record a long silence is just a slow step: the
+    pool keeps waiting and the late reply is collected normally."""
+    relnet = RelationalNet(ImprovedEncoding(make_net("phil3")))
+    sweep = ParallelSweep(relnet, workers=2, harness=_RebuildHarness())
+    sweep._result_queue = _RepliesAfterQueue(
+        STALLED_QUEUE_POLLS + 50,
+        [("image", 0, 1, "irrelevant", {"blocks": 1})])
+    slot = _WorkerSlot(0)
+    slot.process = _FakeProcess()
+    sweep.slots = [slot]
+    replies, crashed = sweep._collect(1, {0: slot})
+    assert replies == {0: "irrelevant"}
+    assert crashed == []
+    assert not slot.process.killed
+    assert sweep.queue_resets == 0
 
 
 # ---------------------------------------------------------------------------
