@@ -5,9 +5,11 @@ compares image-fixpoint times against the committed
 ``BENCH_relprod.json`` baseline — the BDD chained rows, the ZDD chained
 rows, the ``partitioned-mp`` workers-2/serial ratio (the latter
 only on machines where the ratio is evidence: >= 2 CPUs and a live
-worker pool on both sides, see :func:`check_parallel`), and the
+worker pool on both sides, see :func:`check_parallel`), the
 analysis service's cache-hit speedup (an absolute >= 10x floor, see
-:func:`check_service`).  Engine rows are read through :func:`image_seconds`, which
+:func:`check_service`), and the complement-edge negation wins (the
+ISSUE 10 acceptance floors plus structural peak-live-node drift, see
+:func:`check_negation`).  Engine rows are read through :func:`image_seconds`, which
 understands both the native benchmark row shape and the serialized
 ``repro.analysis.AnalysisResult`` schema.  Raw wall-clock is
 meaningless across machines, so times are normalised by a baseline
@@ -37,7 +39,8 @@ os.environ.setdefault("REPRO_QUICK", "1")
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-import bench_relprod  # noqa: E402  (needs REPRO_QUICK set first)
+import bench_negation  # noqa: E402  (needs REPRO_QUICK set first)
+import bench_relprod  # noqa: E402
 import bench_service  # noqa: E402
 import bench_zdd_relprod  # noqa: E402
 
@@ -46,6 +49,16 @@ MIN_SECONDS = 0.1
 MIN_SECONDS_ZDD = 0.02
 ATTEMPTS = 3
 HIT_SPEEDUP_MIN = 10.0
+#: ISSUE 10 acceptance floors on the committed complement-edge numbers:
+#: checker queries >= 1.3x faster and peak live nodes >= 1.5x smaller
+#: than the recorded seed-commit run.
+CHECKER_SPEEDUP_MIN = 1.3
+PEAK_REDUCTION_MIN = 1.5
+#: Floor for the in-process O(1)-vs-recursive negation ratio.  A bit
+#: flip against a full DAG rebuild runs thousands of times faster; a
+#: fresh ratio under this floor means real work leaked back into
+#: ``apply_not``.
+NOT_SPEEDUP_MIN = 50.0
 
 
 def parallel_ratio(rows: dict) -> float:
@@ -256,6 +269,82 @@ def check_service(baseline: dict) -> "tuple[list, int, int]":
     return failures, checked, shared
 
 
+def check_negation(baseline: dict) -> "tuple[list, int, int]":
+    """Gate the complement-edge negation wins (ISSUE 10).
+
+    Two layers, following the committed ``"negation"`` section written
+    by ``bench_negation.py``:
+
+    * **Committed acceptance floors** — every committed instance that
+      carries seed-commit ratios must hold the ISSUE 10 bounds
+      (checker queries >= ``CHECKER_SPEEDUP_MIN`` faster, peak live
+      nodes >= ``PEAK_REDUCTION_MIN`` smaller).  These compare two
+      committed numbers, so all instances gate regardless of quick
+      mode or machine speed.
+    * **Fresh drift** — the quick-mode instances are re-measured:
+      ``peak_live_nodes`` is structural (deterministic for a code
+      version), so a fresh peak above the committed one by
+      ``TOLERANCE`` is a real narrowing regression; and the in-process
+      O(1)-vs-recursive negation ratio must stay above
+      ``NOT_SPEEDUP_MIN`` (machine-normalised: both sides run here).
+    """
+    failures = []
+    checked = 0
+    shared = 0
+    section = baseline.get("negation") or {}
+    instances = section.get("instances", {})
+
+    for name, committed in sorted(instances.items()):
+        bounds = (("checker_speedup_vs_pre_pr", CHECKER_SPEEDUP_MIN),
+                  ("peak_reduction_vs_pre_pr", PEAK_REDUCTION_MIN))
+        recorded = [(key, floor) for key, floor in bounds
+                    if key in committed]
+        if not recorded:
+            print(f"negation/{name}: no seed-commit ratios recorded, "
+                  f"acceptance floors skipped")
+            continue
+        shared += 1
+        checked += 1
+        for key, floor in recorded:
+            value = committed[key]
+            verdict = "OK" if value >= floor else "REGRESSION"
+            print(f"negation/{name}: committed {key} = {value:.2f}x "
+                  f"(floor {floor}x) {verdict}")
+            if verdict == "REGRESSION":
+                failures.append(f"negation/{name}:{key}")
+
+    for name, factory in bench_negation.CONFIGS:
+        committed = instances.get(name)
+        if committed is None:
+            print(f"negation/{name}: not in committed baseline, skipped")
+            continue
+        shared += 1
+        committed_peak = committed["peak_live_nodes"]
+        peak_bound = committed_peak * (1 + TOLERANCE)
+        fresh_peak = float("inf")
+        not_speedup = 0.0
+        for attempt in range(1, ATTEMPTS + 1):
+            fresh = bench_negation.measure_negation(factory)
+            fresh_peak = min(fresh_peak, fresh["peak_live_nodes"])
+            not_speedup = max(not_speedup, fresh["not_speedup"])
+            if fresh_peak <= peak_bound and not_speedup >= NOT_SPEEDUP_MIN:
+                break
+        checked += 1
+        peak_ok = fresh_peak <= peak_bound
+        not_ok = not_speedup >= NOT_SPEEDUP_MIN
+        verdict = "OK" if peak_ok and not_ok else "REGRESSION"
+        print(f"negation/{name}: peak live nodes "
+              f"{committed_peak} -> {fresh_peak}, "
+              f"O(1)-vs-recursive negation {not_speedup:.0f}x "
+              f"(floor {NOT_SPEEDUP_MIN:.0f}x, {attempt} attempt(s)) "
+              f"{verdict}")
+        if not peak_ok:
+            failures.append(f"negation/{name}:peak_live_nodes")
+        if not not_ok:
+            failures.append(f"negation/{name}:not_speedup")
+    return failures, checked, shared
+
+
 def main() -> int:
     try:
         with open(bench_relprod.JSON_PATH) as handle:
@@ -312,6 +401,11 @@ def main() -> int:
     failures += svc_failures
     checked += svc_checked
     shared += svc_shared
+
+    neg_failures, neg_checked, neg_shared = check_negation(baseline)
+    failures += neg_failures
+    checked += neg_checked
+    shared += neg_shared
 
     if not shared:
         print("no instances shared between quick mode and the baseline; "

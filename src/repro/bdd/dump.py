@@ -1,49 +1,80 @@
-"""Graphviz export of decision diagrams (for debugging and documentation)."""
+"""Graphviz export of decision diagrams (for debugging and documentation).
+
+Nodes are emitted in sorted id order and arcs in a fixed per-node
+sequence, so two dumps of the same diagram are byte-identical and diff
+cleanly.
+
+Arc conventions for the complement-edge BDD:
+
+* else (low) arc: ``style=dashed`` — never complemented (canonical form),
+* then (high) arc: ``style=solid``,
+* a *complemented* arc (a then arc or root arc whose edge carries the
+  complement bit) is drawn ``style=dashed`` with an ``odot`` arrowhead
+  and a ``~`` label — the classic dashed-complement-arc convention for
+  attributed edges.
+
+The ZDD export keeps the plain else-dashed/then-solid scheme (no
+complement bits exist there).
+"""
 
 from __future__ import annotations
 
 from typing import Iterable, List, Tuple
 
-from .manager import BDD, ONE, ZERO
+from .manager import BDD
 from .zdd import BASE, EMPTY, ZDD
+
+_COMPLEMENT_DECORATION = 'style=dashed, arrowhead=odot, label="~"'
 
 
 def bdd_to_dot(bdd: BDD, roots: Iterable[Tuple[str, int]]) -> str:
     """Render the DAG spanned by named roots as a Graphviz digraph.
 
-    ``roots`` is an iterable of ``(label, node_id)`` pairs.
+    ``roots`` is an iterable of ``(label, edge)`` pairs.  Complemented
+    arcs are drawn dashed with an odot arrowhead and a ``~`` label;
+    regular then arcs are solid, else arcs dashed (they are never
+    complemented).  Output is deterministic: nodes sorted by id, roots
+    in the given order.
     """
-    lines: List[str] = ["digraph bdd {", '  rankdir=TB;']
+    lines: List[str] = ["digraph bdd {", "  rankdir=TB;"]
     seen = set()
     stack = []
-    for label, node in roots:
+    for label, edge in roots:
+        node = edge >> 1
         lines.append(f'  "r_{label}" [shape=plaintext, label="{label}"];')
-        lines.append(f'  "r_{label}" -> n{node};')
+        if edge & 1:
+            lines.append(
+                f'  "r_{label}" -> n{node} [{_COMPLEMENT_DECORATION}];')
+        else:
+            lines.append(f'  "r_{label}" -> n{node};')
         stack.append(node)
     while stack:
         node = stack.pop()
         if node in seen:
             continue
         seen.add(node)
-        if node == ZERO:
-            lines.append(f'  n{node} [shape=box, label="0"];')
-            continue
-        if node == ONE:
+        if bdd._var[node] >= 0:
+            stack.append(bdd._low[node] >> 1)
+            stack.append(bdd._high[node] >> 1)
+    for node in sorted(seen):
+        if bdd._var[node] < 0:
             lines.append(f'  n{node} [shape=box, label="1"];')
             continue
         name = bdd.var_name(bdd._var[node])
         low, high = bdd._low[node], bdd._high[node]
         lines.append(f'  n{node} [shape=circle, label="{name}"];')
-        lines.append(f'  n{node} -> n{low} [style=dashed];')
-        lines.append(f'  n{node} -> n{high} [style=solid];')
-        stack.append(low)
-        stack.append(high)
+        lines.append(f'  n{node} -> n{low >> 1} [style=dashed];')
+        if high & 1:
+            lines.append(
+                f'  n{node} -> n{high >> 1} [{_COMPLEMENT_DECORATION}];')
+        else:
+            lines.append(f'  n{node} -> n{high >> 1} [style=solid];')
     lines.append("}")
     return "\n".join(lines)
 
 
 def zdd_to_dot(zdd: ZDD, roots: Iterable[Tuple[str, int]]) -> str:
-    """Render a ZDD DAG as a Graphviz digraph."""
+    """Render a ZDD DAG as a Graphviz digraph (deterministic order)."""
     lines: List[str] = ["digraph zdd {", "  rankdir=TB;"]
     seen = set()
     stack = []
@@ -56,6 +87,10 @@ def zdd_to_dot(zdd: ZDD, roots: Iterable[Tuple[str, int]]) -> str:
         if node in seen:
             continue
         seen.add(node)
+        if node not in (EMPTY, BASE):
+            stack.append(zdd._low[node])
+            stack.append(zdd._high[node])
+    for node in sorted(seen):
         if node == EMPTY:
             lines.append(f'  n{node} [shape=box, label="{{}}"];')
             continue
@@ -67,7 +102,5 @@ def zdd_to_dot(zdd: ZDD, roots: Iterable[Tuple[str, int]]) -> str:
         lines.append(f'  n{node} [shape=circle, label="{name}"];')
         lines.append(f'  n{node} -> n{low} [style=dashed];')
         lines.append(f'  n{node} -> n{high} [style=solid];')
-        stack.append(low)
-        stack.append(high)
     lines.append("}")
     return "\n".join(lines)

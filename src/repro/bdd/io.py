@@ -7,37 +7,49 @@ topological order (children first), so loading is a single linear pass of
 hash-consing ``_mk`` calls; the round trip therefore re-canonicalizes
 under the target manager's variable order automatically.
 
-BDD format (one record per line)::
+BDD format v2 (one record per line; written since complement edges)::
 
-    bddio 1
+    bddio 2
     var <name> <name> ...
-    node <id> <var-name> <low-id> <high-id>
-    root <label> <id>
+    node <id> <var-name> <low-id> <high-id> <high-complement>
+    root <label> <id> <complement>
 
-ZDD format (:func:`dump_zdd_nodes` / :func:`load_zdd_nodes`)::
+The single id ``1`` is the terminal; a reference is an id plus a
+complement bit.  Else (low) edges carry no bit — the manager's canonical
+form guarantees they are regular — while then (high) edges and roots
+carry an explicit ``0``/``1``.  A complement bit outside ``{0, 1}``
+(non-boolean or out of range) is rejected with a structured error, as is
+a stream whose header names a version this reader does not understand,
+or — when the caller pins ``require_version`` — a version the peer does
+not accept.  Legacy v1 streams (``bddio 1``; ids ``0``/``1`` are
+``ZERO``/``ONE``, no complement fields) still load: reconstruction goes
+through ITE on the literal, which is representation-agnostic.
+
+ZDD format (:func:`dump_zdd_nodes` / :func:`load_zdd_nodes`) — plain
+node ids, no complement bits (the ZDD keeps plain edges)::
 
     zddio 1
     elem <name> <name> ...
     node <id> <elem-name> <low-id> <high-id>
     root <label> <id>
 
-The ids ``0``/``1`` are the terminals (``ZERO``/``ONE`` for BDDs,
-``EMPTY``/``BASE`` for ZDDs); other ids are file-local.  Both loaders
-reject malformed records with a structured error
+Both loaders reject malformed records with a structured error
 (:class:`~repro.bdd.manager.BDDError` / :class:`~repro.bdd.zdd.ZDDError`)
-naming the offending line — never a bare ``ValueError`` mid-parse.
+naming the offending line — never a bare ``ValueError``/``KeyError``
+mid-parse.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from .function import Function
 from .manager import BDD, BDDError, ONE, ZERO
 from .zdd import BASE, EMPTY, ZDD, ZDDError
 
-_HEADER = "bddio 1"
+_HEADER_V1 = "bddio 1"
+_HEADER_V2 = "bddio 2"
 _ZDD_HEADER = "zddio 1"
 
 
@@ -51,9 +63,24 @@ def _int_field(value: str, line: str, error_class) -> int:
         ) from None
 
 
+def _bit_field(value: str, line: str) -> int:
+    """Parse a complement bit, which must be exactly ``0`` or ``1``."""
+    try:
+        bit = int(value)
+    except ValueError:
+        raise BDDError(
+            f"non-boolean complement bit {value!r} in record {line!r}"
+        ) from None
+    if bit not in (0, 1):
+        raise BDDError(
+            f"out-of-range complement bit {bit} in record {line!r} "
+            f"(must be 0 or 1)")
+    return bit
+
+
 def dump_functions(functions: Dict[str, Function]) -> str:
-    """Serialize labeled functions sharing one manager to the text
-    format."""
+    """Serialize labeled functions sharing one manager to the v2 text
+    format (edges carry an explicit complement bit)."""
     if not functions:
         raise BDDError("nothing to dump")
     managers = {func.bdd for func in functions.values()}
@@ -61,21 +88,31 @@ def dump_functions(functions: Dict[str, Function]) -> str:
         raise BDDError("all functions must share one manager")
     bdd = managers.pop()
 
-    lines = [_HEADER,
+    lines = [_HEADER_V2,
              "var " + " ".join(bdd.order())]
-    written: Dict[int, int] = {ZERO: 0, ONE: 1}
+    # node id -> file id; the single terminal node is file id 1.
+    written: Dict[int, int] = {ONE >> 1: 1}
     counter = 2
 
-    def emit(node: int) -> int:
+    def emit(edge: int) -> int:
+        """Emit the node behind ``edge`` (children first); returns its
+        file id.  The caller handles the edge's complement bit."""
         nonlocal counter
+        node = edge >> 1
         known = written.get(node)
         if known is not None:
             return known
-        low = emit(bdd._low[node])
-        high = emit(bdd._high[node])
+        low_edge = bdd._low[node]
+        if low_edge & 1:
+            raise BDDError(
+                f"manager violates canonical form: node {node} stores "
+                f"a complemented else edge (corrupt manager state?)")
+        low = emit(low_edge)
+        high_edge = bdd._high[node]
+        high = emit(high_edge)
         written[node] = counter
         lines.append(f"node {counter} {bdd.var_name(bdd._var[node])} "
-                     f"{low} {high}")
+                     f"{low} {high} {high_edge & 1}")
         counter += 1
         return written[node]
 
@@ -83,23 +120,52 @@ def dump_functions(functions: Dict[str, Function]) -> str:
         if any(ch.isspace() for ch in label):
             raise BDDError(f"root label must not contain spaces: {label!r}")
         root = emit(func.node)
-        lines.append(f"root {label} {root}")
+        lines.append(f"root {label} {root} {func.node & 1}")
     return "\n".join(lines) + "\n"
 
 
-def load_functions(text: str, bdd: BDD) -> Dict[str, Function]:
+def load_functions(text: str, bdd: BDD,
+                   require_version: Optional[int] = None
+                   ) -> Dict[str, Function]:
     """Parse the text format into functions on the given manager.
 
     Every variable named in the file must already be declared on ``bdd``
-    (its order may differ — functions are rebuilt canonically).
+    (its order may differ — functions are rebuilt canonically).  Both
+    the current v2 format and legacy v1 dumps are accepted; a peer that
+    only speaks one version pins it with ``require_version``, turning a
+    mixed-version exchange into a structured :class:`BDDError` instead
+    of a misparse.
     """
     lines = [line.strip() for line in text.splitlines() if line.strip()]
     if not lines:
         raise BDDError(
-            "empty bddio stream: expected a 'bddio 1' header "
+            "empty bddio stream: expected a 'bddio <version>' header "
             "(truncated or blank dump?)")
-    if lines[0] != _HEADER:
-        raise BDDError("not a bddio v1 stream")
+    version = _parse_bdd_header(lines[0], require_version)
+    if version == 1:
+        return _load_functions_v1(lines, bdd)
+    return _load_functions_v2(lines, bdd)
+
+
+def _parse_bdd_header(header: str,
+                      require_version: Optional[int]) -> int:
+    fields = header.split()
+    if len(fields) != 2 or fields[0] != "bddio":
+        raise BDDError(f"not a bddio stream (header {header!r})")
+    version = _int_field(fields[1], header, BDDError)
+    if version not in (1, 2):
+        raise BDDError(
+            f"unsupported bddio version {version}: this reader "
+            f"understands v1 and v2 (newer-peer dump?)")
+    if require_version is not None and version != require_version:
+        raise BDDError(
+            f"bddio version mismatch: stream is v{version} but this "
+            f"peer only accepts v{require_version}")
+    return version
+
+
+def _load_functions_v1(lines: List[str], bdd: BDD) -> Dict[str, Function]:
+    """Legacy format: plain node ids, terminals 0 (ZERO) / 1 (ONE)."""
     node_map: Dict[int, int] = {0: ZERO, 1: ONE}
     roots: Dict[str, Function] = {}
     declared: List[str] = []
@@ -130,6 +196,56 @@ def load_functions(text: str, bdd: BDD) -> Dict[str, Function]:
             if file_id not in node_map:
                 raise BDDError(f"unknown root id in {line!r}")
             roots[label] = Function(bdd, node_map[file_id])
+        else:
+            raise BDDError(f"unknown record {kind!r}")
+    if not roots:
+        raise BDDError("stream contains no roots")
+    return roots
+
+
+def _load_functions_v2(lines: List[str], bdd: BDD) -> Dict[str, Function]:
+    """Current format: one terminal (file id 1), explicit complement
+    bits on then edges and roots; else edges are regular by canonical
+    form."""
+    node_map: Dict[int, int] = {1: ONE}
+    roots: Dict[str, Function] = {}
+    declared: List[str] = []
+    for line in lines[1:]:
+        fields = line.split()
+        kind = fields[0]
+        if kind == "var":
+            declared = fields[1:]
+            for name in declared:
+                bdd.var_index(name)  # raises if missing
+        elif kind == "node":
+            if len(fields) != 6:
+                raise BDDError(f"malformed node line: {line!r}")
+            file_id = _int_field(fields[1], line, BDDError)
+            var_name = fields[2]
+            low = _int_field(fields[3], line, BDDError)
+            high = _int_field(fields[4], line, BDDError)
+            high_c = _bit_field(fields[5], line)
+            try:
+                low_edge = node_map[low]
+                high_edge = node_map[high]
+            except KeyError as exc:
+                raise BDDError(f"forward reference in {line!r}") from exc
+            if high_c:
+                high_edge = bdd.apply_not(high_edge)
+            node_map[file_id] = _mk_ordered(bdd, var_name, low_edge,
+                                            high_edge)
+        elif kind == "root":
+            if len(fields) != 4:
+                raise BDDError(f"malformed root line: {line!r}")
+            label = fields[1]
+            file_id = _int_field(fields[2], line, BDDError)
+            root_c = _bit_field(fields[3], line)
+            if file_id not in node_map:
+                raise BDDError(f"unknown root id in {line!r}")
+            edge = node_map[file_id]
+            if root_c:
+                edge = bdd.apply_not(edge)
+            roots[label] = Function(bdd, edge)
         else:
             raise BDDError(f"unknown record {kind!r}")
     if not roots:

@@ -4,7 +4,7 @@ This module implements a self-contained BDD package in the style of the
 classic libraries the paper relies on (Brace/Rudell/Bryant; David Long's
 package):
 
-* reduced ordered BDDs without complement edges,
+* reduced ordered BDDs **with complement edges**,
 * hash-consing through per-variable unique tables,
 * a computed-table (operation cache),
 * exact internal reference counting with cascading frees,
@@ -14,15 +14,46 @@ The node storage, reference counting, garbage collection, level
 bookkeeping, adjacent-level swap and reorder-hook machinery live in the
 shared kernel :class:`repro.dd.manager.DDManager` (also underneath
 :class:`repro.bdd.zdd.ZDD`); this class adds the boolean reduction rule
-(``low == high`` collapses) and the boolean operation algebra.
+(``low == high`` collapses), the complement-edge canonical form and the
+boolean operation algebra.
 
-Nodes are records stored in parallel arrays and addressed by integer ids.
-Terminal nodes are ``ZERO = 0`` and ``ONE = 1``.  A node's fields may be
-mutated in place by variable reordering, but the function represented by a
-node id never changes; external code can therefore hold ids across
-reordering (see :class:`repro.bdd.function.Function`).
+Edge representation
+-------------------
 
-The manager API is deliberately low level (integer node ids, explicit
+Every value handled by this manager is an *edge*: ``(node_id << 1) | c``
+where ``c`` is the complement bit.  Edge ``e`` denotes the function of
+node ``e >> 1``, negated iff ``e & 1``.  There is a single terminal node
+(id ``1``); its two polarities are the constants::
+
+    ONE  = 2          # edge (node 1, regular)
+    ZERO = 3          # edge (node 1, complemented)
+
+Canonical form: **the else (low) edge of a stored node is never
+complemented**.  :meth:`BDD._mk` enforces this at find-or-create — a
+complemented else edge flips both children and complements the resulting
+edge instead (``mk(v, ~a, b) == ~mk(v, a, ~b)``) — so every boolean
+function has exactly one edge and
+
+* :meth:`BDD.apply_not` is a bit flip (O(1), no recursion, no node
+  allocation),
+* ``~~f == f`` holds structurally (``(e ^ 1) ^ 1 == e``),
+* a function and its negation share one DAG, roughly halving node
+  counts on negation-heavy workloads.
+
+Operation caches are complement-canonicalised so equivalent queries
+share cache lines: OR is De Morgan'd onto the AND cache, XOR factors
+both complement bits out of its key, ITE applies the standard-triple
+rules (regular first argument, regular then-branch, terminal cases
+delegated to AND/XOR), and the unary structural ops (cofactor, rename,
+toggle, restrict) cache on the regular edge because they commute with
+negation.
+
+A node's fields may be mutated in place by variable reordering, but the
+function represented by an edge never changes; external code can
+therefore hold edges across reordering (see
+:class:`repro.bdd.function.Function`).
+
+The manager API is deliberately low level (integer edges, explicit
 reference counting).  User code should go through
 :class:`repro.bdd.function.Function` obtained from :meth:`BDD.var`,
 :attr:`BDD.true` and :attr:`BDD.false`.
@@ -32,10 +63,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
-from ..dd.manager import DDError, DDManager
+from ..dd.manager import DDError, DDManager, _PACK
 
-ZERO = 0
-ONE = 1
+#: The constant edges: one terminal node (id 1) in two polarities.
+ONE = 2
+ZERO = 3
 
 
 class BDDError(DDError):
@@ -58,161 +90,270 @@ class BDD(DDManager):
 
     _error_class = BDDError
     _var_prefix = "x"
+    _edge_shift = 1
+    complement_edges = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Dedicated caches for the hottest operations, int-keyed like
+        # the unique tables (pack two edges as ``(u << _PACK) | v``, or
+        # nest one small dict per quantifier/assignment context): int
+        # keys hash as themselves, the hot loops allocate no tuples,
+        # and the million-entry inner dicts stay exempt from the cycle
+        # collector.  AND also serves OR and DIFF via De Morgan.
+        # Registered with the kernel so safe points clear them.
+        self._and_cache: Dict[int, int] = self.register_cache({})
+        self._ex_cache: Dict[FrozenSet[int], Dict[int, int]] = \
+            self.register_cache({})
+        self._cof_cache: Dict[tuple, Dict[int, int]] = self.register_cache({})
+        self._rcm_cache: Dict[int, int] = self.register_cache({})
 
     # ------------------------------------------------------------------
-    # Kernel hooks: the boolean reduction rule
+    # Kernel hooks: the boolean reduction rule and canonical form
     # ------------------------------------------------------------------
 
     def _mk(self, var: int, low: int, high: int) -> int:
-        """Find-or-create the node ``(var, low, high)`` (reduced, hashed)."""
+        """Find-or-create the edge for node ``(var, low, high)``.
+
+        Applies the boolean reduction rule (``low == high`` collapses)
+        and the complement-edge canonical form: a complemented else
+        edge is normalised away by flipping both children and
+        complementing the result.
+        """
         if low == high:
             return low
-        return self._node(var, low, high)
+        if low & 1:
+            return (self._node(var, low ^ 1, high ^ 1) << 1) | 1
+        return self._node(var, low, high) << 1
 
     def _is_reduced(self, low: int, high: int) -> bool:
         return low != high
 
     def _swap_cofactors(self, child: int, lower: int) -> Tuple[int, int]:
-        if self._var[child] == lower:
-            return self._low[child], self._high[child]
+        node = child >> 1
+        if self._var[node] == lower:
+            c = child & 1
+            return self._low[node] ^ c, self._high[node] ^ c
         # Independent of the lower variable: both cofactors are the child.
         return child, child
+
+    def _level(self, u: int) -> int:
+        """Level of the node behind edge ``u`` (terminals at bottom)."""
+        var = self._var[u >> 1]
+        if var < 0:
+            return len(self._var2level)
+        return self._var2level[var]
+
+    # ------------------------------------------------------------------
+    # Edge accessors
+    # ------------------------------------------------------------------
+
+    def is_complement(self, u: int) -> bool:
+        """Whether edge ``u`` carries the complement bit."""
+        return bool(u & 1)
+
+    def regular(self, u: int) -> int:
+        """Edge ``u`` with the complement bit cleared."""
+        return u & -2
+
+    def edge_var(self, u: int) -> int:
+        """Variable labelling the node behind edge ``u`` (-1: terminal)."""
+        return self._var[u >> 1]
+
+    def low_edge(self, u: int) -> int:
+        """Else cofactor of edge ``u`` (complement bit pushed down)."""
+        return self._low[u >> 1] ^ (u & 1)
+
+    def high_edge(self, u: int) -> int:
+        """Then cofactor of edge ``u`` (complement bit pushed down)."""
+        return self._high[u >> 1] ^ (u & 1)
 
     # ------------------------------------------------------------------
     # Constants and literals
     # ------------------------------------------------------------------
 
     def var_node(self, var) -> int:
-        """Node id of the positive literal of ``var``."""
+        """Edge of the positive literal of ``var``."""
         return self._mk(self.var_index(var), ZERO, ONE)
 
     def nvar_node(self, var) -> int:
-        """Node id of the negative literal of ``var``."""
+        """Edge of the negative literal of ``var``."""
         return self._mk(self.var_index(var), ONE, ZERO)
 
     # ------------------------------------------------------------------
-    # Core operations (node-id level)
+    # Core operations (edge level)
     # ------------------------------------------------------------------
 
     def apply_not(self, u: int) -> int:
-        if u == ZERO:
-            return ONE
-        if u == ONE:
-            return ZERO
-        key = ("not", u)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._mk(self._var[u],
-                          self.apply_not(self._low[u]),
-                          self.apply_not(self._high[u]))
-        self._cache[key] = result
-        return result
+        """Negation: flip the complement bit.  O(1) — no recursion, no
+        allocation, no cache lookup; ``~~f == f`` structurally."""
+        return u ^ 1
 
     def apply_and(self, u: int, v: int) -> int:
-        if u == ZERO or v == ZERO:
+        # Terminal cases first, before paying for the closure below.
+        if u == v:
+            return u
+        if u == ZERO or v == ZERO or u ^ v == 1:
+            # The third case is f AND (NOT f) on the shared node.
             return ZERO
         if u == ONE:
             return v
-        if v == ONE or u == v:
+        if v == ONE:
             return u
-        if u > v:
-            u, v = v, u
-        key = ("and", u, v)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        ulvl, vlvl = self._level(u), self._level(v)
-        if ulvl <= vlvl:
-            var, u0, u1 = self._var[u], self._low[u], self._high[u]
-        else:
-            var, u0, u1 = self._var[v], u, u
-        if vlvl <= ulvl:
-            v0, v1 = self._low[v], self._high[v]
-        else:
-            v0, v1 = v, v
-        if ulvl > vlvl:
-            u0, u1 = u, u
-        result = self._mk(var, self.apply_and(u0, v0), self.apply_and(u1, v1))
-        self._cache[key] = result
-        return result
+        # The recursion binds the node arrays, the cache and the
+        # hash-consing hook to locals and inlines ``_mk``: on traversal
+        # workloads a top-level AND averages hundreds of recursive
+        # steps, so shaving attribute lookups and method dispatch off
+        # each step dominates the one-off cost of building the closure.
+        cache = self._and_cache
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        var2level = self._var2level
+        node_fn = self._node
+
+        def rec(u: int, v: int) -> int:
+            if u == v:
+                return u
+            if u == ZERO or v == ZERO or u ^ v == 1:
+                return ZERO
+            if u == ONE:
+                return v
+            if v == ONE:
+                return u
+            if u > v:
+                u, v = v, u
+            key = (u << _PACK) | v
+            result = cache.get(key)
+            if result is not None:
+                return result
+            # Both edges point at internal nodes here, so var >= 0.
+            un = u >> 1
+            vn = v >> 1
+            ulvl = var2level[var_arr[un]]
+            vlvl = var2level[var_arr[vn]]
+            if ulvl <= vlvl:
+                var = var_arr[un]
+                uc = u & 1
+                u0 = low_arr[un] ^ uc
+                u1 = high_arr[un] ^ uc
+            else:
+                var = var_arr[vn]
+                u0 = u1 = u
+            if vlvl <= ulvl:
+                vc = v & 1
+                v0 = low_arr[vn] ^ vc
+                v1 = high_arr[vn] ^ vc
+            else:
+                v0 = v1 = v
+            r0 = rec(u0, v0)
+            r1 = rec(u1, v1)
+            if r0 == r1:
+                result = r0
+            elif r0 & 1:
+                result = (node_fn(var, r0 ^ 1, r1 ^ 1) << 1) | 1
+            else:
+                result = node_fn(var, r0, r1) << 1
+            cache[key] = result
+            return result
+
+        return rec(u, v)
 
     def apply_or(self, u: int, v: int) -> int:
-        if u == ONE or v == ONE:
-            return ONE
-        if u == ZERO:
-            return v
-        if v == ZERO or u == v:
-            return u
-        if u > v:
-            u, v = v, u
-        key = ("or", u, v)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        ulvl, vlvl = self._level(u), self._level(v)
-        if ulvl <= vlvl:
-            var, u0, u1 = self._var[u], self._low[u], self._high[u]
-        else:
-            var, u0, u1 = self._var[v], u, u
-        if vlvl <= ulvl:
-            v0, v1 = self._low[v], self._high[v]
-        else:
-            v0, v1 = v, v
-        result = self._mk(var, self.apply_or(u0, v0), self.apply_or(u1, v1))
-        self._cache[key] = result
-        return result
+        # De Morgan onto the AND cache: f OR g == NOT (NOT f AND NOT g).
+        # With O(1) negation this costs two bit flips and shares cache
+        # lines with the conjunctive phrasing of the same query.
+        return self.apply_and(u ^ 1, v ^ 1) ^ 1
 
     def apply_xor(self, u: int, v: int) -> int:
+        # XOR is invariant under complementing *both* arguments, and
+        # complementing one complements the result — so both bits factor
+        # out of the cache key entirely.
+        c = (u ^ v) & 1
+        u &= -2
+        v &= -2
         if u == v:
-            return ZERO
-        if u == ZERO:
-            return v
-        if v == ZERO:
-            return u
+            return ZERO ^ c
         if u == ONE:
-            return self.apply_not(v)
+            return v ^ 1 ^ c
         if v == ONE:
-            return self.apply_not(u)
+            return u ^ 1 ^ c
         if u > v:
             u, v = v, u
         key = ("xor", u, v)
         cached = self._cache.get(key)
         if cached is not None:
-            return cached
-        ulvl, vlvl = self._level(u), self._level(v)
+            return cached ^ c
+        un, vn = u >> 1, v >> 1
+        ulvl = self._var2level[self._var[un]]
+        vlvl = self._var2level[self._var[vn]]
         if ulvl <= vlvl:
-            var, u0, u1 = self._var[u], self._low[u], self._high[u]
+            var = self._var[un]
+            u0, u1 = self._low[un], self._high[un]
         else:
-            var, u0, u1 = self._var[v], u, u
+            var = self._var[vn]
+            u0 = u1 = u
         if vlvl <= ulvl:
-            v0, v1 = self._low[v], self._high[v]
+            v0, v1 = self._low[vn], self._high[vn]
         else:
-            v0, v1 = v, v
+            v0 = v1 = v
         result = self._mk(var, self.apply_xor(u0, v0), self.apply_xor(u1, v1))
         self._cache[key] = result
-        return result
+        return result ^ c
 
     def apply_diff(self, u: int, v: int) -> int:
-        """``u AND NOT v``."""
-        return self.apply_and(u, self.apply_not(v))
+        """``u AND NOT v`` — one bit flip on top of the AND cache."""
+        return self.apply_and(u, v ^ 1)
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f*g + !f*h``."""
+        """If-then-else: ``f*g + !f*h`` with standard-triple
+        canonicalisation, so equivalent queries (``ite(f,g,0)`` /
+        ``f AND g`` / De Morgan'd phrasings) share cache lines."""
         if f == ONE:
             return g
         if f == ZERO:
             return h
         if g == h:
             return g
+        # Branches equal (or complementary) to the test collapse to
+        # constants of that branch.
+        if g == f:
+            g = ONE
+        elif g == (f ^ 1):
+            g = ZERO
+        if h == f:
+            h = ZERO
+        elif h == (f ^ 1):
+            h = ONE
+        if g == h:
+            return g
         if g == ONE and h == ZERO:
             return f
         if g == ZERO and h == ONE:
-            return self.apply_not(f)
+            return f ^ 1
+        # One constant branch: delegate to the binary ops (and their
+        # canonicalised caches).
+        if h == ZERO:
+            return self.apply_and(f, g)
+        if g == ZERO:
+            return self.apply_and(f ^ 1, h)
+        if g == ONE:
+            return self.apply_and(f ^ 1, h ^ 1) ^ 1
+        if h == ONE:
+            return self.apply_and(f, g ^ 1) ^ 1
+        if g == (h ^ 1):
+            return self.apply_xor(f, h)
+        # Standard triples: regular test (ite(~f,g,h) == ite(f,h,g)),
+        # then regular then-branch (ite(f,~g,~h) == ~ite(f,g,h)).
+        if f & 1:
+            f, g, h = f ^ 1, h, g
+        c = g & 1
+        if c:
+            g, h = g ^ 1, h ^ 1
         key = ("ite", f, g, h)
         cached = self._cache.get(key)
         if cached is not None:
-            return cached
+            return cached ^ c
         level = min(self._level(f), self._level(g), self._level(h))
         var = self._level2var[level]
         f0, f1 = self._cofactors_at(f, level)
@@ -220,11 +361,13 @@ class BDD(DDManager):
         h0, h1 = self._cofactors_at(h, level)
         result = self._mk(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
         self._cache[key] = result
-        return result
+        return result ^ c
 
     def _cofactors_at(self, u: int, level: int) -> Tuple[int, int]:
         if self._level(u) == level:
-            return self._low[u], self._high[u]
+            node = u >> 1
+            c = u & 1
+            return self._low[node] ^ c, self._high[node] ^ c
         return u, u
 
     # ------------------------------------------------------------------
@@ -239,26 +382,56 @@ class BDD(DDManager):
         return self._exists(u, qvars)
 
     def _exists(self, u: int, qvars: FrozenSet[int]) -> int:
-        if u <= ONE:
+        if u == ZERO or u == ONE:
             return u
-        var = self._var[u]
-        key = ("ex", u, qvars)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        low, high = self._low[u], self._high[u]
-        if var in qvars:
-            result = self.apply_or(self._exists(low, qvars),
-                                   self._exists(high, qvars))
-        else:
-            result = self._mk(var, self._exists(low, qvars),
-                              self._exists(high, qvars))
-        self._cache[key] = result
-        return result
+        cache = self._ex_cache.get(qvars)
+        if cache is None:
+            cache = self._ex_cache[qvars] = {}
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        node_fn = self._node
+        apply_and = self.apply_and
+
+        def rec(u: int) -> int:
+            if u == ZERO or u == ONE:
+                return u
+            # No complement factoring here: exists does NOT commute
+            # with negation (that is forall), so the cache key is the
+            # full edge.
+            result = cache.get(u)
+            if result is not None:
+                return result
+            node = u >> 1
+            c = u & 1
+            var = var_arr[node]
+            if var in qvars:
+                r0 = rec(low_arr[node] ^ c)
+                if r0 == ONE:
+                    result = ONE
+                else:
+                    result = apply_and(r0 ^ 1, rec(high_arr[node] ^ c) ^ 1) ^ 1
+            else:
+                r0 = rec(low_arr[node] ^ c)
+                r1 = rec(high_arr[node] ^ c)
+                if r0 == r1:
+                    result = r0
+                elif r0 & 1:
+                    result = (node_fn(var, r0 ^ 1, r1 ^ 1) << 1) | 1
+                else:
+                    result = node_fn(var, r0, r1) << 1
+            cache[u] = result
+            return result
+
+        return rec(u)
 
     def forall(self, u: int, variables: Iterable) -> int:
-        """Universal quantification: ``NOT exists(NOT u)``."""
-        return self.apply_not(self.exists(self.apply_not(u), variables))
+        """Universal quantification: ``NOT exists(NOT u)``.
+
+        Both negations are bit flips, so this costs exactly one
+        existential quantification.
+        """
+        return self.exists(u ^ 1, variables) ^ 1
 
     def and_exists(self, u: int, v: int, variables: Iterable) -> int:
         """Relational product ``exists(variables, u AND v)`` in one pass.
@@ -280,43 +453,82 @@ class BDD(DDManager):
 
     def _and_exists(self, u: int, v: int, qvars: FrozenSet[int],
                     qbottom: int) -> int:
-        if u == ZERO or v == ZERO:
-            return ZERO
-        if u == ONE and v == ONE:
-            return ONE
-        if u == ONE:
-            return self._exists(v, qvars)
-        if v == ONE or u == v:
-            return self._exists(u, qvars)
-        if u > v:
-            u, v = v, u
-        ulvl, vlvl = self._level(u), self._level(v)
-        level = min(ulvl, vlvl)
-        if level > qbottom:
-            # Every quantified variable has been passed: what remains is a
-            # pure conjunction of subfunctions.
-            return self.apply_and(u, v)
-        key = (u, v, qvars)
-        cached = self._ae_cache.get(key)
-        if cached is not None:
-            self.ae_cache_hits += 1
-            return cached
-        self.ae_recursions += 1
-        var = self._level2var[level]
-        u0, u1 = self._cofactors_at(u, level)
-        v0, v1 = self._cofactors_at(v, level)
-        if var in qvars:
-            r0 = self._and_exists(u0, v0, qvars, qbottom)
-            if r0 == ONE:
-                result = ONE
+        cache = self._ae_cache.get(qvars)
+        if cache is None:
+            cache = self._ae_cache[qvars] = {}
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        var2level = self._var2level
+        level2var = self._level2var
+        node_fn = self._node
+        apply_and = self.apply_and
+        exists = self._exists
+        recs = 0
+        hits = 0
+
+        def rec(u: int, v: int) -> int:
+            nonlocal recs, hits
+            if u == ZERO or v == ZERO or u ^ v == 1:
+                return ZERO
+            if u == ONE and v == ONE:
+                return ONE
+            if u == ONE:
+                return exists(v, qvars)
+            if v == ONE or u == v:
+                return exists(u, qvars)
+            if u > v:
+                u, v = v, u
+            # Both edges point at internal nodes here, so var >= 0.
+            ulvl = var2level[var_arr[u >> 1]]
+            vlvl = var2level[var_arr[v >> 1]]
+            level = ulvl if ulvl < vlvl else vlvl
+            if level > qbottom:
+                # Every quantified variable has been passed: what
+                # remains is a pure conjunction of subfunctions.
+                return apply_and(u, v)
+            key = (u << _PACK) | v
+            result = cache.get(key)
+            if result is not None:
+                hits += 1
+                return result
+            recs += 1
+            var = level2var[level]
+            if ulvl == level:
+                un = u >> 1
+                uc = u & 1
+                u0 = low_arr[un] ^ uc
+                u1 = high_arr[un] ^ uc
             else:
-                result = self.apply_or(
-                    r0, self._and_exists(u1, v1, qvars, qbottom))
-        else:
-            result = self._mk(var,
-                              self._and_exists(u0, v0, qvars, qbottom),
-                              self._and_exists(u1, v1, qvars, qbottom))
-        self._ae_cache[key] = result
+                u0 = u1 = u
+            if vlvl == level:
+                vn = v >> 1
+                vc = v & 1
+                v0 = low_arr[vn] ^ vc
+                v1 = high_arr[vn] ^ vc
+            else:
+                v0 = v1 = v
+            if var in qvars:
+                r0 = rec(u0, v0)
+                if r0 == ONE:
+                    result = ONE
+                else:
+                    result = apply_and(r0 ^ 1, rec(u1, v1) ^ 1) ^ 1
+            else:
+                r0 = rec(u0, v0)
+                r1 = rec(u1, v1)
+                if r0 == r1:
+                    result = r0
+                elif r0 & 1:
+                    result = (node_fn(var, r0 ^ 1, r1 ^ 1) << 1) | 1
+                else:
+                    result = node_fn(var, r0, r1) << 1
+            cache[key] = result
+            return result
+
+        result = rec(u, v)
+        self.ae_recursions += recs
+        self.ae_cache_hits += hits
         return result
 
     # ------------------------------------------------------------------
@@ -346,22 +558,45 @@ class BDD(DDManager):
         return self._cofactor(u, values, key_vals)
 
     def _cofactor(self, u: int, values: Dict[int, bool], key_vals) -> int:
-        if u <= ONE:
+        if u == ZERO or u == ONE:
             return u
-        var = self._var[u]
-        key = ("cof", u, key_vals)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        if var in values:
-            child = self._high[u] if values[var] else self._low[u]
-            result = self._cofactor(child, values, key_vals)
-        else:
-            result = self._mk(var,
-                              self._cofactor(self._low[u], values, key_vals),
-                              self._cofactor(self._high[u], values, key_vals))
-        self._cache[key] = result
-        return result
+        cache = self._cof_cache.get(key_vals)
+        if cache is None:
+            cache = self._cof_cache[key_vals] = {}
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        node_fn = self._node
+
+        def rec(u: int) -> int:
+            if u == ZERO or u == ONE:
+                return u
+            # Cofactoring commutes with negation: compute on the
+            # regular edge and re-apply the bit, so f and ~f share
+            # cache lines.
+            c = u & 1
+            u ^= c
+            result = cache.get(u)
+            if result is not None:
+                return result ^ c
+            node = u >> 1
+            var = var_arr[node]
+            if var in values:
+                result = rec(high_arr[node] if values[var]
+                             else low_arr[node])
+            else:
+                r0 = rec(low_arr[node])
+                r1 = rec(high_arr[node])
+                if r0 == r1:
+                    result = r0
+                elif r0 & 1:
+                    result = (node_fn(var, r0 ^ 1, r1 ^ 1) << 1) | 1
+                else:
+                    result = node_fn(var, r0, r1) << 1
+            cache[u] = result
+            return result ^ c
+
+        return rec(u)
 
     def rename(self, u: int, mapping: Dict) -> int:
         """Rename variables of ``u`` according to ``{old: new}``.
@@ -387,18 +622,22 @@ class BDD(DDManager):
         return self._rename(u, varmap, key_map)
 
     def _rename(self, u: int, varmap: Dict[int, int], key_map) -> int:
-        if u <= ONE:
+        if u == ZERO or u == ONE:
             return u
+        # Renaming commutes with negation: cache on the regular edge.
+        c = u & 1
+        u ^= c
         key = ("ren", u, key_map)
         cached = self._cache.get(key)
         if cached is not None:
-            return cached
-        var = self._var[u]
+            return cached ^ c
+        node = u >> 1
+        var = self._var[node]
         result = self._mk(varmap.get(var, var),
-                          self._rename(self._low[u], varmap, key_map),
-                          self._rename(self._high[u], varmap, key_map))
+                          self._rename(self._low[node], varmap, key_map),
+                          self._rename(self._high[node], varmap, key_map))
         self._cache[key] = result
-        return result
+        return result ^ c
 
     def toggle(self, u: int, variables: Iterable) -> int:
         """Substitute ``var -> NOT var`` for each variable.
@@ -414,21 +653,25 @@ class BDD(DDManager):
         return self._toggle(u, tvars)
 
     def _toggle(self, u: int, tvars: FrozenSet[int]) -> int:
-        if u <= ONE:
+        if u == ZERO or u == ONE:
             return u
+        # Toggling commutes with negation: cache on the regular edge.
+        c = u & 1
+        u ^= c
         key = ("tog", u, tvars)
         cached = self._cache.get(key)
         if cached is not None:
-            return cached
-        var = self._var[u]
-        low = self._toggle(self._low[u], tvars)
-        high = self._toggle(self._high[u], tvars)
+            return cached ^ c
+        node = u >> 1
+        var = self._var[node]
+        low = self._toggle(self._low[node], tvars)
+        high = self._toggle(self._high[node], tvars)
         if var in tvars:
             result = self._mk(var, high, low)
         else:
             result = self._mk(var, low, high)
         self._cache[key] = result
-        return result
+        return result ^ c
 
     def restrict_cm(self, u: int, care: int) -> int:
         """Coudert-Madre generalized cofactor (sibling substitution).
@@ -443,39 +686,46 @@ class BDD(DDManager):
         return self._restrict_cm(u, care)
 
     def _restrict_cm(self, u: int, care: int) -> int:
-        if care == ONE or u <= ONE:
+        if care == ONE or u == ZERO or u == ONE:
             return u
-        key = ("rcm", u, care)
-        cached = self._cache.get(key)
+        # Sibling substitution commutes with negation of the restricted
+        # function (NOT of the care set does not factor): cache on the
+        # regular edge of ``u`` with the full ``care`` edge.
+        uc = u & 1
+        u ^= uc
+        key = (u << _PACK) | care
+        cached = self._rcm_cache.get(key)
         if cached is not None:
-            return cached
+            return cached ^ uc
+        un = u >> 1
+        cn, cc = care >> 1, care & 1
         ulvl, clvl = self._level(u), self._level(care)
         if clvl < ulvl:
             # u does not depend on the care set's top variable.
             result = self._restrict_cm(
-                u, self.apply_or(self._low[care], self._high[care]))
+                u, self.apply_or(self._low[cn] ^ cc, self._high[cn] ^ cc))
         else:
-            var = self._var[u]
+            var = self._var[un]
             if ulvl < clvl:
                 c0 = c1 = care
             else:
-                c0, c1 = self._low[care], self._high[care]
+                c0, c1 = self._low[cn] ^ cc, self._high[cn] ^ cc
             if c0 == ZERO:
-                result = self._restrict_cm(self._high[u], c1)
+                result = self._restrict_cm(self._high[un], c1)
             elif c1 == ZERO:
-                result = self._restrict_cm(self._low[u], c0)
+                result = self._restrict_cm(self._low[un], c0)
             else:
                 result = self._mk(var,
-                                  self._restrict_cm(self._low[u], c0),
-                                  self._restrict_cm(self._high[u], c1))
-        self._cache[key] = result
-        return result
+                                  self._restrict_cm(self._low[un], c0),
+                                  self._restrict_cm(self._high[un], c1))
+        self._rcm_cache[key] = result
+        return result ^ uc
 
     def compose(self, u: int, var, g: int) -> int:
         """Substitute function ``g`` for variable ``var`` in ``u``."""
         index = self.var_index(var)
         xg = self.apply_and(g, self._restrict1(u, index))
-        xng = self.apply_and(self.apply_not(g), self._restrict0(u, index))
+        xng = self.apply_and(g ^ 1, self._restrict0(u, index))
         return self.apply_or(xg, xng)
 
     def _restrict0(self, u: int, var: int) -> int:
@@ -489,11 +739,15 @@ class BDD(DDManager):
     # ------------------------------------------------------------------
 
     def eval_node(self, u: int, assignment: Dict) -> bool:
-        """Evaluate ``u`` under a total assignment ``{var: bool}``."""
+        """Evaluate edge ``u`` under a total assignment ``{var: bool}``."""
         values = {self.var_index(v): bool(val)
                   for v, val in assignment.items()}
-        while u > ONE:
-            u = self._high[u] if values[self._var[u]] else self._low[u]
+        while u != ZERO and u != ONE:
+            node = u >> 1
+            c = u & 1
+            child = (self._high[node] if values[self._var[node]]
+                     else self._low[node])
+            u = child ^ c
         return u == ONE
 
     def satcount(self, u: int, nvars: Optional[int] = None) -> int:
@@ -503,17 +757,21 @@ class BDD(DDManager):
         if nvars < len(self.support(u)):
             raise BDDError("nvars smaller than support size")
         bottom = len(self._var2level)
+        # Memoized per *edge*: the two polarities of a shared node have
+        # different counts.
         memo: Dict[int, int] = {ZERO: 0, ONE: 1}
 
-        def count(node: int) -> int:
-            cached = memo.get(node)
+        def count(edge: int) -> int:
+            cached = memo.get(edge)
             if cached is not None:
                 return cached
-            level = self._level(node)
-            low, high = self._low[node], self._high[node]
+            node = edge >> 1
+            c = edge & 1
+            level = self._var2level[self._var[node]]
+            low, high = self._low[node] ^ c, self._high[node] ^ c
             total = (count(low) * (1 << (self._level(low) - level - 1)) +
                      count(high) * (1 << (self._level(high) - level - 1)))
-            memo[node] = total
+            memo[edge] = total
             return total
 
         # Count over the full variable order, then rescale to nvars.
@@ -527,13 +785,16 @@ class BDD(DDManager):
         if u == ZERO:
             return None
         cube: Dict[int, bool] = {}
-        while u > ONE:
-            if self._low[u] != ZERO:
-                cube[self._var[u]] = False
-                u = self._low[u]
+        while u != ONE:
+            node = u >> 1
+            c = u & 1
+            low = self._low[node] ^ c
+            if low != ZERO:
+                cube[self._var[node]] = False
+                u = low
             else:
-                cube[self._var[u]] = True
-                u = self._high[u]
+                cube[self._var[node]] = True
+                u = self._high[node] ^ c
         return cube
 
     def iter_cubes(self, u: int) -> Iterator[Dict[int, bool]]:
@@ -543,8 +804,11 @@ class BDD(DDManager):
         if u == ONE:
             yield {}
             return
-        var = self._var[u]
-        for value, child in ((False, self._low[u]), (True, self._high[u])):
+        node = u >> 1
+        c = u & 1
+        var = self._var[node]
+        for value, child in ((False, self._low[node] ^ c),
+                             (True, self._high[node] ^ c)):
             for sub in self.iter_cubes(child):
                 cube = {var: value}
                 cube.update(sub)

@@ -29,7 +29,22 @@ hook                      BDD (boolean functions)    ZDD (set families)
 ``_mk`` reduction         ``low == high -> low``     ``high == 0 -> low``
 ``_swap_cofactors`` else  ``(child, child)``         ``(child, EMPTY)``
 terminals                 ``ZERO`` / ``ONE``         ``EMPTY`` / ``BASE``
+``_edge_shift``           ``1`` (complement edges)   ``0`` (plain ids)
 ========================  =========================  =====================
+
+Since ISSUE 10 the kernel speaks *edges*, not bare node ids.  An edge is
+``(node_id << _edge_shift) | attributes``; a manager with
+``_edge_shift = 0`` (the ZDD — complement bits would break
+zero-suppression canonicity) stores plain node ids and nothing changes,
+while the BDD sets ``_edge_shift = 1`` and carries a complement bit in
+the edge's low bit, making negation a bit flip.  All shared machinery —
+reference counting, cascading frees, the unique tables (which key on
+child *edges*), :meth:`swap_levels`, :meth:`support`/:meth:`size`, and
+:meth:`assert_consistent` — shifts the attribute bits off before
+touching the node arrays.  The canonical form for complement-edge
+managers ("else edge never complemented") is the subclass's job to
+enforce in ``_mk``; the kernel verifies it during swaps and consistency
+checks.
 
 A node's fields may be mutated in place by variable reordering, but the
 function/family represented by a node id never changes; external code
@@ -50,6 +65,24 @@ from typing import (Any, Callable, Dict, FrozenSet, Iterable, List,
 _MIN_RECURSION_LIMIT = 100_000
 if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
     sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
+#: Default live-node growth factor for the growth-based reorder trigger
+#: (see :meth:`DDManager.configure_reorder`): sift when the diagram has
+#: doubled since the last reorder.
+DEFAULT_REORDER_GROWTH = 2.0
+
+#: Safe-point GC trigger: collect once unique-table occupancy has
+#: multiplied by this factor since the last collection.
+DEFAULT_GC_GROWTH = 2.0
+
+#: Bit width used to pack a ``(left, right)`` pair of edges into one
+#: integer key (``(left << _PACK) | right``) for the unique tables and
+#: the hot operation caches.  Int-keyed dicts are exempt from CPython's
+#: cycle collector and int keys hash as themselves; 2**40 edges would
+#: need terabytes of node storage, so the pack cannot overflow in
+#: practice.
+_PACK = 40
 
 
 class DDError(Exception):
@@ -117,6 +150,12 @@ class DDManager:
     _error_class = DDError
     #: Prefix for auto-generated variable names (``x0`` / ``e0`` ...).
     _var_prefix = "x"
+    #: Attribute bits carried in an edge's low end: ``0`` for plain
+    #: node-id edges (ZDD), ``1`` for a complement bit (BDD).  The
+    #: node behind edge ``e`` is always ``e >> _edge_shift``.
+    _edge_shift = 0
+    #: Whether edges of this manager carry a complement bit.
+    complement_edges = False
 
     def __init__(self, var_names: Optional[Iterable[str]] = None,
                  auto_reorder: bool = False,
@@ -128,8 +167,14 @@ class DDManager:
         self._ref: List[int] = [1, 1]
         self._free: List[int] = []
 
-        # unique[var] maps (low, high) -> node id
-        self._unique: List[Dict[Tuple[int, int], int]] = []
+        # unique[var] maps the packed key (low << _PACK) | high to a
+        # node id.  Packing the child pair into one integer (instead of
+        # a tuple) matters beyond hashing speed: a dict whose keys and
+        # values are all plain ints is untracked by CPython's cycle
+        # collector, so multi-million-entry unique tables stop being
+        # walked on every full collection (tuple-keyed tables made the
+        # collector dominate large traversals).
+        self._unique: List[Dict[int, int]] = []
         self._var2level: List[int] = []
         self._level2var: List[int] = []
         self._names: List[str] = []
@@ -153,6 +198,22 @@ class DDManager:
 
         self.auto_reorder = auto_reorder
         self.reorder_threshold = reorder_threshold
+        # Growth-based trigger (used by the ZDD sessions): sift when the
+        # live-node count multiplies by ``reorder_growth`` since the
+        # last reorder/baseline, once past ``reorder_growth_floor``.
+        # ``None`` keeps the fixed threshold as the only trigger.
+        self.reorder_growth: Optional[float] = None
+        self.reorder_growth_floor: int = 1_000
+        self._reorder_baseline: Optional[int] = None
+        # Safe-point garbage collection (CUDD-style): operations leave
+        # their intermediate nodes in the unique tables at reference
+        # count zero, so occupancy grows with *allocations*, not live
+        # data.  A checkpoint collects once occupancy has multiplied by
+        # ``gc_growth`` since the last collection (amortised O(1) per
+        # allocation); ``None`` disables, small tables never bother.
+        self.gc_growth: Optional[float] = DEFAULT_GC_GROWTH
+        self.gc_growth_floor: int = 8_192
+        self._gc_baseline: int = self.gc_growth_floor
         self.reorder_count = 0
         self.gc_count = 0
         self.peak_live_nodes = 0
@@ -284,9 +345,14 @@ class DDManager:
     # ------------------------------------------------------------------
 
     def _node(self, var: int, low: int, high: int) -> int:
-        """Find-or-create the (already reduced) node ``(var, low, high)``."""
+        """Find-or-create the (already reduced) node ``(var, low, high)``.
+
+        ``low`` and ``high`` are child *edges*; the returned value is a
+        bare node id (the subclass's ``_mk`` shifts it into an edge for
+        complement-edge managers).
+        """
         table = self._unique[var]
-        key = (low, high)
+        key = (low << _PACK) | high
         node = table.get(key)
         if node is not None:
             return node
@@ -303,30 +369,35 @@ class DDManager:
             self._high.append(high)
             self._ref.append(0)
         table[key] = node
-        self._ref[low] += 1
-        self._ref[high] += 1
+        shift = self._edge_shift
+        self._ref[low >> shift] += 1
+        self._ref[high >> shift] += 1
         return node
 
     def ref(self, u: int) -> int:
-        """Take an external reference on ``u``; returns ``u``."""
-        self._ref[u] += 1
+        """Take an external reference on edge ``u``; returns ``u``."""
+        self._ref[u >> self._edge_shift] += 1
         return u
 
     def deref(self, u: int) -> None:
-        """Release an external reference on ``u`` (no immediate free)."""
-        if self._ref[u] <= 0:
-            raise self._error_class(f"reference underflow on node {u}")
-        self._ref[u] -= 1
+        """Release an external reference on edge ``u`` (no immediate
+        free)."""
+        node = u >> self._edge_shift
+        if self._ref[node] <= 0:
+            raise self._error_class(f"reference underflow on node {node}")
+        self._ref[node] -= 1
 
     def _deref_cascade(self, u: int) -> None:
-        """Drop a reference and eagerly free the node if it died."""
-        self._ref[u] -= 1
-        if self._ref[u] == 0 and u > 1:
-            self._free_node(u)
+        """Drop a reference on edge ``u``; eagerly free a dead node."""
+        node = u >> self._edge_shift
+        self._ref[node] -= 1
+        if self._ref[node] == 0 and node > 1:
+            self._free_node(node)
 
     def _free_node(self, u: int) -> None:
+        """Free node id ``u`` (its children are edges and cascade)."""
         var, low, high = self._var[u], self._low[u], self._high[u]
-        del self._unique[var][(low, high)]
+        del self._unique[var][(low << _PACK) | high]
         self._var[u] = self._TERMINAL_VAR
         self._low[u] = -1
         self._high[u] = -1
@@ -380,19 +451,32 @@ class DDManager:
         return len(self._free) - before
 
     def configure_reorder(self, auto_reorder: bool,
-                          reorder_threshold: int) -> None:
+                          reorder_threshold: int,
+                          growth: Optional[float] = None) -> None:
         """Honor a net's reordering request on this manager.
 
         Enables threshold-triggered sifting when ``auto_reorder`` is
         set — including on a caller-supplied manager, so a net
-        constructor's request always wins.  With ``auto_reorder``
-        false this is a no-op: the manager's own settings (whatever the
-        caller configured it with) are left untouched, and the
-        ``reorder_threshold`` argument is deliberately ignored.
+        constructor's request always wins.  ``growth`` additionally arms
+        the growth-based trigger: a safe point sifts when live nodes
+        have multiplied by that factor since the last reorder, even if
+        the fixed threshold has not been reached yet (the ZDD sessions
+        pass this so reordering reacts to the diagram's own growth rate
+        rather than one absolute knob).  With ``auto_reorder`` false
+        this is a no-op: the manager's own settings (whatever the
+        caller configured it with) are left untouched, and the other
+        arguments are deliberately ignored.
         """
         if auto_reorder:
             self.auto_reorder = True
             self.reorder_threshold = reorder_threshold
+            if growth is not None:
+                if growth <= 1.0:
+                    raise self._error_class(
+                        f"reorder growth factor must exceed 1.0, "
+                        f"got {growth}")
+                self.reorder_growth = growth
+                self._reorder_baseline = None
 
     def set_resource_budget(self, node_budget: Optional[int] = None,
                             deadline_seconds: Optional[float] = None,
@@ -430,13 +514,38 @@ class DDManager:
         """Safe point hook: garbage collect, maybe reorder, enforce
         budgets."""
         live = self.live_nodes()
-        if self.auto_reorder and live > self.reorder_threshold:
+        trigger = False
+        if self.auto_reorder:
+            if live > self.reorder_threshold:
+                trigger = True
+            elif self.reorder_growth is not None:
+                if self._reorder_baseline is None:
+                    self._reorder_baseline = live
+                elif (live >= self.reorder_growth_floor
+                      and live > self._reorder_baseline
+                      * self.reorder_growth):
+                    trigger = True
+        if trigger:
             self.collect_garbage()
             from .reorder import sift
             sift(self, groups=self.sift_groups)
             self.reorder_threshold = max(self.reorder_threshold,
                                          2 * self.live_nodes())
+            self._reorder_baseline = self.live_nodes()
+            self._gc_baseline = max(self._reorder_baseline,
+                                    self.gc_growth_floor)
             self.reorder_count += 1
+        elif (self.gc_growth is not None
+              and live >= self.gc_growth_floor
+              and live > self._gc_baseline * self.gc_growth):
+            # Doubling-style collection: dead intermediates are swept
+            # before the table doubles again, so peak occupancy tracks
+            # a constant factor of the live data instead of the total
+            # allocation count.  (The reorder branch above already
+            # collected.)
+            self.collect_garbage()
+            self._gc_baseline = max(self.live_nodes(),
+                                    self.gc_growth_floor)
         self._enforce_budget()
 
     def _enforce_budget(self) -> None:
@@ -538,30 +647,42 @@ class DDManager:
         if not 0 <= level < len(self._level2var) - 1:
             raise self._error_class(f"cannot swap level {level}")
         self.clear_caches()
+        shift = self._edge_shift
         upper = self._level2var[level]
         lower = self._level2var[level + 1]
         upper_table = self._unique[upper]
 
-        for (f0, f1), node in list(upper_table.items()):
-            if self._var[f0] != lower and self._var[f1] != lower:
+        for key, node in list(upper_table.items()):
+            f0, f1 = key >> _PACK, key & ((1 << _PACK) - 1)
+            if (self._var[f0 >> shift] != lower
+                    and self._var[f1 >> shift] != lower):
                 continue
             f00, f01 = self._swap_cofactors(f0, lower)
             f10, f11 = self._swap_cofactors(f1, lower)
             new_low = self._mk(upper, f00, f10)
             new_high = self._mk(upper, f01, f11)
-            self._ref[new_low] += 1
-            self._ref[new_high] += 1
-            del upper_table[(f0, f1)]
+            # The rewritten node keeps its id, so its new else edge must
+            # be regular in complement mode: f00/f10 derive from stored
+            # (hence regular) else edges, so _mk cannot have had to
+            # complement-normalise here.  Verify rather than trust.
+            if shift and (new_low & 1):
+                raise self._error_class(
+                    "canonical-form violation during swap: "
+                    "complemented else edge")
+            self._ref[new_low >> shift] += 1
+            self._ref[new_high >> shift] += 1
+            del upper_table[key]
             if not self._is_reduced(new_low, new_high):
                 raise self._error_class(
                     "reduction violation during swap")
             self._var[node] = lower
             self._low[node] = new_low
             self._high[node] = new_high
-            existing = self._unique[lower].get((new_low, new_high))
+            new_key = (new_low << _PACK) | new_high
+            existing = self._unique[lower].get(new_key)
             if existing is not None:
                 raise self._error_class("canonicity violation during swap")
-            self._unique[lower][(new_low, new_high)] = node
+            self._unique[lower][new_key] = node
             self._deref_cascade(f0)
             self._deref_cascade(f1)
 
@@ -592,46 +713,51 @@ class DDManager:
     # ------------------------------------------------------------------
 
     def support(self, u: int) -> FrozenSet[int]:
-        """Set of variables appearing in the DAG rooted at ``u``."""
+        """Set of variables appearing in the DAG rooted at edge ``u``."""
+        shift = self._edge_shift
         seen = set()
         variables = set()
-        stack = [u]
+        stack = [u >> shift]
         while stack:
             node = stack.pop()
             if node <= 1 or node in seen:
                 continue
             seen.add(node)
             variables.add(self._var[node])
-            stack.append(self._low[node])
-            stack.append(self._high[node])
+            stack.append(self._low[node] >> shift)
+            stack.append(self._high[node] >> shift)
         return frozenset(variables)
 
     def size(self, u: int) -> int:
-        """Number of nodes in the DAG rooted at ``u`` (incl. terminals)."""
+        """Number of nodes in the DAG rooted at edge ``u`` (incl.
+        terminals).  Complement-edge managers count shared nodes once
+        regardless of the polarity they are reached with."""
+        shift = self._edge_shift
         seen = set()
-        stack = [u]
+        stack = [u >> shift]
         while stack:
             node = stack.pop()
             if node in seen:
                 continue
             seen.add(node)
             if node > 1:
-                stack.append(self._low[node])
-                stack.append(self._high[node])
+                stack.append(self._low[node] >> shift)
+                stack.append(self._high[node] >> shift)
         return len(seen)
 
     def size_many(self, roots: Iterable[int]) -> int:
         """Number of distinct nodes in the DAG spanned by several roots."""
+        shift = self._edge_shift
         seen = set()
-        stack = list(roots)
+        stack = [root >> shift for root in roots]
         while stack:
             node = stack.pop()
             if node in seen:
                 continue
             seen.add(node)
             if node > 1:
-                stack.append(self._low[node])
-                stack.append(self._high[node])
+                stack.append(self._low[node] >> shift)
+                stack.append(self._high[node] >> shift)
         return len(seen)
 
     # ------------------------------------------------------------------
@@ -640,28 +766,36 @@ class DDManager:
 
     def assert_consistent(self) -> None:
         """Validate internal invariants (for tests); raises on violation."""
+        shift = self._edge_shift
+        mask = (1 << _PACK) - 1
         for var, table in enumerate(self._unique):
-            for (low, high), node in table.items():
+            for key, node in table.items():
+                low, high = key >> _PACK, key & mask
                 if self._var[node] != var:
                     raise self._error_class(f"node {node} var mismatch")
                 if self._low[node] != low or self._high[node] != high:
                     raise self._error_class(f"node {node} key mismatch")
                 if not self._is_reduced(low, high):
                     raise self._error_class(f"node {node} is redundant")
+                if shift and (low & 1):
+                    raise self._error_class(
+                        f"node {node} stores a complemented else edge")
                 for child in (low, high):
-                    if child > 1 and self._var[child] < 0:
+                    child_node = child >> shift
+                    if child_node > 1 and self._var[child_node] < 0:
                         raise self._error_class(
                             f"node {node} references freed child")
-                    if child > 1 and (self._var2level[self._var[child]]
-                                      <= self._var2level[var]):
+                    if child_node > 1 and (
+                            self._var2level[self._var[child_node]]
+                            <= self._var2level[var]):
                         raise self._error_class(
                             f"node {node} violates ordering")
         # Reference counts: recompute from tables.
         counts = [0] * len(self._var)
         for table in self._unique:
-            for (low, high) in table:
-                counts[low] += 1
-                counts[high] += 1
+            for key in table:
+                counts[(key >> _PACK) >> shift] += 1
+                counts[(key & mask) >> shift] += 1
         for u in range(2, len(self._var)):
             if self._var[u] < 0:
                 continue

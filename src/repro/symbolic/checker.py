@@ -103,14 +103,33 @@ class ModelChecker:
 
         The result is intersected with the reachable set, i.e. this is
         ``reachable AND EF(target)``.
+
+        The fixpoint is frontier-based: ``preimage_all`` distributes
+        over union (per-transition preimages are cofactor-and-constrain,
+        both union homomorphisms), so each round only preimages the
+        states added in the previous round instead of the whole
+        accumulated set.  The frontier subtraction is an AND plus a
+        complement-bit flip, and — as in the forward relational engines
+        — the frontier is narrowed against ``frontier | ~current``
+        (Coudert-Madre restrict) before preimaging: any states it picks
+        up are already in ``current``, so their preimages are members
+        of the fixpoint and at worst arrive a round early.
         """
+        from .relational import SIMPLIFY_MIN_FRONTIER_NODES
+
         current = target & self.reachable
-        while True:
-            expanded = (current | self.symnet.preimage_all(current)) \
-                & self.reachable
-            if expanded == current:
+        frontier = current
+        while not frontier.is_zero():
+            if frontier.size() >= SIMPLIFY_MIN_FRONTIER_NODES:
+                frontier = frontier.restrict(frontier | ~current)
+            frontier = (self.symnet.preimage_all(frontier)
+                        & self.reachable) - current
+            current = current | frontier
+            if current == self.reachable:
+                # Canonicity makes the saturation test one edge compare;
+                # it skips the final (largest-frontier) preimage round.
                 return current
-            current = expanded
+        return current
 
     def ag(self, predicate: Function) -> Function:
         """Reachable states all of whose reachable futures satisfy

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..bdd.zdd import EMPTY, ZDD
+from ..dd.manager import DEFAULT_REORDER_GROWTH
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
 from .partition import ClusterSize, PartitionedNet, cluster_by_support
@@ -161,7 +162,8 @@ class ZddRelationalNet(ZddStateOps, PartitionedNet):
                       reorder_threshold=reorder_threshold)
         if zdd.num_vars:
             raise ValueError("ZddRelationalNet needs a fresh ZDD manager")
-        zdd.configure_reorder(auto_reorder, reorder_threshold)
+        zdd.configure_reorder(auto_reorder, reorder_threshold,
+                              growth=DEFAULT_REORDER_GROWTH)
         self.net = net
         self.zdd = zdd
         self.manager = zdd

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..bdd.zdd import ZDD
+from ..dd.manager import DEFAULT_REORDER_GROWTH
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
 from .parallel import ParallelPartitionedImageEngine
@@ -86,7 +87,11 @@ class ZddNet(ZddStateOps):
 
     ``auto_reorder`` enables threshold-triggered sifting at the
     traversal safe points (elements sift individually — the classic
-    engine has no rename maps to keep monotone).
+    engine has no rename maps to keep monotone).  The ZDD sessions also
+    arm the kernel's growth-based trigger: a safe point sifts when the
+    live-node count has doubled since the last reorder, so a diagram
+    that grows fast reorders early instead of waiting for one absolute
+    threshold.
     """
 
     def __init__(self, net: PetriNet, zdd: Optional[ZDD] = None,
@@ -97,7 +102,8 @@ class ZddNet(ZddStateOps):
                       reorder_threshold=reorder_threshold)
         if zdd.num_vars:
             raise ValueError("ZddNet needs a fresh ZDD manager")
-        zdd.configure_reorder(auto_reorder, reorder_threshold)
+        zdd.configure_reorder(auto_reorder, reorder_threshold,
+                              growth=DEFAULT_REORDER_GROWTH)
         self.net = net
         self.zdd = zdd
         for place in net.places:

@@ -13,9 +13,27 @@ class TestBddDot:
         assert dot.rstrip().endswith("}")
         assert 'label="a"' in dot
         assert 'label="b"' in dot
-        assert 'label="0"' in dot
+        # One terminal node; the FALSE polarity is a complement arc.
         assert 'label="1"' in dot
         assert "style=dashed" in dot and "style=solid" in dot
+
+    def test_complement_arcs_are_rendered(self):
+        bdd = BDD(var_names=["a", "b"])
+        f = variable(bdd, "a") & variable(bdd, "b")
+        dot = bdd_to_dot(bdd, [("f", f.node), ("nf", (~f).node)])
+        # Exactly one of the two root arcs carries the complement
+        # decoration; complemented then arcs use the same convention.
+        assert "arrowhead=odot" in dot
+        assert 'label="~"' in dot
+
+    def test_deterministic_output(self):
+        def render():
+            bdd = BDD(var_names=["a", "b", "c"])
+            a, b, c = (variable(bdd, n) for n in "abc")
+            f, g = (a & b) | c, a ^ c
+            return bdd_to_dot(bdd, [("f", f.node), ("g", g.node)])
+
+        assert render() == render()
 
     def test_multiple_roots_share_nodes(self):
         bdd = BDD(var_names=["a", "b"])
@@ -27,9 +45,12 @@ class TestBddDot:
         assert dot.count('label="b"') <= 2
 
     def test_terminal_root(self):
+        from repro.bdd import ONE, ZERO
         bdd = BDD(var_names=["a"])
-        dot = bdd_to_dot(bdd, [("t", 1)])
+        dot = bdd_to_dot(bdd, [("t", ONE), ("f", ZERO)])
         assert 'label="1"' in dot
+        # FALSE is the complemented root arc into the same terminal.
+        assert "arrowhead=odot" in dot
 
 
 class TestZddDot:

@@ -143,7 +143,8 @@ class TestRefcounting:
         bdd = BDD(var_names=["a", "b"])
         a, b = variable(bdd, "a"), variable(bdd, "b")
         f = a & b
-        node = f.node
+        node = f.node >> 1  # the node behind the (possibly
+        # complemented) edge carries the reference count
         ref_with_handle = bdd._ref[node]
         del f
         assert bdd._ref[node] == ref_with_handle - 1

@@ -1,6 +1,7 @@
 """Unit tests for BDD serialization."""
 
 import itertools
+from pathlib import Path
 
 import pytest
 
@@ -63,8 +64,9 @@ class TestRoundTrip:
         bdd, funcs = source
         text = dump_functions({"f": funcs["f"], "f2": funcs["f"]})
         assert text.count("root") == 2
-        # Identical roots reuse the same node records.
-        assert text.count("node") == funcs["f"].size() - 2
+        # Identical roots reuse the same node records (size includes the
+        # single terminal, which is not written as a node record).
+        assert text.count("node") == funcs["f"].size() - 1
 
     def test_reachable_set_round_trip(self):
         """The practical use: persist a computed reachability set."""
@@ -209,6 +211,140 @@ class TestMalformedRecords:
         with pytest.raises(ZDDError) as excinfo:
             load_zdd_nodes(text, zdd)
         assert "malformed integer field" in str(excinfo.value)
+
+
+class TestWireFormatV2:
+    """The complement-edge wire format: explicit bits, version pinning."""
+
+    def test_dump_writes_v2_header(self, source):
+        bdd, funcs = source
+        text = dump_functions(funcs)
+        assert text.startswith("bddio 2\n")
+
+    def test_complemented_root_round_trips(self, source):
+        bdd, funcs = source
+        nf = ~funcs["f"]
+        text = dump_functions({"f": funcs["f"], "nf": nf})
+        target = BDD(var_names=["a", "b", "c"])
+        loaded = load_functions(text, target)
+        assert (eval_everywhere(loaded["nf"], ["a", "b", "c"])
+                == eval_everywhere(nf, ["a", "b", "c"]))
+        # The complement relationship survives the wire structurally.
+        assert loaded["nf"].node == target.apply_not(loaded["f"].node)
+
+    def test_v2_dump_structurally_identical_after_reload(self, source):
+        bdd, funcs = source
+        text = dump_functions(funcs)
+        target = BDD(var_names=["a", "b", "c"])
+        loaded = load_functions(text, target)
+        assert dump_functions(loaded) == text
+
+    GOOD_V2 = ("bddio 2\nvar a\nnode 2 a 1 1 1\nroot f 2 0\n")
+
+    def test_good_v2_baseline_loads(self):
+        bdd = BDD(var_names=["a"])
+        loaded = load_functions(self.GOOD_V2, bdd)["f"]
+        assert eval_everywhere(loaded, ["a"]) == (True, False)
+
+    @pytest.mark.parametrize("bad, message", [
+        ("node 2 a 1 1 x", "non-boolean complement bit"),
+        ("node 2 a 1 1 2", "out-of-range complement bit"),
+        ("node 2 a 1 1 -1", "out-of-range complement bit"),
+    ])
+    def test_bad_node_complement_bit(self, bad, message):
+        bdd = BDD(var_names=["a"])
+        text = self.GOOD_V2.replace("node 2 a 1 1 1", bad)
+        with pytest.raises(BDDError, match=message):
+            load_functions(text, bdd)
+
+    @pytest.mark.parametrize("bad, message", [
+        ("root f 2 yes", "non-boolean complement bit"),
+        ("root f 2 7", "out-of-range complement bit"),
+    ])
+    def test_bad_root_complement_bit(self, bad, message):
+        bdd = BDD(var_names=["a"])
+        text = self.GOOD_V2.replace("root f 2 0", bad)
+        with pytest.raises(BDDError, match=message):
+            load_functions(text, bdd)
+
+    def test_v2_stream_rejected_by_v1_only_peer(self, source):
+        """A peer that only speaks v1 must fail structurally on a v2
+        dump, not misparse the extra fields."""
+        bdd, funcs = source
+        text = dump_functions(funcs)
+        target = BDD(var_names=["a", "b", "c"])
+        with pytest.raises(BDDError, match="version mismatch.*v2.*v1"):
+            load_functions(text, target, require_version=1)
+
+    def test_v1_stream_rejected_by_v2_only_peer(self):
+        bdd = BDD(var_names=["a"])
+        text = "bddio 1\nvar a\nnode 2 a 0 1\nroot f 2\n"
+        with pytest.raises(BDDError, match="version mismatch.*v1.*v2"):
+            load_functions(text, bdd, require_version=2)
+
+    def test_unknown_future_version_rejected(self):
+        bdd = BDD(var_names=["a"])
+        with pytest.raises(BDDError, match="unsupported bddio version 3"):
+            load_functions("bddio 3\nvar a\nroot f 1 0\n", bdd)
+
+    def test_v2_node_line_with_v1_field_count_rejected(self):
+        """A v2 node record missing its complement bit (e.g. a v1 writer
+        stamped the wrong header) is malformed, not silently guessed."""
+        bdd = BDD(var_names=["a"])
+        with pytest.raises(BDDError, match="malformed node line"):
+            load_functions("bddio 2\nvar a\nnode 2 a 1 1\nroot f 2 0\n",
+                           bdd)
+
+    def test_truncation_at_every_byte_boundary(self, source):
+        """Chopping a v2 dump at any byte yields either a structured
+        BDDError or a correct prefix of the roots — never a bare
+        parser exception and never a wrong function."""
+        bdd, funcs = source
+        text = dump_functions(funcs)
+        names = ["a", "b", "c"]
+        want = {label: eval_everywhere(func, names)
+                for label, func in funcs.items()}
+        for cut in range(len(text)):
+            target = BDD(var_names=names)
+            try:
+                loaded = load_functions(text[:cut], target)
+            except BDDError:
+                continue
+            assert set(loaded) <= set(want)
+            for label, func in loaded.items():
+                assert eval_everywhere(func, names) == want[label]
+
+
+class TestV1FixtureCompat:
+    """The committed pre-complement dump must stay loadable forever."""
+
+    FIXTURE = Path(__file__).parent / "fixtures" / "phil4_reachable_v1.bddio"
+
+    def _target(self, text):
+        var_line = next(line for line in text.splitlines()
+                        if line.startswith("var "))
+        return BDD(var_names=var_line.split()[1:])
+
+    def test_fixture_is_a_v1_stream(self):
+        assert self.FIXTURE.read_text().startswith("bddio 1\n")
+
+    def test_fixture_loads_through_the_v2_reader(self):
+        text = self.FIXTURE.read_text()
+        target = self._target(text)
+        reachable = load_functions(text, target)["reachable"]
+        assert reachable.satcount(target.num_vars) == 466
+
+    def test_fixture_round_trips_into_v2(self):
+        """Load the v1 dump, re-dump (v2), reload: same function."""
+        text = self.FIXTURE.read_text()
+        target = self._target(text)
+        reachable = load_functions(text, target)["reachable"]
+        v2_text = dump_functions({"reachable": reachable})
+        assert v2_text.startswith("bddio 2\n")
+        fresh = self._target(text)
+        again = load_functions(v2_text, fresh,
+                               require_version=2)["reachable"]
+        assert again.satcount(fresh.num_vars) == 466
 
 
 class TestZddRoundTrip:

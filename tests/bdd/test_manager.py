@@ -54,8 +54,12 @@ class TestVariables:
 
 class TestMk:
     def test_terminals_are_fixed(self, bdd):
-        assert ZERO == 0
-        assert ONE == 1
+        # One shared terminal node (id 1) in two polarities: ONE is the
+        # regular edge, ZERO its complement.
+        assert ONE == 2
+        assert ZERO == 3
+        assert ZERO == ONE ^ 1
+        assert ONE >> 1 == ZERO >> 1 == 1
 
     def test_redundant_node_collapses(self, bdd):
         u = bdd._mk(0, ONE, ONE)
@@ -312,8 +316,9 @@ class TestInspection:
     def test_size(self, bdd):
         a, b = bdd.var_node("a"), bdd.var_node("b")
         f = bdd.apply_and(a, b)
-        assert bdd.size(f) == 4  # two internal nodes + two terminals
+        assert bdd.size(f) == 3  # two internal nodes + one terminal
         assert bdd.size(ONE) == 1
+        assert bdd.size(ZERO) == 1  # both polarities share the terminal
 
     def test_size_many_shares_nodes(self, bdd):
         a, b = bdd.var_node("a"), bdd.var_node("b")

@@ -196,6 +196,68 @@ class TestZddReordering:
             (a | b) - qvars for a in fam1 for b in fam2)
 
 
+class TestGrowthTrigger:
+    """The growth-based reorder trigger armed by the ZDD sessions."""
+
+    def _grown_zdd(self, growth=2.0, floor=8):
+        zdd = ZDD(var_names=[f"e{i}" for i in range(12)])
+        zdd.configure_reorder(True, reorder_threshold=10**9, growth=growth)
+        zdd.reorder_growth_floor = floor
+        return zdd
+
+    def test_growth_past_factor_fires_exactly_one_reorder(self):
+        zdd = self._grown_zdd()
+        zdd.ref(zdd.from_sets([{0, 1}]))
+        zdd.checkpoint()  # records the baseline; far below the threshold
+        assert zdd.reorder_count == 0
+        baseline = zdd._reorder_baseline
+        assert baseline is not None
+        # Grow the live table well past baseline * growth and the floor.
+        fam = frozenset(frozenset({i, (i + 3) % 12, (i + 7) % 12})
+                        for i in range(12))
+        node = zdd.ref(zdd.from_sets(fam))
+        assert zdd.live_nodes() > max(2 * baseline,
+                                      zdd.reorder_growth_floor)
+        zdd.checkpoint()
+        assert zdd.reorder_count == 1
+        # The baseline resets: an immediate second safe point with no
+        # further growth must NOT reorder again.
+        zdd.checkpoint()
+        assert zdd.reorder_count == 1
+        assert extract(zdd, node) == fam
+        zdd.assert_consistent()
+
+    def test_below_floor_never_triggers(self):
+        zdd = self._grown_zdd(floor=10**6)
+        zdd.ref(zdd.from_sets([{0}]))
+        zdd.checkpoint()
+        zdd.ref(zdd.from_sets([frozenset({i, (i + 1) % 12})
+                               for i in range(12)]))
+        zdd.checkpoint()
+        assert zdd.reorder_count == 0
+
+    def test_growth_must_exceed_one(self):
+        zdd = ZDD(var_names=NAMES)
+        with pytest.raises(DDError):
+            zdd.configure_reorder(True, reorder_threshold=100, growth=1.0)
+        with pytest.raises(DDError):
+            zdd.configure_reorder(True, reorder_threshold=100, growth=0.5)
+
+    def test_zdd_nets_arm_the_growth_trigger(self):
+        from repro.dd.manager import DEFAULT_REORDER_GROWTH
+        from repro.petri.generators import philosophers
+        from repro.symbolic.zdd_relational import ZddRelationalNet
+        from repro.symbolic.zdd_traversal import ZddNet
+        net = philosophers(3)
+        for zddnet in (ZddNet(net, auto_reorder=True),
+                       ZddRelationalNet(net, auto_reorder=True)):
+            assert zddnet.zdd.reorder_growth == DEFAULT_REORDER_GROWTH
+
+    def test_bdd_manager_defaults_to_threshold_only(self):
+        bdd = BDD(var_names=["a", "b"], auto_reorder=True)
+        assert bdd.reorder_growth is None
+
+
 class TestResourceBudgets:
     """The safe-point degradation ladder behind set_resource_budget."""
 

@@ -11,7 +11,7 @@ import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from repro.bdd import BDD, variable
+from repro.bdd import BDD, ONE, ZERO, variable
 from repro.bdd.reorder import sift
 
 NUM_VARS = 5
@@ -61,7 +61,7 @@ def build_bdd(bdd, expr):
     if tag == "var":
         return bdd.var_node(expr[1])
     if tag == "const":
-        return 1 if expr[1] else 0
+        return ONE if expr[1] else ZERO
     if tag == "not":
         return bdd.apply_not(build_bdd(bdd, expr[1]))
     if tag == "and":
@@ -259,8 +259,8 @@ def test_negation_is_complement(expr):
     bdd = BDD(var_names=NAMES)
     node = build_bdd(bdd, expr)
     negated = bdd.apply_not(node)
-    assert bdd.apply_and(node, negated) == 0
-    assert bdd.apply_or(node, negated) == 1
+    assert bdd.apply_and(node, negated) == ZERO
+    assert bdd.apply_or(node, negated) == ONE
     count = bdd.satcount(node, nvars=NUM_VARS)
     assert bdd.satcount(negated, nvars=NUM_VARS) == 2 ** NUM_VARS - count
 
@@ -272,7 +272,7 @@ def test_restrict_agrees_on_care_set(func_expr, care_expr):
     bdd = BDD(var_names=NAMES)
     f = build_bdd(bdd, func_expr)
     care = build_bdd(bdd, care_expr)
-    if care == 0:
+    if care == ZERO:
         return
     r = bdd.restrict_cm(f, care)
     assert bdd.apply_and(r, care) == bdd.apply_and(f, care)
@@ -284,7 +284,7 @@ def test_restrict_by_self_is_tautological(expr):
     """f restricted to f is 1 wherever f holds."""
     bdd = BDD(var_names=NAMES)
     f = build_bdd(bdd, expr)
-    if f == 0:
+    if f == ZERO:
         return
     r = bdd.restrict_cm(f, f)
     assert bdd.apply_and(r, f) == f
@@ -298,7 +298,7 @@ def test_restrict_is_idempotent(func_expr, care_expr):
     bdd = BDD(var_names=NAMES)
     f = build_bdd(bdd, func_expr)
     care = build_bdd(bdd, care_expr)
-    if care == 0:
+    if care == ZERO:
         return
     r = bdd.restrict_cm(f, care)
     assert bdd.restrict_cm(r, care) == r
@@ -310,8 +310,8 @@ def test_restrict_constant_care_and_constant_function(expr):
     """A tautological care set is the identity; constants are fixpoints."""
     bdd = BDD(var_names=NAMES)
     f = build_bdd(bdd, expr)
-    assert bdd.restrict_cm(f, 1) == f
+    assert bdd.restrict_cm(f, ONE) == f
     care = build_bdd(bdd, expr)
-    if care != 0:
-        assert bdd.restrict_cm(0, care) == 0
-        assert bdd.restrict_cm(1, care) == 1
+    if care != ZERO:
+        assert bdd.restrict_cm(ZERO, care) == ZERO
+        assert bdd.restrict_cm(ONE, care) == ONE

@@ -70,3 +70,35 @@ def test_managers_share_the_kernel():
         assert not copies, (
             f"{manager_file.relative_to(SRC)} regrew kernel machinery: "
             f"{copies}; extend repro/dd/manager.py instead")
+
+
+def test_complement_edge_split_is_pinned():
+    """The complement-edge representation belongs to the BDD manager
+    alone: edges are ``(node << 1) | bit`` there, while the ZDD keeps
+    plain node ids (a complemented ZDD edge has no zero-suppressed
+    meaning — see docs/encodings.md).  A future PR flipping either side
+    silently would corrupt every persisted dump and cross-manager
+    bridge, so the split is pinned here."""
+    from repro.bdd import BDD, ZDD
+    from repro.dd import DDManager
+    assert BDD._edge_shift == 1
+    assert BDD.complement_edges is True
+    assert ZDD._edge_shift == 0
+    assert ZDD.complement_edges is False
+    # The kernel default stays plain: new managers must opt in.
+    assert DDManager._edge_shift == 0
+    assert DDManager.complement_edges is False
+
+
+def test_negation_lives_once_as_a_bit_flip():
+    """With complement edges, negation is ``edge ^ 1`` inside
+    ``BDD.apply_not`` — no module may regrow a recursive node-walking
+    negation (the pre-complement implementation) beside it."""
+    import re
+    banned = re.compile(r"def\s+(_?recursive_not|_negate_rec|_not_rec)\b")
+    for path in sorted(SRC.rglob("*.py")):
+        match = banned.search(path.read_text())
+        assert match is None, (
+            f"{path.relative_to(SRC)} regrew a recursive negation "
+            f"({match.group(1)}); negation is an O(1) bit flip in "
+            f"BDD.apply_not")
